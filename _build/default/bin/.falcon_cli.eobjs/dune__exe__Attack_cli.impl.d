@@ -1,0 +1,1 @@
+bin/attack_cli.ml: Arg Array Attack Cmd Cmdliner Falcon Fft Leakage Printf Stats Term

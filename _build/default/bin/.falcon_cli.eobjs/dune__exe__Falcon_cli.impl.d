@@ -1,0 +1,1 @@
+bin/falcon_cli.ml: Arg Array Char Cmd Cmdliner Falcon Keccak List Ntru Printf Prng String Sys Term

@@ -1,0 +1,1 @@
+bin/falcon_cli.mli:

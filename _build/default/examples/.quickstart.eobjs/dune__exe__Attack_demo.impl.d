@@ -1,0 +1,1 @@
+examples/attack_demo.ml: Array Attack Falcon Fft Leakage Ntru Printf Stats Sys Unix

@@ -1,0 +1,1 @@
+examples/countermeasures.ml: Array Attack Defense Fpr Leakage List Printf Stats

@@ -1,0 +1,1 @@
+examples/false_positives.ml: Array Attack Fpr Leakage List Printf Stats

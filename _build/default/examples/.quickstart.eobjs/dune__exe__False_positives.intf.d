@@ -1,0 +1,1 @@
+examples/false_positives.mli:

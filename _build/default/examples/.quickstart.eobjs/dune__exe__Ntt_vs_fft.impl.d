@@ -1,0 +1,1 @@
+examples/ntt_vs_fft.ml: Array Attack Bitops Float Fpr Leakage List Printf Stats Zq

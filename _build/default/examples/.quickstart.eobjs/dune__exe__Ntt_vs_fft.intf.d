@@ -1,0 +1,1 @@
+examples/ntt_vs_fft.mli:

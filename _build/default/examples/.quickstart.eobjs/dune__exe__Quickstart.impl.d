@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Falcon Keccak List Ntru Printf Prng String

@@ -1,0 +1,57 @@
+(* Countermeasure evaluation (Section V-B of the paper): the paper notes
+   that no masked FALCON implementation existed and calls for one — this
+   example runs the attack against three implementations of the targeted
+   multiply and shows what each defence buys, and at what cost.
+
+   Run with:  dune exec examples/countermeasures.exe *)
+
+let secret = 0xC06017BC8036B580L
+let d_true = (Fpr.mantissa secret lor (1 lsl 52)) land ((1 lsl 25) - 1)
+let count = 3000
+
+let () =
+  let model = Leakage.default_model in
+  let ys =
+    Attack.Workload.known_inputs ~n:64 ~coeff:5 ~component:`Re ~count
+      ~seed:"countermeasures example"
+  in
+  let view kind =
+    let rng = Stats.Rng.create ~seed:77 in
+    let trace y =
+      match kind with
+      | `Plain -> Leakage.mul_trace model rng ~known:y ~secret
+      | `Masked -> Array.sub (Defense.Masking.trace model rng ~known:y ~secret) 0 16
+      | `Shuffled -> Defense.Shuffle.trace model rng ~known:y ~secret
+    in
+    { Attack.Recover.traces = Array.map trace ys; known = ys }
+  in
+  Printf.printf "attacking the low mantissa half of %Lx with %d traces\n\n" secret count;
+  List.iter
+    (fun (name, kind, cost) ->
+      let v = view kind in
+      let cands =
+        Attack.Hypothesis.sampled (Stats.Rng.create ~seed:78) ~width:25 ~truth:d_true
+          ~decoys:1024 ()
+      in
+      let r = Attack.Recover.attack_mantissa_low ~candidates:(Array.to_seq cands) v in
+      let col =
+        Array.map (fun t -> t.(Attack.Recover.sample Fpr.Mant_w00)) v.Attack.Recover.traces
+      in
+      let h =
+        Attack.Dema.hyp_vector ~model:Attack.Recover.m_w00 ~known:v.Attack.Recover.known
+          d_true
+      in
+      Printf.printf "%-12s  corr(true D) = %+.3f   attack %s   overhead %s\n" name
+        (Stats.Pearson.corr h col)
+        (if r.winner = d_true then "RECOVERS the key material"
+         else "fails (D not recovered)")
+        cost)
+    [
+      ("unprotected", `Plain, "1.00x");
+      ("masked", `Masked, Printf.sprintf "%.2fx" Defense.Masking.overhead_factor);
+      ("shuffled", `Shuffled, "1.00x (+RNG)");
+    ];
+  Printf.printf
+    "\nmasking randomises every datapath intermediate (first-order secure);\n\
+     shuffling only dilutes the correlation by the shuffle degree (4) —\n\
+     it raises the trace cost by ~16x but does not stop the attack.\n"

@@ -1,0 +1,34 @@
+(* Quickstart: generate a FALCON key pair, sign a message, verify it.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* FALCON-512 is the paper's parameter set; keygen takes well under a
+     second even with the from-scratch bignum NTRU solver. *)
+  let n = 512 in
+  Printf.printf "Generating FALCON-%d key pair...\n%!" n;
+  let sk, pk = Falcon.Scheme.keygen ~n ~seed:"quickstart example seed" in
+  Printf.printf "  private f[0..7] = %s\n"
+    (String.concat " " (List.init 8 (fun i -> string_of_int sk.kp.f.(i))));
+  Printf.printf "  public  h[0..7] = %s\n" (String.concat " "
+    (List.init 8 (fun i -> string_of_int pk.h.(i))));
+  Printf.printf "  NTRU equation fG - gF = q holds: %b\n"
+    (Ntru.Ntrugen.verify_ntru sk.kp.f sk.kp.g sk.kp.big_f sk.kp.big_g);
+
+  let msg = "attack at dawn" in
+  let rng = Prng.of_seed "quickstart signing randomness" in
+  let sg = Falcon.Scheme.sign ~rng sk msg in
+  Printf.printf "\nSigned %S\n" msg;
+  Printf.printf "  salt  = %s...\n" (Keccak.hex (String.sub sg.salt 0 8));
+  Printf.printf "  body  = %s... (%d bytes total)\n"
+    (Keccak.hex (String.sub sg.body 0 8))
+    (String.length sg.body);
+  (match Falcon.Scheme.signature_norm_sq pk msg sg with
+  | Some norm ->
+      Printf.printf "  ||(s1, s2)||^2 = %d  (bound %d)\n" norm pk.params.beta_sq
+  | None -> ());
+
+  Printf.printf "\nverify(pk, msg, sig)          = %b\n"
+    (Falcon.Scheme.verify pk msg sg);
+  Printf.printf "verify(pk, tampered msg, sig) = %b\n"
+    (Falcon.Scheme.verify pk "attack at dusk" sg)

@@ -1,0 +1,1 @@
+lib/attack/calibrate.ml: Array Bitops Int64 List

@@ -1,0 +1,1 @@
+lib/attack/calibrate.mli: Fpr

@@ -1,0 +1,1 @@
+lib/attack/dema.ml: Array Bitops Float List Seq Stats

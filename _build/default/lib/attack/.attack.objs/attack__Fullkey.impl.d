@@ -1,0 +1,1 @@
+lib/attack/fullkey.ml: Array Falcon Fft Fpr Ntru Prng Recover

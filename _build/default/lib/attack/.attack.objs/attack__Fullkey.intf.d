@@ -1,0 +1,1 @@
+lib/attack/fullkey.mli: Falcon Fft Leakage Ntru Recover

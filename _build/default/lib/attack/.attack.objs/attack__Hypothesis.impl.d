@@ -1,0 +1,1 @@
+lib/attack/hypothesis.ml: Array Hashtbl List Seq Stats

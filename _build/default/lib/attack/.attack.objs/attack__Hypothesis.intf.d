@@ -1,0 +1,1 @@
+lib/attack/hypothesis.mli: Seq Stats

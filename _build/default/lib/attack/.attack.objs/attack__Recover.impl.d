@@ -1,0 +1,1 @@
+lib/attack/recover.ml: Array Calibrate Dema Fft Fpr Hashtbl Hypothesis Leakage List Seq Stats

@@ -1,0 +1,1 @@
+lib/attack/recover.mli: Dema Fpr Leakage Seq Stats

@@ -1,0 +1,1 @@
+lib/attack/template.ml: Array Bitops Dema Float Fpr Hypothesis Leakage List Recover Seq

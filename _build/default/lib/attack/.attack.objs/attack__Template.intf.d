@@ -1,0 +1,1 @@
+lib/attack/template.mli: Dema Fpr Recover Seq

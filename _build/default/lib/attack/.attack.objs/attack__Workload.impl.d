@@ -1,0 +1,1 @@
+lib/attack/workload.ml: Array Falcon Fft Leakage Printf Recover

@@ -1,0 +1,1 @@
+lib/attack/workload.mli: Fpr Leakage Recover Stats

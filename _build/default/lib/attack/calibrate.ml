@@ -1,0 +1,29 @@
+let estimate ~traces ~known ~lo_sample ~hi_sample =
+  let pts = ref [] in
+  let add sample word_of =
+    Array.iteri
+      (fun i t ->
+        let hw = float_of_int (Bitops.popcount (word_of known.(i))) in
+        pts := (hw, t.(sample)) :: !pts)
+      traces
+  in
+  let lo32 y = Int64.to_int (Int64.logand y 0xFFFFFFFFL) in
+  let hi32 y = Int64.to_int (Int64.shift_right_logical y 32) in
+  add lo_sample lo32;
+  add hi_sample hi32;
+  let n = float_of_int (List.length !pts) in
+  let sx = ref 0. and sy = ref 0. and sxx = ref 0. and sxy = ref 0. in
+  List.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      sxy := !sxy +. (x *. y))
+    !pts;
+  let denom = !sxx -. (!sx *. !sx /. n) in
+  if denom <= 0. then (1., 0.)
+  else begin
+    let alpha = (!sxy -. (!sx *. !sy /. n)) /. denom in
+    let baseline = (!sy -. (alpha *. !sx)) /. n in
+    (alpha, baseline)
+  end

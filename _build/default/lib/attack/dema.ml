@@ -1,0 +1,105 @@
+type scored = { guess : int; corr : float }
+
+let hyp_vector ~model ~known guess =
+  Array.map (fun y -> float_of_int (Bitops.popcount (model guess y))) known
+
+(* Per-sample column statistics shared across all guesses. *)
+let column traces sample =
+  let d = Array.length traces in
+  let col = Array.make d 0. in
+  let s = ref 0. and ss = ref 0. in
+  for i = 0 to d - 1 do
+    let v = traces.(i).(sample) in
+    col.(i) <- v;
+    s := !s +. v;
+    ss := !ss +. (v *. v)
+  done;
+  let nf = float_of_int d in
+  (col, !s, !ss -. (!s *. !s /. nf))
+
+let corr_against (col, sum_t, var_t) h =
+  let d = Array.length col in
+  let nf = float_of_int d in
+  let sh = ref 0. and shh = ref 0. and sht = ref 0. in
+  for i = 0 to d - 1 do
+    let x = h.(i) in
+    sh := !sh +. x;
+    shh := !shh +. (x *. x);
+    sht := !sht +. (x *. col.(i))
+  done;
+  let vh = !shh -. (!sh *. !sh /. nf) in
+  let cov = !sht -. (!sh *. sum_t /. nf) in
+  if vh <= 0. || var_t <= 0. then 0. else cov /. sqrt (vh *. var_t)
+
+let rank ~traces ~parts ~known ~candidates ~top =
+  let cols = List.map (fun (s, model) -> (column traces s, model)) parts in
+  let best = ref [] (* ascending by score, length <= top *) in
+  let size = ref 0 in
+  Seq.iter
+    (fun guess ->
+      let score =
+        List.fold_left
+          (fun acc (c, model) ->
+            acc +. Float.abs (corr_against c (hyp_vector ~model ~known guess)))
+          0. cols
+      in
+      if !size < top then begin
+        best := List.merge (fun a b -> Float.compare a.corr b.corr) [ { guess; corr = score } ] !best;
+        incr size
+      end
+      else begin
+        match !best with
+        | worst :: rest when score > worst.corr ->
+            best :=
+              List.merge (fun a b -> Float.compare a.corr b.corr)
+                [ { guess; corr = score } ]
+                rest
+        | _ -> ()
+      end)
+    candidates;
+  List.rev !best
+
+let rank_absolute ~traces ~parts ~known ~candidates ~top ~alpha ~baseline =
+  let cols =
+    List.map (fun (s, model) -> (Array.map (fun t -> t.(s)) traces, model)) parts
+  in
+  let d = Array.length traces in
+  let best = ref [] and size = ref 0 in
+  Seq.iter
+    (fun guess ->
+      let err = ref 0. in
+      List.iter
+        (fun (col, model) ->
+          for i = 0 to d - 1 do
+            let pred =
+              baseline +. (alpha *. float_of_int (Bitops.popcount (model guess known.(i))))
+            in
+            let r = col.(i) -. pred in
+            err := !err +. (r *. r)
+          done)
+        cols;
+      let score = -. !err /. float_of_int d in
+      if !size < top then begin
+        best :=
+          List.merge (fun a b -> Float.compare a.corr b.corr) [ { guess; corr = score } ] !best;
+        incr size
+      end
+      else begin
+        match !best with
+        | worst :: rest when score > worst.corr ->
+            best :=
+              List.merge (fun a b -> Float.compare a.corr b.corr)
+                [ { guess; corr = score } ]
+                rest
+        | _ -> ()
+      end)
+    candidates;
+  List.rev !best
+
+let corr_time ~traces ~model ~known ~guesses =
+  let hyps = Array.map (hyp_vector ~model ~known) guesses in
+  Stats.Pearson.corr_matrix ~traces ~hyps
+
+let evolution ~traces ~sample ~model ~known ~guess ~step =
+  let hyp = hyp_vector ~model ~known guess in
+  Stats.Pearson.evolution ~traces ~hyp ~sample ~step

@@ -1,0 +1,61 @@
+(** Differential EM analysis engine: the Pearson-correlation
+    distinguisher of Eq. (1), in three shapes matched to the paper's
+    plots and to streaming enumeration of large hypothesis spaces. *)
+
+type scored = { guess : int; corr : float }
+
+val rank :
+  traces:float array array ->
+  parts:(int * (int -> 'k -> int)) list ->
+  known:'k array ->
+  candidates:int Seq.t ->
+  top:int ->
+  scored list
+(** [rank ~traces ~parts ~known ~candidates ~top] scores every candidate
+    guess by the sum over [parts] of the absolute correlation between the
+    modelled leakage [HW (model guess known.(d))] and the trace column at
+    the part's sample index, streaming the candidate sequence with O(top)
+    memory.  Returns the [top] best, sorted by decreasing score.
+    [model guess y] is the predicted intermediate of a trace whose known
+    operand is [y]. *)
+
+val rank_absolute :
+  traces:float array array ->
+  parts:(int * (int -> 'k -> int)) list ->
+  known:'k array ->
+  candidates:int Seq.t ->
+  top:int ->
+  alpha:float ->
+  baseline:float ->
+  scored list
+(** Like {!rank} but with a calibrated absolute-level distinguisher: each
+    guess is scored by the negative mean squared residual between the
+    measured samples and [baseline + alpha * HW(model guess y)].  Unlike
+    Pearson correlation this is {e not} invariant under constant shifts
+    of the predicted Hamming weight, which is what disambiguates exponent
+    hypotheses that differ by a per-trace constant (see
+    {!Recover.attack_exponent}).  [alpha] and [baseline] come from
+    {!Calibrate.estimate} — i.e. from the same traces, not from a
+    profiling device. *)
+
+val corr_time :
+  traces:float array array ->
+  model:(int -> 'k -> int) ->
+  known:'k array ->
+  guesses:int array ->
+  float array array
+(** Correlation-versus-time matrix (one row per guess) — Fig. 4 (a-d). *)
+
+val evolution :
+  traces:float array array ->
+  sample:int ->
+  model:(int -> 'k -> int) ->
+  known:'k array ->
+  guess:int ->
+  step:int ->
+  (int * float) list
+(** Correlation at [sample] as a function of the trace count —
+    Fig. 4 (e-h). *)
+
+val hyp_vector : model:(int -> 'k -> int) -> known:'k array -> int -> float array
+(** The modelled leakage vector (Hamming weights as floats) of one guess. *)

@@ -1,0 +1,36 @@
+type result = {
+  f_fft : Fft.t;
+  f : int array;
+  keypair : Ntru.Ntrugen.keypair option;
+}
+
+let recover_f_fft ~traces ~n ~strategy =
+  let out = Fft.zero n in
+  for k = 0 to n - 1 do
+    let v_re = Recover.views_for traces ~coeff:k ~component:`Re in
+    out.Fft.re.(k) <- Recover.coefficient ~strategy:(strategy ~coeff:k ~mul:0) v_re;
+    let v_im = Recover.views_for traces ~coeff:k ~component:`Im in
+    out.Fft.im.(k) <- Recover.coefficient ~strategy:(strategy ~coeff:k ~mul:1) v_im
+  done;
+  out
+
+let recover_key ~traces ~h ~strategy =
+  let n = Array.length h in
+  let f_fft = recover_f_fft ~traces ~n ~strategy in
+  let f = Fft.round_to_int (Fft.ifft f_fft) in
+  let keypair = Ntru.Ntrugen.recover_from_f ~n ~f ~h in
+  { f_fft; f; keypair }
+
+let count_correct recovered ~truth =
+  let n = Fft.length recovered in
+  assert (Fft.length truth = n);
+  let ok = ref 0 in
+  for k = 0 to n - 1 do
+    if Fpr.equal recovered.Fft.re.(k) truth.Fft.re.(k) then incr ok;
+    if Fpr.equal recovered.Fft.im.(k) truth.Fft.im.(k) then incr ok
+  done;
+  !ok
+
+let forge ~keypair ~seed msg =
+  let sk = Falcon.Scheme.secret_of_keypair keypair in
+  Falcon.Scheme.sign ~rng:(Prng.of_seed seed) sk msg

@@ -1,0 +1,38 @@
+(** End-to-end attack: from EM traces of signing operations to a forged
+    signature (Sections III and IV).
+
+    Pipeline: per-coefficient divide-and-conquer recovers every value of
+    FFT(f); the inverse FFT (one-to-one, Section III-A) yields the
+    private element f; g = f h mod q follows from the public key; the
+    NTRU equation gives (F, G); the rebuilt secret key signs arbitrary
+    messages. *)
+
+type result = {
+  f_fft : Fft.t;  (** recovered FFT(f) bit patterns *)
+  f : int array;  (** rounded inverse transform *)
+  keypair : Ntru.Ntrugen.keypair option;
+      (** full private key, when f is invertible and the NTRU solve
+          succeeds — i.e. when the recovered f is the right one *)
+}
+
+val recover_f_fft :
+  traces:Leakage.trace array ->
+  n:int ->
+  strategy:(coeff:int -> mul:int -> Recover.strategy) ->
+  Fft.t
+(** Attack every (coefficient, component) of FFT(f): the real part leaks
+    through multiplication 0 (c_re x f_re), the imaginary part through
+    multiplication 1 (c_im x f_im). *)
+
+val recover_key :
+  traces:Leakage.trace array ->
+  h:int array ->
+  strategy:(coeff:int -> mul:int -> Recover.strategy) ->
+  result
+
+val count_correct : Fft.t -> truth:Fft.t -> int
+(** Number of bit-exact coefficient matches (out of 2n values). *)
+
+val forge :
+  keypair:Ntru.Ntrugen.keypair -> seed:string -> string -> Falcon.Scheme.signature
+(** Sign an arbitrary message with the recovered key. *)

@@ -1,0 +1,38 @@
+let shift_aliases ~width ?(lo = 0) v =
+  assert (v > 0);
+  let base =
+    let rec strip v = if v land 1 = 0 then strip (v lsr 1) else v in
+    strip v
+  in
+  let rec collect x acc =
+    if x >= 1 lsl width then acc
+    else collect (x lsl 1) (if x <> v && x >= lo then x :: acc else acc)
+  in
+  collect base []
+
+let sampled rng ~width ?(lo = 0) ~truth ~decoys () =
+  assert (truth >= lo && truth < 1 lsl width);
+  let tbl = Hashtbl.create (decoys * 2) in
+  let add v = if v >= lo && v < 1 lsl width && v > 0 then Hashtbl.replace tbl v () in
+  add truth;
+  List.iter add (shift_aliases ~width ~lo truth);
+  (* near-miss decoys: plausible false positives that are close in
+     Hamming space without being exact aliases *)
+  for b = 0 to width - 1 do
+    add (truth lxor (1 lsl b))
+  done;
+  add (truth + 1);
+  add (truth - 1);
+  let span = (1 lsl width) - lo in
+  for _ = 1 to decoys do
+    add (lo + Stats.Rng.int_below rng span)
+  done;
+  let out = Array.of_seq (Hashtbl.to_seq_keys tbl) in
+  Stats.Rng.shuffle rng out;
+  out
+
+let exhaustive ~width ?(lo = 0) () =
+  let hi = 1 lsl width in
+  Seq.unfold (fun v -> if v >= hi then None else Some (v, v + 1)) lo
+
+let count ~width ?(lo = 0) () = (1 lsl width) - lo

@@ -1,0 +1,30 @@
+(** Hypothesis spaces for the differential attack.
+
+    The paper enumerates all 2^25 guesses for the low mantissa half and
+    all 2^27 for the high half on a workstation; this repository supports
+    the same exhaustive enumeration ({!exhaustive}, streamed so memory
+    stays flat) and, for routine runs on one CPU core, an evaluation
+    mode ({!sampled}) whose candidate set contains the true value, its
+    complete multiplication-alias class (the exact-tie false positives
+    the extend phase cannot distinguish) and uniform random decoys.
+    Pearson ranking treats every hypothesis independently, so the sampled
+    set exercises the identical extend-and-prune decision logic — see
+    DESIGN.md section 2. *)
+
+val shift_aliases : width:int -> ?lo:int -> int -> int list
+(** [shift_aliases ~width v] is every [v'] in [\[lo, 2^width)] with
+    [v' = v * 2^k] or [v = v' * 2^k] (k >= 1) — the values whose products
+    [v' * b] have exactly the Hamming weight of [v * b] for every [b].
+    [lo] defaults to 0 (set it to 2^(width-1) for ranges with a fixed
+    top bit). *)
+
+val sampled :
+  Stats.Rng.t -> width:int -> ?lo:int -> truth:int -> decoys:int -> unit -> int array
+(** Evaluation candidate set: [truth], its alias class, single-bit and
+    +/-1 neighbours, and [decoys] uniform values in [\[lo, 2^width)];
+    deduplicated and shuffled. *)
+
+val exhaustive : width:int -> ?lo:int -> unit -> int Seq.t
+(** All values of [\[lo, 2^width)], lazily. *)
+
+val count : width:int -> ?lo:int -> unit -> int

@@ -1,0 +1,251 @@
+type view = {
+  traces : float array array;
+  known : Fpr.t array;
+}
+
+let sample = Leakage.mul_event_offset
+
+let sub_view traces ~coeff ~mul =
+  let lo = (coeff * Leakage.events_per_coeff) + (mul * Leakage.events_per_mul) in
+  let window (t : Leakage.trace) = Array.sub t.samples lo Leakage.events_per_mul in
+  let known_of (t : Leakage.trace) =
+    (* multiplication order in Fft.mul_emit: (c.re f.re), (c.im f.im),
+       (c.re f.im), (c.im f.re) — the known operand is the c component *)
+    match mul with
+    | 0 | 2 -> t.c_fft.Fft.re.(coeff)
+    | 1 | 3 -> t.c_fft.Fft.im.(coeff)
+    | _ -> invalid_arg "Recover.sub_view: mul must be in 0..3"
+  in
+  { traces = Array.map window traces; known = Array.map known_of traces }
+
+let views_for traces ~coeff ~component =
+  (* each secret component of FFT(f) enters two real multiplications:
+     f_re in (c_re x f_re) and (c_im x f_re); f_im in (c_im x f_im) and
+     (c_re x f_im) *)
+  match component with
+  | `Re -> [ sub_view traces ~coeff ~mul:0; sub_view traces ~coeff ~mul:3 ]
+  | `Im -> [ sub_view traces ~coeff ~mul:1; sub_view traces ~coeff ~mul:2 ]
+
+let m25 = (1 lsl 25) - 1
+
+let b25 y = (Fpr.mantissa y lor (1 lsl 52)) land m25
+let a28 y = (Fpr.mantissa y lor (1 lsl 52)) lsr 25
+
+(* In the attacked multiply the known FFT(c) value is the first operand
+   and the secret the second: B/A are the known low/high significand
+   halves, the guess is D (secret low 25) or E (secret high 28). *)
+let m_sign g y = g lxor Fpr.sign_bit y
+let m_exp g y = (g + Fpr.biased_exponent y - 2100) land 0xFFFFFFFF
+let m_w00 d y = d * b25 y
+let m_w10 d y = d * a28 y
+let m_z1a d y = ((d * b25 y) lsr 25) + ((d * a28 y) land m25)
+let m_w01 e y = e * b25 y
+let m_w11 e y = e * a28 y
+let m_z1 ~d e y = m_z1a d y + ((e * b25 y) land m25)
+
+let m_zhigh ~d e y =
+  let w01 = e * b25 y and w10 = d * a28 y in
+  let z1 = m_z1 ~d e y in
+  (e * a28 y) + (w01 lsr 25) + (w10 lsr 25) + (z1 lsr 25)
+
+(* ---- joint machinery over one or several windows ----
+
+   A combined problem concatenates the windows of every view and indexes
+   traces by position; per-view stage models close over that view's known
+   operands. *)
+
+let combine views =
+  match views with
+  | [] -> invalid_arg "Recover.combine: no views"
+  | v0 :: rest ->
+      let d = Array.length v0.traces in
+      List.iter (fun v -> assert (Array.length v.traces = d)) rest;
+      let traces =
+        Array.init d (fun i -> Array.concat (List.map (fun v -> v.traces.(i)) views))
+      in
+      (traces, Array.init d (fun i -> i))
+
+let spread_parts views stage =
+  List.concat
+    (List.mapi
+       (fun j v ->
+         List.map
+           (fun (lbl, m) ->
+             ((j * Leakage.events_per_mul) + sample lbl, fun g i -> m g v.known.(i)))
+           stage)
+       views)
+
+let attack_sign v =
+  let col = Array.map (fun t -> t.(sample Fpr.Sign_xor)) v.traces in
+  let h = Dema.hyp_vector ~model:m_sign ~known:v.known 1 in
+  let r1 = Stats.Pearson.corr h col in
+  (* guess 0 produces the complementary vector, r0 = -r1; the correct
+     guess correlates positively *)
+  if r1 >= 0. then (1, r1) else (0, -.r1)
+
+(* Exponent recovery needs more than the raw e = ex + ey - 2100 register:
+   over the narrow exponent spread of FFT(c) values, many wrong exponents
+   produce Hamming-weight sequences affinely equivalent to the right one.
+   The store of the result's high 32-bit word (sign, exponent field, top
+   mantissa bits) disambiguates once the mantissa and sign are known —
+   that is why the divide-and-conquer runs the mantissa first. *)
+let m_result_hi ~mant ~sign =
+  let x0 = Fpr.make ~sign:0 ~exp:1023 ~mant in
+  let cache : (Fpr.t, int * int * int) Hashtbl.t = Hashtbl.create 64 in
+  fun g y ->
+    let delta, hi20, sy =
+      match Hashtbl.find_opt cache y with
+      | Some t -> t
+      | None ->
+          let r0 = Fpr.mul x0 y in
+          let t =
+            (Fpr.biased_exponent r0 - 1023, Fpr.mantissa r0 lsr 32, Fpr.sign_bit y)
+          in
+          Hashtbl.add cache y t;
+          t
+    in
+    let e_res = (g + delta) land 0x7FF in
+    (((sign lxor sy) lsl 31) lor (e_res lsl 20) lor hi20) land 0xFFFFFFFF
+
+(* Hypotheses e and e + 64k predict Hamming weights that differ by a
+   per-trace constant over the narrow FFT(c) exponent spread, so Pearson
+   cannot separate them (correlation is shift-invariant).  The magnitude
+   prior breaks the tie: |FFT(f)_k| <= n * 127 < 2^33 and is essentially
+   never below 2^-31, so exactly one member of each 64-spaced tie class
+   lies in the 64-wide biased-exponent window [992, 1056). *)
+let default_exponent_window = Seq.init 64 (fun i -> 992 + i)
+
+let calibrate_views views =
+  let als =
+    List.map
+      (fun v ->
+        Calibrate.estimate ~traces:v.traces ~known:v.known
+          ~lo_sample:(sample Fpr.Load_x_lo) ~hi_sample:(sample Fpr.Load_x_hi))
+      views
+  in
+  let nf = float_of_int (List.length als) in
+  ( List.fold_left (fun acc (a, _) -> acc +. a) 0. als /. nf,
+    List.fold_left (fun acc (_, b) -> acc +. b) 0. als /. nf )
+
+let sign_exponent_multi ?(exp_candidates = default_exponent_window) ~mant views =
+  let alpha, baseline = calibrate_views views in
+  let traces, idx = combine views in
+  let hi_model_pos = m_result_hi ~mant ~sign:0 in
+  let hi_model_neg = m_result_hi ~mant ~sign:1 in
+  let candidates =
+    Seq.concat_map (fun e -> List.to_seq [ e; (1 lsl 11) lor e ]) exp_candidates
+  in
+  let stage =
+    [
+      (Fpr.Exp_sum, fun g y -> m_exp (g land 0x7FF) y);
+      (Fpr.Sign_xor, fun g y -> m_sign (g lsr 11) y);
+      ( Fpr.Result_hi,
+        fun g y ->
+          if g lsr 11 = 0 then hi_model_pos (g land 0x7FF) y
+          else hi_model_neg (g land 0x7FF) y );
+    ]
+  in
+  let ranked =
+    Dema.rank_absolute ~traces ~parts:(spread_parts views stage) ~known:idx
+      ~candidates ~top:8 ~alpha ~baseline
+  in
+  match ranked with
+  | best :: _ -> (best.guess lsr 11, best.guess land 0x7FF, ranked)
+  | [] -> invalid_arg "Recover.sign_exponent: empty candidate set"
+
+let attack_sign_exponent ?exp_candidates ~mant v =
+  sign_exponent_multi ?exp_candidates ~mant [ v ]
+
+let attack_exponent ?candidates ~mant ~sign v =
+  let candidates =
+    match candidates with Some c -> c | None -> default_exponent_window
+  in
+  let alpha, baseline = calibrate_views [ v ] in
+  let ranked =
+    Dema.rank_absolute ~traces:v.traces
+      ~parts:
+        [ (sample Fpr.Exp_sum, m_exp); (sample Fpr.Result_hi, m_result_hi ~mant ~sign) ]
+      ~known:v.known ~candidates ~top:8 ~alpha ~baseline
+  in
+  match ranked with
+  | best :: _ -> (best.guess, ranked)
+  | [] -> invalid_arg "Recover.attack_exponent: empty candidate set"
+
+type mantissa_result = {
+  winner : int;
+  extend : Dema.scored list;
+  pruned : Dema.scored list;
+}
+
+let extend_prune_multi ~top ~candidates ~extend_stage ~prune_stage views =
+  let traces, idx = combine views in
+  let extend_parts = spread_parts views extend_stage in
+  let extend = Dema.rank ~traces ~parts:extend_parts ~known:idx ~candidates ~top in
+  let survivors = List.to_seq (List.map (fun (s : Dema.scored) -> s.guess) extend) in
+  (* The addition sample breaks the multiplication's shift-alias ties; the
+     multiplication samples still separate low-bit neighbours, so the
+     survivors are re-ranked on the combined evidence. *)
+  let pruned =
+    Dema.rank ~traces
+      ~parts:(extend_parts @ spread_parts views prune_stage)
+      ~known:idx ~candidates:survivors ~top
+  in
+  match pruned with
+  | best :: _ -> { winner = best.guess; extend; pruned }
+  | [] -> invalid_arg "Recover.extend_prune: empty candidate set"
+
+(* Extend phase: correlate the guess against both partial products
+   (D x B at the w00 sample, D x A at the w10 sample) — Section III-C. *)
+let low_extend_stage = [ (Fpr.Mant_w00, m_w00); (Fpr.Mant_w10, m_w10) ]
+
+let mantissa_low_multi ?(top = 16) ~candidates views =
+  extend_prune_multi ~top ~candidates ~extend_stage:low_extend_stage
+    ~prune_stage:[ (Fpr.Mant_z1a, m_z1a) ]
+    views
+
+let attack_mantissa_low ?top ~candidates v = mantissa_low_multi ?top ~candidates [ v ]
+
+let attack_mantissa_low_naive ?(top = 16) ~candidates v =
+  Dema.rank ~traces:v.traces
+    ~parts:[ (sample Fpr.Mant_w00, m_w00); (sample Fpr.Mant_w10, m_w10) ]
+    ~known:v.known ~candidates ~top
+
+let mantissa_high_multi ?(top = 16) ~candidates ~d views =
+  extend_prune_multi ~top ~candidates
+    ~extend_stage:[ (Fpr.Mant_w01, m_w01); (Fpr.Mant_w11, m_w11) ]
+    ~prune_stage:
+      [
+        (Fpr.Mant_z1, (fun e y -> m_z1 ~d e y));
+        (Fpr.Mant_zhigh, (fun e y -> m_zhigh ~d e y));
+      ]
+    views
+
+let attack_mantissa_high ?top ~candidates ~d v =
+  mantissa_high_multi ?top ~candidates ~d [ v ]
+
+type strategy =
+  | Exhaustive
+  | Eval_sampled of { rng : Stats.Rng.t; decoys : int; truth : Fpr.t }
+
+let coefficient ~strategy views =
+  let low_cands, high_cands =
+    match strategy with
+    | Exhaustive ->
+        ( Hypothesis.exhaustive ~width:25 (),
+          Hypothesis.exhaustive ~width:28 ~lo:(1 lsl 27) () )
+    | Eval_sampled { rng; decoys; truth } ->
+        let xu = Fpr.mantissa truth lor (1 lsl 52) in
+        ( Array.to_seq
+            (Hypothesis.sampled rng ~width:25 ~truth:(xu land m25) ~decoys ()),
+          Array.to_seq
+            (Hypothesis.sampled rng ~width:28 ~lo:(1 lsl 27) ~truth:(xu lsr 25)
+               ~decoys ()) )
+  in
+  (* keep enough extend survivors that the truth cannot be displaced by
+     its own alias class (up to ~25 exact ties for small D) plus noise *)
+  let low = mantissa_low_multi ~top:32 ~candidates:low_cands views in
+  let high = mantissa_high_multi ~top:32 ~candidates:high_cands ~d:low.winner views in
+  let xu = (high.winner lsl 25) lor low.winner in
+  let mant = xu land ((1 lsl 52) - 1) in
+  let s, e, _ = sign_exponent_multi ~mant views in
+  Fpr.make ~sign:s ~exp:e ~mant

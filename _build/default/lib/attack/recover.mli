@@ -1,0 +1,121 @@
+(** Per-coefficient key recovery: the divide-and-conquer of Section III-B
+    and the extend-and-prune of Section III-C.
+
+    The unit of attack is one soft-float multiplication with a secret
+    operand and a known, per-trace-varying operand.  A {!view} holds the
+    16-sample leakage window of that multiplication across D traces, plus
+    the known operands.  The two mantissa halves, then sign and exponent,
+    are recovered separately and reassembled ({!coefficient}). *)
+
+type view = {
+  traces : float array array;  (** D x 16 window samples *)
+  known : Fpr.t array;  (** known operand of each trace *)
+}
+
+val sub_view : Leakage.trace array -> coeff:int -> mul:int -> view
+(** Extract the window of (coefficient, multiplication) from full signing
+    traces; the known operand is the matching component of FFT(c). *)
+
+val views_for :
+  Leakage.trace array -> coeff:int -> component:[ `Re | `Im ] -> view list
+(** The two windows in which the chosen secret component appears: f_re
+    leaks in (c_re x f_re) and (c_im x f_re), f_im in the other two.
+    Joint attacks over both windows use all available information. *)
+
+val sample : Fpr.label -> int
+(** Sample index of a multiplication event inside a window. *)
+
+(** {1 Leakage models (predicted intermediates)} *)
+
+val m_sign : int -> Fpr.t -> int
+val m_exp : int -> Fpr.t -> int
+val m_w00 : int -> Fpr.t -> int
+(** guess = D (secret low 25 bits); predicted D x B. *)
+
+val m_w10 : int -> Fpr.t -> int
+(** guess = D; predicted D x A. *)
+
+val m_z1a : int -> Fpr.t -> int
+(** guess = D; predicted (DB >> 25) + (DA mod 2^25). *)
+
+val m_w01 : int -> Fpr.t -> int
+(** guess = E (secret high 28 bits); predicted E x B. *)
+
+val m_w11 : int -> Fpr.t -> int
+(** guess = E; predicted E x A. *)
+
+val m_z1 : d:int -> int -> Fpr.t -> int
+val m_zhigh : d:int -> int -> Fpr.t -> int
+
+val m_result_hi : mant:int -> sign:int -> int -> Fpr.t -> int
+(** guess = biased exponent; predicted high 32-bit word of the stored
+    result, given the recovered mantissa and sign (memoises the per-known
+    mantissa product and exponent carry). *)
+
+(** {1 Component attacks} *)
+
+val attack_sign : view -> int * float
+(** Recovered sign bit and its correlation at the sign sample (the
+    correct guess correlates positively). *)
+
+val attack_sign_exponent :
+  ?exp_candidates:int Seq.t -> mant:int -> view -> int * int * Dema.scored list
+(** Single-window variant of {!sign_exponent_multi}. *)
+
+val sign_exponent_multi :
+  ?exp_candidates:int Seq.t -> mant:int -> view list -> int * int * Dema.scored list
+(** Joint recovery of (sign, biased exponent) with the calibrated
+    absolute-level distinguisher over the exponent register, the sign XOR
+    and the result's high-word store, given the recovered mantissa.
+    Needs far fewer traces for the sign bit than the plain differential
+    {!attack_sign} (which follows the paper's Fig. 4(a) method). *)
+
+val attack_exponent :
+  ?candidates:int Seq.t -> mant:int -> sign:int -> view -> int * Dema.scored list
+(** Biased exponent, combining the e = ex + ey - 2100 register leak with
+    the result's high-word store; the latter requires the already-
+    recovered 52-bit mantissa and sign (the divide-and-conquer recovers
+    the mantissa first).  Exponent hypotheses that differ by multiples of
+    64 predict per-trace-constant Hamming-weight shifts and are invisible
+    to a correlation distinguisher; the default candidate window
+    [992, 1056) applies the coefficient-magnitude prior
+    2^-31 <= |FFT(f)_k| < 2^33, which contains exactly one member of each
+    tie class. *)
+
+type mantissa_result = {
+  winner : int;
+  extend : Dema.scored list;  (** ranking after the multiplication phase *)
+  pruned : Dema.scored list;  (** re-ranking on the intermediate addition *)
+}
+
+val mantissa_low_multi :
+  ?top:int -> candidates:int Seq.t -> view list -> mantissa_result
+
+val attack_mantissa_low :
+  ?top:int -> candidates:int Seq.t -> view -> mantissa_result
+(** Extend on the partial products D x B and D x A, prune on the
+    intermediate addition z1a.  Candidates are 25-bit values. *)
+
+val attack_mantissa_low_naive : ?top:int -> candidates:int Seq.t -> view -> Dema.scored list
+(** The straight differential attack on the multiplication only — the
+    baseline whose exact-tie false positives motivate the paper. *)
+
+val mantissa_high_multi :
+  ?top:int -> candidates:int Seq.t -> d:int -> view list -> mantissa_result
+
+val attack_mantissa_high :
+  ?top:int -> candidates:int Seq.t -> d:int -> view -> mantissa_result
+(** Same for the high 28 bits (top bit fixed to 1), pruning on the
+    high-word accumulation, with the already-recovered low half [d]. *)
+
+(** {1 Whole coefficient} *)
+
+type strategy =
+  | Exhaustive
+      (** paper-scale enumeration: 2^25 + 2^27 hypotheses per coefficient *)
+  | Eval_sampled of { rng : Stats.Rng.t; decoys : int; truth : Fpr.t }
+      (** evaluation mode: truth + alias class + decoys (see DESIGN.md) *)
+
+val coefficient : strategy:strategy -> view list -> Fpr.t
+(** Run all component attacks jointly over the given windows (typically
+    {!views_for}) and reassemble the 64-bit value. *)

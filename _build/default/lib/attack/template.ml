@@ -1,0 +1,169 @@
+type t = {
+  alpha : float array;
+  beta : float array;
+  sigma : float array;
+}
+
+let profile (v : Recover.view) ~secret =
+  let d = Array.length v.Recover.traces in
+  assert (d > 2);
+  let width = Leakage.events_per_mul in
+  (* true intermediate values of every profiling trace, replayed from the
+     known secret *)
+  let values =
+    Array.map
+      (fun y ->
+        let out = Array.make width 0 in
+        let i = ref 0 in
+        ignore
+          (Fpr.mul_emit
+             ~emit:(fun (e : Fpr.event) ->
+               out.(!i) <- e.value;
+               incr i)
+             y secret);
+        out)
+      v.Recover.known
+  in
+  let alpha = Array.make width 0. in
+  let beta = Array.make width 0. in
+  let sigma = Array.make width 1. in
+  for s = 0 to width - 1 do
+    let sx = ref 0. and sy = ref 0. and sxx = ref 0. and sxy = ref 0. in
+    for i = 0 to d - 1 do
+      let x = float_of_int (Bitops.popcount values.(i).(s)) in
+      let y = v.Recover.traces.(i).(s) in
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      sxy := !sxy +. (x *. y)
+    done;
+    let nf = float_of_int d in
+    let denom = !sxx -. (!sx *. !sx /. nf) in
+    let a = if denom > 1e-9 then (!sxy -. (!sx *. !sy /. nf)) /. denom else 0. in
+    let b = (!sy -. (a *. !sx)) /. nf in
+    let res = ref 0. in
+    for i = 0 to d - 1 do
+      let x = float_of_int (Bitops.popcount values.(i).(s)) in
+      let r = v.Recover.traces.(i).(s) -. ((a *. x) +. b) in
+      res := !res +. (r *. r)
+    done;
+    alpha.(s) <- a;
+    beta.(s) <- b;
+    sigma.(s) <- Float.max 1e-6 (sqrt (!res /. nf))
+  done;
+  { alpha; beta; sigma }
+
+let rank tpl (views : Recover.view list) ~parts ~candidates ~top =
+  assert (views <> []);
+  let d = Array.length (List.hd views).Recover.traces in
+  let cols =
+    List.concat_map
+      (fun (v : Recover.view) ->
+        List.map
+          (fun (lbl, model) ->
+            let s = Recover.sample lbl in
+            ( Array.map (fun tr -> tr.(s)) v.Recover.traces,
+              v.Recover.known,
+              model,
+              tpl.alpha.(s),
+              tpl.beta.(s),
+              2. *. tpl.sigma.(s) *. tpl.sigma.(s) ))
+          parts)
+      views
+  in
+  let best = ref [] and size = ref 0 in
+  Seq.iter
+    (fun guess ->
+      let ll = ref 0. in
+      List.iter
+        (fun (col, known, model, a, b, two_var) ->
+          for i = 0 to d - 1 do
+            let pred =
+              (a *. float_of_int (Bitops.popcount (model guess known.(i)))) +. b
+            in
+            let r = col.(i) -. pred in
+            ll := !ll -. (r *. r /. two_var)
+          done)
+        cols;
+      let score = !ll /. float_of_int d in
+      if !size < top then begin
+        best :=
+          List.merge
+            (fun (x : Dema.scored) y -> Float.compare x.corr y.corr)
+            [ { guess; corr = score } ]
+            !best;
+        incr size
+      end
+      else begin
+        match !best with
+        | worst :: rest when score > worst.Dema.corr ->
+            best :=
+              List.merge
+                (fun (x : Dema.scored) y -> Float.compare x.corr y.corr)
+                [ { guess; corr = score } ]
+                rest
+        | _ -> ()
+      end)
+    candidates;
+  List.rev !best
+
+let winner = function
+  | (best : Dema.scored) :: _ -> best.guess
+  | [] -> invalid_arg "Template.winner: empty ranking"
+
+let coefficient tpl ~strategy (views : Recover.view list) =
+  let m25 = (1 lsl 25) - 1 in
+  let low_cands, high_cands =
+    match strategy with
+    | Recover.Exhaustive ->
+        ( Hypothesis.exhaustive ~width:25 (),
+          Hypothesis.exhaustive ~width:28 ~lo:(1 lsl 27) () )
+    | Recover.Eval_sampled { rng; decoys; truth } ->
+        let xu = Fpr.mantissa truth lor (1 lsl 52) in
+        ( Array.to_seq (Hypothesis.sampled rng ~width:25 ~truth:(xu land m25) ~decoys ()),
+          Array.to_seq
+            (Hypothesis.sampled rng ~width:28 ~lo:(1 lsl 27) ~truth:(xu lsr 25) ~decoys ())
+        )
+  in
+  let d_low =
+    winner
+      (rank tpl views
+         ~parts:
+           [ (Fpr.Mant_w00, Recover.m_w00); (Fpr.Mant_w10, Recover.m_w10);
+             (Fpr.Mant_z1a, Recover.m_z1a) ]
+         ~candidates:low_cands ~top:4)
+  in
+  let e_high =
+    winner
+      (rank tpl views
+         ~parts:
+           [
+             (Fpr.Mant_w01, Recover.m_w01); (Fpr.Mant_w11, Recover.m_w11);
+             (Fpr.Mant_z1, Recover.m_z1 ~d:d_low);
+             (Fpr.Mant_zhigh, Recover.m_zhigh ~d:d_low);
+           ]
+         ~candidates:high_cands ~top:4)
+  in
+  let xu = (e_high lsl 25) lor d_low in
+  let mant = xu land ((1 lsl 52) - 1) in
+  let hi_pos = Recover.m_result_hi ~mant ~sign:0 in
+  let hi_neg = Recover.m_result_hi ~mant ~sign:1 in
+  let se =
+    winner
+      (rank tpl views
+         ~parts:
+           [
+             (Fpr.Exp_sum, fun g y -> Recover.m_exp (g land 0x7FF) y);
+             (Fpr.Sign_xor, fun g y -> Recover.m_sign (g lsr 11) y);
+             ( Fpr.Result_hi,
+               fun g y ->
+                 if g lsr 11 = 0 then hi_pos (g land 0x7FF) y
+                 else hi_neg (g land 0x7FF) y );
+           ]
+         ~candidates:
+           (Seq.concat_map
+              (fun e -> List.to_seq [ e; (1 lsl 11) lor e ])
+              (Seq.init 64 (fun i -> 992 + i)))
+         ~top:4)
+  in
+  Fpr.make ~sign:(se lsr 11) ~exp:(se land 0x7FF) ~mant

@@ -1,0 +1,43 @@
+(** Profiled (template) attack extension.
+
+    Section V-A: "It is possible to extend our attack by template or
+    machine-learning based profiling techniques" — the non-profiled DEMA
+    does not lower-bound the trace requirement.  This module implements
+    the classic pooled-Gaussian template on top of the same leakage
+    models: a profiling phase on a device with a {e known} key fits, per
+    sample, the gain, offset and residual noise of the measurement chain;
+    the attack phase then scores hypotheses by exact log-likelihood over
+    {e all} informative samples at once instead of sample-wise
+    correlation.  The benchmark harness quantifies the trace-count
+    reduction. *)
+
+type t = {
+  alpha : float array;  (** per-sample gain (volts per HW unit) *)
+  beta : float array;  (** per-sample baseline *)
+  sigma : float array;  (** per-sample residual noise *)
+}
+
+val profile : Recover.view -> secret:Fpr.t -> t
+(** Fit the per-sample linear-Gaussian leakage model from profiling
+    traces whose secret operand is known to the attacker.  The profiling
+    secret must be generic (random mantissa): a sample whose intermediate
+    is constant under the profiling key (e.g. D x B when the profiling
+    key has D = 0) gets gain 0 and contributes nothing to the attack. *)
+
+val rank :
+  t ->
+  Recover.view list ->
+  parts:(Fpr.label * (int -> Fpr.t -> int)) list ->
+  candidates:int Seq.t ->
+  top:int ->
+  Dema.scored list
+(** Maximum-likelihood ranking over one or several windows:
+    score(g) = - sum over windows, parts and traces of
+    (t - alpha*HW(pred) - beta)^2 / (2 sigma^2), with the per-sample
+    template parameters shared across windows (same device). *)
+
+val coefficient : t -> strategy:Recover.strategy -> Recover.view list -> Fpr.t
+(** Template version of the full per-coefficient recovery (mantissa low,
+    mantissa high, then joint sign + exponent), all stages scored by
+    likelihood, typically over both windows of the secret
+    ({!Recover.views_for} / {!Workload.mul_view_pair}). *)

@@ -1,0 +1,1 @@
+lib/defense/masking.ml: Array Bitops Fpr Int64 Leakage Stats

@@ -1,0 +1,1 @@
+lib/defense/masking.mli: Fpr Leakage Stats

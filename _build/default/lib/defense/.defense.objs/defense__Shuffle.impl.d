@@ -1,0 +1,1 @@
+lib/defense/shuffle.ml: Array Bitops Fpr Leakage Stats

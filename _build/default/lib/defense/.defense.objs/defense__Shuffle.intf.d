@@ -1,0 +1,1 @@
+lib/defense/shuffle.mli: Fpr Leakage Stats

@@ -1,0 +1,1 @@
+lib/falcon/hash.mli:

@@ -1,0 +1,1 @@
+lib/falcon/keycodec.ml: Array Buffer Char Ntru Params Printf Scheme String Zq

@@ -1,0 +1,1 @@
+lib/falcon/keycodec.mli: Ntru Params Scheme

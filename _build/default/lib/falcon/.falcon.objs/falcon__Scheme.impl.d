@@ -1,0 +1,1 @@
+lib/falcon/scheme.ml: Array Char Codec Fft Fpr Hash List Ntru Params Printf Prng Sampler String Tree Zq

@@ -1,0 +1,1 @@
+lib/falcon/scheme.mli: Fft Fpr Ntru Params Prng Tree

@@ -1,0 +1,1 @@
+lib/falcon/tree.ml: Array Fft Fpr Sampler

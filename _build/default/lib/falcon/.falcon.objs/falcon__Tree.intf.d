@@ -1,0 +1,1 @@
+lib/falcon/tree.mli: Fft Prng

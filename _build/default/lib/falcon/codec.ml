@@ -1,0 +1,64 @@
+(* MSB-first bit writer/reader over byte strings. *)
+
+type writer = { buf : Bytes.t; mutable bitpos : int }
+
+let put w bit =
+  let byte = w.bitpos lsr 3 and off = 7 - (w.bitpos land 7) in
+  if byte >= Bytes.length w.buf then raise Exit;
+  if bit <> 0 then
+    Bytes.set w.buf byte (Char.chr (Char.code (Bytes.get w.buf byte) lor (1 lsl off)));
+  w.bitpos <- w.bitpos + 1
+
+let compress ~slen s2 =
+  let w = { buf = Bytes.make slen '\000'; bitpos = 0 } in
+  try
+    Array.iter
+      (fun s ->
+        if abs s >= 1 lsl 12 then raise Exit;
+        let a = abs s in
+        put w (if s < 0 then 1 else 0);
+        for i = 6 downto 0 do
+          put w ((a lsr i) land 1)
+        done;
+        for _ = 1 to a lsr 7 do
+          put w 0
+        done;
+        put w 1)
+      s2;
+    Some (Bytes.to_string w.buf)
+  with Exit -> None
+
+type reader = { data : string; mutable rpos : int }
+
+let get r =
+  let byte = r.rpos lsr 3 and off = 7 - (r.rpos land 7) in
+  if byte >= String.length r.data then raise Exit;
+  r.rpos <- r.rpos + 1;
+  (Char.code r.data.[byte] lsr off) land 1
+
+let decompress ~n data =
+  let r = { data; rpos = 0 } in
+  try
+    let out =
+      Array.init n (fun _ ->
+          let sign = get r in
+          let low = ref 0 in
+          for _ = 1 to 7 do
+            low := (!low lsl 1) lor get r
+          done;
+          let k = ref 0 in
+          while get r = 0 do
+            incr k;
+            if !k > (1 lsl 5) then raise Exit
+          done;
+          let a = (!k lsl 7) lor !low in
+          if a = 0 && sign = 1 then raise Exit;
+          if sign = 1 then -a else a)
+    in
+    (* remaining padding must be all-zero *)
+    let ok = ref true in
+    while r.rpos < 8 * String.length data do
+      if get r <> 0 then ok := false
+    done;
+    if !ok then Some out else None
+  with Exit -> None

@@ -1,0 +1,16 @@
+(** Signature compression (Algorithm 2, line 10).
+
+    FALCON encodes the centered coefficients of s2 with a Golomb-Rice
+    style code: a sign bit, the 7 low bits, and the remaining magnitude
+    in unary.  The encoding is padded with zero bits to the fixed
+    signature body length; oversized vectors fail and make the signer
+    retry. *)
+
+val compress : slen:int -> int array -> string option
+(** [compress ~slen s2] encodes centered coefficients into exactly [slen]
+    bytes, or [None] if they do not fit.  Coefficients must satisfy
+    |s| < 2^12. *)
+
+val decompress : n:int -> string -> int array option
+(** Inverse; [None] on malformed input: truncated stream, non-canonical
+    minus-zero, or non-zero padding. *)

@@ -1,0 +1,18 @@
+(* Rejection bound: the largest multiple of q below 2^16. *)
+let bound = 5 * Zq.q (* 61445 *)
+
+let to_point ~n input =
+  let xof = Keccak.shake256 () in
+  Keccak.absorb xof input;
+  let out = Array.make n 0 in
+  let i = ref 0 in
+  while !i < n do
+    let hi = Keccak.squeeze_byte xof in
+    let lo = Keccak.squeeze_byte xof in
+    let t = (hi lsl 8) lor lo in
+    if t < bound then begin
+      out.(!i) <- t mod Zq.q;
+      incr i
+    end
+  done;
+  out

@@ -1,0 +1,7 @@
+(** HashToPoint (Algorithm 2, line 2): map the salted message to a
+    polynomial c in Z_q[x]/(x^n + 1) through SHAKE-256 with rejection
+    sampling.  The attack relies on c being public and different for
+    every signature — the salt guarantees the latter. *)
+
+val to_point : n:int -> string -> int array
+(** [to_point ~n (salt ^ message)]: coefficients in [\[0, q)]. *)

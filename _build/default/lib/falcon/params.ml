@@ -1,0 +1,40 @@
+type t = {
+  n : int;
+  logn : int;
+  sigma : float;
+  sigma_min : float;
+  beta_sq : int;
+  sig_bytelen : int;
+  salt_len : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let make n =
+  if not (is_pow2 n) || n < 2 || n > 1024 then
+    invalid_arg "Params.make: n must be a power of two in [2, 1024]";
+  let logn =
+    let rec go v acc = if v = 1 then acc else go (v lsr 1) (acc + 1) in
+    go n 0
+  in
+  (* Security level lambda scales as n/4 for the two real parameter sets
+     (512 -> 128, 1024 -> 256); epsilon = 1/sqrt(q_s * lambda) with
+     q_s = 2^64 signing queries, following the specification. *)
+  let lambda = Float.max 2. (float_of_int n /. 4.) in
+  let eps = 1. /. sqrt (0x1p64 *. lambda) in
+  let nf = float_of_int n in
+  let sigma_min = 1. /. Float.pi *. sqrt (log (4. *. nf *. (1. +. (1. /. eps))) /. 2.) in
+  let sigma = 1.17 *. sqrt (float_of_int Zq.q) *. sigma_min in
+  let beta = 1.1 *. sigma *. sqrt (2. *. nf) in
+  let beta_sq = int_of_float (Float.floor (beta *. beta)) in
+  let salt_len = 40 in
+  let sig_bytelen =
+    match n with
+    | 512 -> 666
+    | 1024 -> 1280
+    | _ -> salt_len + 1 + ((n * 12 / 8) + 8)
+  in
+  { n; logn; sigma; sigma_min; beta_sq; sig_bytelen; salt_len }
+
+let falcon_512 = make 512
+let falcon_1024 = make 1024

@@ -1,0 +1,25 @@
+(** FALCON parameter sets.
+
+    FALCON-512 and FALCON-1024 are the submitted parameter sets; the same
+    formulas extend downward to toy ring sizes (n = 8 ... 256) that keep
+    every algorithm identical while letting tests and attack demos run in
+    seconds.  The paper (section IV) attacks FALCON-512 and notes the
+    attack transfers to FALCON-1024 unchanged because the floating-point
+    arithmetic is shared — the same holds for our toy sizes. *)
+
+type t = {
+  n : int;  (** ring degree, power of two *)
+  logn : int;
+  sigma : float;  (** signing Gaussian width *)
+  sigma_min : float;  (** smoothing bound = sigma / (1.17 sqrt q) *)
+  beta_sq : int;  (** squared acceptance bound for ||(s1, s2)||^2 *)
+  sig_bytelen : int;  (** total encoded signature length (salt + body) *)
+  salt_len : int;  (** 40 bytes = 320 bits *)
+}
+
+val make : int -> t
+(** [make n] for any power of two [2 <= n <= 1024].  Raises
+    [Invalid_argument] otherwise. *)
+
+val falcon_512 : t
+val falcon_1024 : t

@@ -1,0 +1,135 @@
+let round_constants =
+  [|
+    0x0000000000000001L; 0x0000000000008082L; 0x800000000000808AL; 0x8000000080008000L;
+    0x000000000000808BL; 0x0000000080000001L; 0x8000000080008081L; 0x8000000000008009L;
+    0x000000000000008AL; 0x0000000000000088L; 0x0000000080008009L; 0x000000008000000AL;
+    0x000000008000808BL; 0x800000000000008BL; 0x8000000000008089L; 0x8000000000008003L;
+    0x8000000000008002L; 0x8000000000000080L; 0x000000000000800AL; 0x800000008000000AL;
+    0x8000000080008081L; 0x8000000000008080L; 0x0000000080000001L; 0x8000000080008008L;
+  |]
+
+(* Rotation offsets indexed by x + 5*y. *)
+let rho =
+  [|
+    0; 1; 62; 28; 27;
+    36; 44; 6; 55; 20;
+    3; 10; 43; 25; 39;
+    41; 45; 15; 21; 8;
+    18; 2; 61; 56; 14;
+  |]
+
+let rotl x k =
+  if k = 0 then x
+  else Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let keccak_f (st : int64 array) =
+  let c = Array.make 5 0L and d = Array.make 5 0L in
+  let b = Array.make 25 0L in
+  for round = 0 to 23 do
+    (* theta *)
+    for x = 0 to 4 do
+      c.(x) <-
+        Int64.logxor st.(x)
+          (Int64.logxor st.(x + 5)
+             (Int64.logxor st.(x + 10) (Int64.logxor st.(x + 15) st.(x + 20))))
+    done;
+    for x = 0 to 4 do
+      d.(x) <- Int64.logxor c.((x + 4) mod 5) (rotl c.((x + 1) mod 5) 1)
+    done;
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        st.(x + (5 * y)) <- Int64.logxor st.(x + (5 * y)) d.(x)
+      done
+    done;
+    (* rho + pi: B[y, 2x+3y] = rot(A[x,y]) *)
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        let nx = y and ny = ((2 * x) + (3 * y)) mod 5 in
+        b.(nx + (5 * ny)) <- rotl st.(x + (5 * y)) rho.(x + (5 * y))
+      done
+    done;
+    (* chi *)
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        st.(x + (5 * y)) <-
+          Int64.logxor
+            b.(x + (5 * y))
+            (Int64.logand
+               (Int64.lognot b.(((x + 1) mod 5) + (5 * y)))
+               b.(((x + 2) mod 5) + (5 * y)))
+      done
+    done;
+    (* iota *)
+    st.(0) <- Int64.logxor st.(0) round_constants.(round)
+  done
+
+type phase = Absorbing | Squeezing
+
+type xof = {
+  state : int64 array;
+  rate : int; (* in bytes *)
+  suffix : int; (* domain-separation padding byte *)
+  mutable pos : int;
+  mutable phase : phase;
+}
+
+let create ~rate ~suffix =
+  { state = Array.make 25 0L; rate; suffix; pos = 0; phase = Absorbing }
+
+let shake128 () = create ~rate:168 ~suffix:0x1F
+let shake256 () = create ~rate:136 ~suffix:0x1F
+let sha3 () = create ~rate:136 ~suffix:0x06
+
+let xor_byte st i v =
+  let w = i / 8 and sh = i mod 8 * 8 in
+  st.(w) <- Int64.logxor st.(w) (Int64.shift_left (Int64.of_int (v land 0xFF)) sh)
+
+let get_byte st i =
+  let w = i / 8 and sh = i mod 8 * 8 in
+  Int64.to_int (Int64.shift_right_logical st.(w) sh) land 0xFF
+
+let absorb t msg =
+  if t.phase <> Absorbing then invalid_arg "Keccak.absorb: already squeezing";
+  String.iter
+    (fun ch ->
+      xor_byte t.state t.pos (Char.code ch);
+      t.pos <- t.pos + 1;
+      if t.pos = t.rate then begin
+        keccak_f t.state;
+        t.pos <- 0
+      end)
+    msg
+
+let finalize t =
+  xor_byte t.state t.pos t.suffix;
+  xor_byte t.state (t.rate - 1) 0x80;
+  keccak_f t.state;
+  t.pos <- 0;
+  t.phase <- Squeezing
+
+let squeeze_byte t =
+  if t.phase = Absorbing then finalize t;
+  if t.pos = t.rate then begin
+    keccak_f t.state;
+    t.pos <- 0
+  end;
+  let b = get_byte t.state t.pos in
+  t.pos <- t.pos + 1;
+  b
+
+let squeeze t n =
+  String.init n (fun _ -> Char.chr (squeeze_byte t))
+
+let shake256_digest msg n =
+  let t = shake256 () in
+  absorb t msg;
+  squeeze t n
+
+let sha3_256 msg =
+  let t = sha3 () in
+  absorb t msg;
+  squeeze t 32
+
+let hex s =
+  String.concat "" (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+                      (List.init (String.length s) (String.get s)))

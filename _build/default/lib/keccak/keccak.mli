@@ -1,0 +1,33 @@
+(** Keccak-f[1600] sponge, SHAKE extendable-output functions and
+    SHA3-256.
+
+    FALCON hashes the salted message to a mod-q polynomial with SHAKE-256
+    (HashToPoint) and seeds its internal PRNG from SHAKE output; this is a
+    from-scratch implementation of FIPS 202 sufficient for both. *)
+
+type xof
+(** Incremental sponge in absorb-then-squeeze mode. *)
+
+val shake128 : unit -> xof
+val shake256 : unit -> xof
+
+val absorb : xof -> string -> unit
+(** Feed input bytes.  Raises [Invalid_argument] after squeezing started. *)
+
+val squeeze : xof -> int -> string
+(** Produce the next [n] output bytes; implicitly finalises the input on
+    first call.  Successive calls continue the output stream. *)
+
+val squeeze_byte : xof -> int
+(** Next single output byte as an int in [\[0, 255\]]. *)
+
+val shake256_digest : string -> int -> string
+(** One-shot convenience: [shake256_digest msg n] = n bytes of
+    SHAKE-256(msg). *)
+
+val sha3_256 : string -> string
+(** 32-byte SHA3-256 digest (fixed-output variant, used as a test
+    anchor against the FIPS 202 vectors). *)
+
+val hex : string -> string
+(** Lowercase hex encoding of a byte string. *)

@@ -1,0 +1,145 @@
+type model = { alpha : float; noise_sigma : float; baseline : float }
+
+let default_model = { alpha = 1.0; noise_sigma = 2.0; baseline = 10.0 }
+let clean_model = { alpha = 1.0; noise_sigma = 0.0; baseline = 0.0 }
+
+let events_per_mul = 16
+let events_per_add = 3
+let events_per_coeff = (4 * events_per_mul) + (2 * events_per_add)
+
+let mul_event_order =
+  [|
+    Fpr.Load_x_lo; Fpr.Load_x_hi; Fpr.Load_y_lo; Fpr.Load_y_hi;
+    Fpr.Mant_w00; Fpr.Mant_w10; Fpr.Mant_z1a; Fpr.Mant_w01; Fpr.Mant_z1;
+    Fpr.Mant_w11; Fpr.Mant_zhigh; Fpr.Mant_norm; Fpr.Exp_sum; Fpr.Sign_xor;
+    Fpr.Result_lo; Fpr.Result_hi;
+  |]
+
+let mul_event_offset label =
+  let rec find i =
+    if i >= Array.length mul_event_order then
+      invalid_arg "Leakage.mul_event_offset: not a multiplication event"
+    else if mul_event_order.(i) = label then i
+    else find (i + 1)
+  in
+  find 0
+
+let sample_of ~coeff ~mul label =
+  assert (mul >= 0 && mul < 4);
+  (coeff * events_per_coeff) + (mul * events_per_mul) + mul_event_offset label
+
+let render model rng value =
+  model.baseline
+  +. (model.alpha *. float_of_int (Bitops.popcount value))
+  +. Stats.Rng.gaussian rng ~mu:0. ~sigma:model.noise_sigma
+
+let mul_trace model rng ~known ~secret =
+  let out = Array.make events_per_mul 0. in
+  let i = ref 0 in
+  let emit (e : Fpr.event) =
+    out.(!i) <- render model rng e.value;
+    incr i
+  in
+  ignore (Fpr.mul_emit ~emit known secret);
+  assert (!i = events_per_mul);
+  out
+
+type trace = {
+  samples : float array;
+  c_fft : Fft.t;
+  msg : string;
+  signature : Falcon.Scheme.signature;
+}
+
+let capture model ~seed (sk : Falcon.Scheme.secret_key) ~count =
+  let noise_rng = Stats.Rng.create ~seed in
+  let signer_rng = Prng.of_seed (Printf.sprintf "victim signer %d" seed) in
+  let n = sk.params.n in
+  Array.init count (fun i ->
+      let msg = Printf.sprintf "message %d-%d" seed i in
+      let samples = Array.make (n * events_per_coeff) 0. in
+      let pos = Array.make n 0 in
+      let emit k (e : Fpr.event) =
+        (* Events of coefficient k arrive in mul0..mul3, add0, add1 order;
+           since Fft.mul_emit processes one coefficient at a time, a
+           per-coefficient cursor places them. *)
+        if pos.(k) < events_per_coeff then begin
+          samples.((k * events_per_coeff) + pos.(k)) <- render model noise_rng e.value;
+          pos.(k) <- pos.(k) + 1
+        end
+      in
+      let signature = Falcon.Scheme.sign ~emit_cf:emit ~rng:signer_rng sk msg in
+      let c =
+        Falcon.Hash.to_point ~n (signature.Falcon.Scheme.salt ^ msg)
+      in
+      { samples; c_fft = Fft.fft_of_int c; msg; signature })
+
+let magic = "FDTRACE1"
+
+let save path traces =
+  if Array.length traces = 0 then invalid_arg "Leakage.save: empty trace set";
+  let n = Fft.length traces.(0).c_fft in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      output_binary_int oc n;
+      output_binary_int oc (Array.length traces);
+      Array.iter
+        (fun t ->
+          output_binary_int oc (String.length t.msg);
+          output_string oc t.msg;
+          output_binary_int oc (String.length t.signature.Falcon.Scheme.salt);
+          output_string oc t.signature.Falcon.Scheme.salt;
+          output_binary_int oc (String.length t.signature.Falcon.Scheme.body);
+          output_string oc t.signature.Falcon.Scheme.body;
+          output_binary_int oc (Array.length t.samples);
+          Array.iter
+            (fun v ->
+              let bits = Int64.bits_of_float v in
+              for b = 7 downto 0 do
+                output_char oc
+                  (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * b)) land 0xFF))
+              done)
+            t.samples)
+        traces)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        let m = really_input_string ic (String.length magic) in
+        if m <> magic then failwith "Leakage.load: bad magic";
+        let n = input_binary_int ic in
+        if n < 2 || n > 1024 || n land (n - 1) <> 0 then
+          failwith "Leakage.load: bad ring size";
+        let count = input_binary_int ic in
+        if count < 0 || count > 10_000_000 then failwith "Leakage.load: bad count";
+        Array.init count (fun _ ->
+            let msg = really_input_string ic (input_binary_int ic) in
+            let salt = really_input_string ic (input_binary_int ic) in
+            let body = really_input_string ic (input_binary_int ic) in
+            let slen = input_binary_int ic in
+            if slen <> n * events_per_coeff then failwith "Leakage.load: bad trace length";
+            let samples =
+              Array.init slen (fun _ ->
+                  let bits = ref 0L in
+                  for _ = 1 to 8 do
+                    bits :=
+                      Int64.logor (Int64.shift_left !bits 8)
+                        (Int64.of_int (input_char ic |> Char.code))
+                  done;
+                  Int64.float_of_bits !bits)
+            in
+            let c = Falcon.Hash.to_point ~n (salt ^ msg) in
+            { samples; c_fft = Fft.fft_of_int c; msg;
+              signature = { Falcon.Scheme.salt; body } })
+      with End_of_file -> failwith "Leakage.load: truncated file")
+
+let ntt_trace model rng p =
+  let buf = ref [] in
+  ignore (Zq.ntt_emit ~emit:(fun (e : Zq.ntt_event) -> buf := render model rng e.value :: !buf) p);
+  Array.of_list (List.rev !buf)

@@ -1,0 +1,91 @@
+(** Electromagnetic-measurement simulator.
+
+    The paper measures a Cortex-M4 running FALCON's reference software
+    with a near-field EM probe; the software floating-point emulation
+    executes one architecturally visible intermediate per instruction, and
+    the probe voltage correlates with the Hamming weight of the value
+    being written (the standard datapath leakage model used by the
+    paper's own DEMA distinguisher, Eq. (1)).
+
+    This module substitutes the probe: it runs the instrumented signing
+    computation and renders every intermediate of the
+    FFT(c) (.) FFT(f) stage as one trace sample
+    [baseline + alpha * HW(value) + N(0, noise_sigma^2)].
+    The physics enters only through the signal-to-noise ratio, which is
+    an explicit knob — see DESIGN.md for the substitution argument. *)
+
+type model = {
+  alpha : float;  (** volts per Hamming-weight unit *)
+  noise_sigma : float;  (** Gaussian noise, same unit *)
+  baseline : float;
+}
+
+val default_model : model
+(** alpha 1.0, noise 2.0, baseline 10 — SNR comparable to a noisy
+    near-field setup (thousands of traces for 1-bit targets). *)
+
+val clean_model : model
+(** Noise-free; for layout tests. *)
+
+(** {1 Trace layout}
+
+    One complex coefficient of the pointwise product costs 4 instrumented
+    real multiplications (16 events each) and 2 additions (3 events):
+    70 samples.  Coefficient k of an n-point FFT occupies samples
+    [70k, 70k+70). *)
+
+val events_per_mul : int  (** 16 *)
+
+val events_per_add : int  (** 3 *)
+
+val events_per_coeff : int  (** 70 *)
+
+val mul_event_offset : Fpr.label -> int
+(** Offset of a multiplication event inside its 16-sample window; raises
+    [Invalid_argument] for addition labels. *)
+
+val sample_of : coeff:int -> mul:int -> Fpr.label -> int
+(** Absolute sample index of a multiplication event: [mul] in 0..3 selects
+    among (c_re x f_re), (c_im x f_im), (c_re x f_im), (c_im x f_re). *)
+
+(** {1 Single-multiply traces (per-coefficient experiments, Fig. 3/4)} *)
+
+val mul_trace : model -> Stats.Rng.t -> known:Fpr.t -> secret:Fpr.t -> float array
+(** Trace of one soft-float multiply with the signing operand order
+    (known FFT(c) value first, secret FFT(f) value second): 16 samples. *)
+
+(** {1 Full signing traces} *)
+
+type trace = {
+  samples : float array;  (** length 70 * n *)
+  c_fft : Fft.t;  (** the known input FFT(c) (recomputable from salt||msg) *)
+  msg : string;
+  signature : Falcon.Scheme.signature;
+}
+
+val capture : model -> seed:int -> Falcon.Scheme.secret_key -> count:int -> trace array
+(** Capture [count] signing operations of distinct messages.  The signer
+    consumes its own ChaCha20 randomness; measurement noise comes from the
+    [seed]ed experiment RNG. *)
+
+(** {1 Trace-set persistence}
+
+    A measurement campaign and the key-recovery analysis are separate
+    steps in practice; these functions store a captured trace set in a
+    simple self-describing binary format (magic, ring size, per-trace
+    message, salt and samples) so the attack can run offline.  The known
+    input FFT(c) is {e recomputed} from the stored public salt+message on
+    load — exactly the information a real adversary keeps. *)
+
+val save : string -> trace array -> unit
+(** Raises [Sys_error] on I/O failure, [Invalid_argument] on an empty
+    set. *)
+
+val load : string -> trace array
+(** Raises [Failure] on a malformed file. *)
+
+(** {1 NTT traces (section V-C comparison)} *)
+
+val ntt_trace : model -> Stats.Rng.t -> int array -> float array
+(** Trace of a forward NTT of the given mod-q polynomial: 3 samples per
+    butterfly, Hamming weight of the 14-bit modular values. *)

@@ -1,0 +1,1 @@
+lib/ntru/bigpoly.ml: Array Bignum Format

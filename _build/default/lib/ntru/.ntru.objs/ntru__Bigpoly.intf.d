@@ -1,0 +1,1 @@
+lib/ntru/bigpoly.mli: Bignum Format

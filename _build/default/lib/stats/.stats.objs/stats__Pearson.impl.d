@@ -1,0 +1,1 @@
+lib/stats/pearson.ml: Array Float List

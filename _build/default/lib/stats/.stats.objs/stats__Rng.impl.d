@@ -1,0 +1,1 @@
+lib/stats/rng.ml: Array Bitops Float Int64

@@ -1,0 +1,1 @@
+lib/stats/signif.ml: Array Float List

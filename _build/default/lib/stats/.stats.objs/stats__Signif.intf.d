@@ -1,0 +1,1 @@
+lib/stats/signif.mli:

@@ -1,0 +1,101 @@
+let corr xs ys =
+  let n = Array.length xs in
+  assert (n = Array.length ys);
+  if n < 2 then 0.
+  else begin
+    let sx = ref 0. and sy = ref 0. and sxx = ref 0. and syy = ref 0. and sxy = ref 0. in
+    for i = 0 to n - 1 do
+      let x = xs.(i) and y = ys.(i) in
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      syy := !syy +. (y *. y);
+      sxy := !sxy +. (x *. y)
+    done;
+    let nf = float_of_int n in
+    let cov = !sxy -. (!sx *. !sy /. nf) in
+    let vx = !sxx -. (!sx *. !sx /. nf) in
+    let vy = !syy -. (!sy *. !sy /. nf) in
+    if vx <= 0. || vy <= 0. then 0. else cov /. sqrt (vx *. vy)
+  end
+
+(* Shared per-sample trace statistics: sums and sums of squares over the
+   trace dimension, so each guess only pays one cross-term pass. *)
+let trace_moments traces =
+  let d = Array.length traces in
+  assert (d > 0);
+  let t = Array.length traces.(0) in
+  let st = Array.make t 0. and stt = Array.make t 0. in
+  for i = 0 to d - 1 do
+    let tr = traces.(i) in
+    for j = 0 to t - 1 do
+      let v = tr.(j) in
+      st.(j) <- st.(j) +. v;
+      stt.(j) <- stt.(j) +. (v *. v)
+    done
+  done;
+  (d, t, st, stt)
+
+let corr_matrix ~traces ~hyps =
+  let d, t, st, stt = trace_moments traces in
+  let nf = float_of_int d in
+  Array.map
+    (fun h ->
+      assert (Array.length h = d);
+      let sh = ref 0. and shh = ref 0. in
+      for i = 0 to d - 1 do
+        sh := !sh +. h.(i);
+        shh := !shh +. (h.(i) *. h.(i))
+      done;
+      let sht = Array.make t 0. in
+      for i = 0 to d - 1 do
+        let hv = h.(i) and tr = traces.(i) in
+        if hv <> 0. then
+          for j = 0 to t - 1 do
+            sht.(j) <- sht.(j) +. (hv *. tr.(j))
+          done
+      done;
+      let vh = !shh -. (!sh *. !sh /. nf) in
+      Array.init t (fun j ->
+          let cov = sht.(j) -. (!sh *. st.(j) /. nf) in
+          let vt = stt.(j) -. (st.(j) *. st.(j) /. nf) in
+          if vh <= 0. || vt <= 0. then 0. else cov /. sqrt (vh *. vt)))
+    hyps
+
+let corr_at_sample ~traces ~hyps ~sample =
+  let col = Array.map (fun tr -> tr.(sample)) traces in
+  Array.map (fun h -> corr h col) hyps
+
+let evolution ~traces ~hyp ~sample ~step =
+  let d = Array.length traces in
+  assert (step > 0 && Array.length hyp = d);
+  let sx = ref 0. and sy = ref 0. and sxx = ref 0. and syy = ref 0. and sxy = ref 0. in
+  let out = ref [] in
+  for i = 0 to d - 1 do
+    let x = hyp.(i) and y = traces.(i).(sample) in
+    sx := !sx +. x;
+    sy := !sy +. y;
+    sxx := !sxx +. (x *. x);
+    syy := !syy +. (y *. y);
+    sxy := !sxy +. (x *. y);
+    let n = i + 1 in
+    if n mod step = 0 || n = d then begin
+      let nf = float_of_int n in
+      let cov = !sxy -. (!sx *. !sy /. nf) in
+      let vx = !sxx -. (!sx *. !sx /. nf) in
+      let vy = !syy -. (!sy *. !sy /. nf) in
+      let r = if vx <= 0. || vy <= 0. || n < 2 then 0. else cov /. sqrt (vx *. vy) in
+      out := (n, r) :: !out
+    end
+  done;
+  List.rev !out
+
+let best_sample r =
+  let best = ref 0 in
+  Array.iteri (fun j v -> if Float.abs v > Float.abs r.(!best) then best := j) r;
+  (!best, r.(!best))
+
+let rank_guesses r =
+  let idx = Array.init (Array.length r) (fun i -> i) in
+  Array.sort (fun a b -> compare (Float.abs r.(b)) (Float.abs r.(a))) idx;
+  idx

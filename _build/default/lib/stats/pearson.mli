@@ -1,0 +1,36 @@
+(** Pearson-correlation distinguisher kernels (Eq. (1) of the paper).
+
+    A trace set is a [D x T] matrix [traces] (D traces of T samples); a
+    hypothesis set is a [G x D] matrix [hyps] (for each of G guesses, the
+    modelled leakage of every trace).  All kernels are allocation-light
+    single-pass formulations so that the attack scales to the paper's
+    10k-trace experiments. *)
+
+val corr : float array -> float array -> float
+(** Plain correlation of two equal-length vectors; 0 if either is
+    constant. *)
+
+val corr_matrix : traces:float array array -> hyps:float array array -> float array array
+(** [corr_matrix ~traces ~hyps] is the [G x T] matrix of correlations
+    between each guess's modelled leakage and each time sample — the
+    paper's correlation-vs-time plots (Fig. 4 a-d). *)
+
+val corr_at_sample : traces:float array array -> hyps:float array array -> sample:int -> float array
+(** Correlations of every guess against one time sample (length G). *)
+
+val evolution :
+  traces:float array array ->
+  hyp:float array ->
+  sample:int ->
+  step:int ->
+  (int * float) list
+(** [evolution ~traces ~hyp ~sample ~step] is the correlation of [hyp]
+    against sample [sample] computed over the first [d] traces for
+    [d = step, 2*step, ...] — the paper's correlation-vs-measurement
+    plots (Fig. 4 e-h). *)
+
+val best_sample : float array -> int * float
+(** Index and value of the entry with the largest absolute value. *)
+
+val rank_guesses : float array -> int array
+(** Guess indices sorted by decreasing absolute correlation. *)

@@ -1,0 +1,69 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let st = ref (Int64.of_int seed) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl (x : int64) k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tt = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tt;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let bits t w =
+  assert (w >= 0 && w <= 62);
+  Int64.to_int (Int64.shift_right_logical (next64 t) (64 - w)) land ((1 lsl w) - 1)
+
+let int_below t n =
+  assert (n > 0);
+  (* Rejection sampling on the smallest covering power of two. *)
+  let w = Bitops.bit_length (n - 1) in
+  let w = max w 1 in
+  let rec draw () =
+    let v = bits t w in
+    if v < n then v else draw ()
+  in
+  if n = 1 then 0 else draw ()
+
+let float01 t =
+  let v = Int64.to_int (Int64.shift_right_logical (next64 t) 11) in
+  float_of_int v *. 0x1p-53
+
+let gaussian t ~mu ~sigma =
+  let rec nonzero () =
+    let u = float01 t in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float01 t in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int_below t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random number generator - xoshiro256 "starstar" -
+    used for
+    experiment reproducibility: measurement noise, random decoy
+    hypotheses, and workload generation.  Not used inside the FALCON
+    scheme itself (which uses {!Prng.Chacha20} seeded from SHAKE). *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] expands [seed] through SplitMix64 into the 256-bit
+    xoshiro state. *)
+
+val copy : t -> t
+
+val next64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int_below : t -> int -> int
+(** [int_below t n] is uniform in [\[0, n)]; [n > 0]. *)
+
+val bits : t -> int -> int
+(** [bits t w] is a uniform [w]-bit value, [0 <= w <= 62]. *)
+
+val float01 : t -> float
+(** Uniform in [\[0, 1)] with 53-bit resolution. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box-Muller normal deviate. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,24 @@
+(** Statistical-significance helpers for the correlation distinguisher.
+
+    The paper marks a guess as recovered once its correlation crosses a
+    99.99 % confidence interval (the dashed lines of Fig. 4); under the
+    null hypothesis of no correlation, Fisher's z-transform of the sample
+    correlation over [d] traces is approximately normal with standard
+    deviation [1/sqrt(d-3)]. *)
+
+val probit : float -> float
+(** Inverse standard-normal CDF (Acklam's rational approximation,
+    |relative error| < 1.15e-9 on (0,1)). *)
+
+val z_9999 : float
+(** Two-sided 99.99 % quantile, [probit (1 - 0.0001/2)] = 3.8906. *)
+
+val threshold : ?confidence:float -> int -> float
+(** [threshold d] is the correlation magnitude a spurious guess exceeds
+    with probability [1 - confidence] (default 0.9999) given [d] traces:
+    [tanh (z / sqrt (d - 3))].  Returns 1.0 when [d <= 3]. *)
+
+val traces_to_significance : ?confidence:float -> (int * float) list -> int option
+(** Given a correlation-evolution series [(d, r)], the smallest [d] from
+    which |r| stays above {!threshold} for the remainder of the series —
+    the paper's "number of measurements needed". *)

@@ -1,0 +1,28 @@
+type t = { mutable n : int; mutable mu : float; mutable m2 : float }
+
+let create () = { n = 0; mu = 0.; m2 = 0. }
+
+let add t x =
+  t.n <- t.n + 1;
+  let d = x -. t.mu in
+  t.mu <- t.mu +. (d /. float_of_int t.n);
+  t.m2 <- t.m2 +. (d *. (x -. t.mu))
+
+let count t = t.n
+let mean t = t.mu
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+
+let merge a b =
+  if a.n = 0 then { n = b.n; mu = b.mu; m2 = b.m2 }
+  else if b.n = 0 then { n = a.n; mu = a.mu; m2 = a.m2 }
+  else begin
+    let n = a.n + b.n in
+    let d = b.mu -. a.mu in
+    let nf = float_of_int n in
+    let mu = a.mu +. (d *. float_of_int b.n /. nf) in
+    let m2 =
+      a.m2 +. b.m2 +. (d *. d *. float_of_int a.n *. float_of_int b.n /. nf)
+    in
+    { n; mu; m2 }
+  end

@@ -1,0 +1,14 @@
+(** Single-pass mean/variance accumulator (Welford's algorithm). *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+(** Unbiased sample variance; 0 when fewer than two observations. *)
+
+val stddev : t -> float
+val merge : t -> t -> t
+(** Combine two accumulators (Chan's parallel formula). *)

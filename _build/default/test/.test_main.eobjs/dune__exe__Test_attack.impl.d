@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Array Attack Bitops Falcon Fft Float Fpr Lazy Leakage List Stats

@@ -1,0 +1,1 @@
+test/test_bitops.ml: Alcotest Bitops Int64 QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_defense.ml: Alcotest Array Attack Defense Float Fpr Leakage List Printf Stats

@@ -1,0 +1,1 @@
+test/test_falcon.ml: Alcotest Array Bytes Char Falcon Float Lazy List Ntru Printf Prng Sampler Stats String Zq

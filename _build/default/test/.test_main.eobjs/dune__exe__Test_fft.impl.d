@@ -1,0 +1,1 @@
+test/test_fft.ml: Alcotest Array Fft Float Fpr List Printf QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_fft_more.ml: Alcotest Array Fft Float Fpr Printf QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_fpr.ml: Alcotest Float Fpr Int64 List QCheck QCheck_alcotest Stats

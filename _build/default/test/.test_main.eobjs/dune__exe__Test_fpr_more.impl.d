@@ -1,0 +1,1 @@
+test/test_fpr_more.ml: Alcotest Float Format Fpr Int64 List QCheck QCheck_alcotest Stats String

@@ -1,0 +1,1 @@
+test/test_keccak.ml: Alcotest Array Char Keccak List Prng String

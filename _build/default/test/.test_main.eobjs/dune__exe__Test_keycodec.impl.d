@@ -1,0 +1,1 @@
+test/test_keycodec.ml: Alcotest Array Bytes Char Falcon Lazy Ntru Prng QCheck QCheck_alcotest Stats String Zq

@@ -1,0 +1,1 @@
+test/test_leakage.ml: Alcotest Array Bitops Falcon Fft Filename Float Fpr Fun Lazy Leakage List Printf Stats Sys Zq

@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Attack Bignum Bitops Char Falcon Float Fpr List Ntru Printf QCheck QCheck_alcotest Seq Stats String Zq

@@ -1,0 +1,1 @@
+test/test_ntru.ml: Alcotest Array Float List Ntru Printf Prng Stats Zq

@@ -1,0 +1,1 @@
+test/test_sampler.ml: Alcotest Array Float Printf Prng Sampler Stats

@@ -1,0 +1,1 @@
+test/test_scheme_more.ml: Alcotest Array Falcon Fft Float Fpr List Printf Prng Sampler Stats String

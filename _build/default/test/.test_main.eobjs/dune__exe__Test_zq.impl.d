@@ -1,0 +1,1 @@
+test/test_zq.ml: Alcotest Array List Printf QCheck QCheck_alcotest Stats Zq

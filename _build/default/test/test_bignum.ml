@@ -1,0 +1,164 @@
+let rng = Stats.Rng.create ~seed:8086
+
+let random_big bits =
+  (* random integer with roughly [bits] bits, either sign *)
+  let nlimbs = (bits + 25) / 26 in
+  let v = ref Bignum.zero in
+  for _ = 1 to nlimbs do
+    v := Bignum.add (Bignum.shift_left !v 26) (Bignum.of_int (Stats.Rng.bits rng 26))
+  done;
+  if Stats.Rng.bits rng 1 = 1 then Bignum.neg !v else !v
+
+let biglit = Bignum.of_string
+
+let test_int_roundtrip () =
+  List.iter
+    (fun i ->
+      Alcotest.(check int) (string_of_int i) i (Bignum.to_int (Bignum.of_int i)))
+    [ 0; 1; -1; 42; -12289; max_int / 2; -(max_int / 2); 67108863; 67108864 ]
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Bignum.to_string (Bignum.of_string s)))
+    [
+      "0"; "1"; "-1"; "123456789012345678901234567890";
+      "-999999999999999999999999999999999999999"; "67108864";
+      "340282366920938463463374607431768211456" (* 2^128 *);
+    ]
+
+let test_add_sub_known () =
+  let a = biglit "99999999999999999999999999" in
+  let b = biglit "1" in
+  Alcotest.(check string) "carry chain" "100000000000000000000000000"
+    (Bignum.to_string (Bignum.add a b));
+  Alcotest.(check string) "sub back" "99999999999999999999999999"
+    (Bignum.to_string (Bignum.sub (Bignum.add a b) b));
+  Alcotest.(check bool) "a - a = 0" true (Bignum.is_zero (Bignum.sub a a))
+
+let test_mul_known () =
+  let a = biglit "123456789123456789" in
+  let b = biglit "987654321987654321" in
+  Alcotest.(check string) "product" "121932631356500531347203169112635269"
+    (Bignum.to_string (Bignum.mul a b));
+  Alcotest.(check string) "negative" "-121932631356500531347203169112635269"
+    (Bignum.to_string (Bignum.mul (Bignum.neg a) b))
+
+let test_shift () =
+  let a = biglit "12345678901234567890" in
+  Alcotest.(check bool) "lsl then asr" true
+    (Bignum.equal a (Bignum.shift_right (Bignum.shift_left a 100) 100));
+  Alcotest.(check int) "5 >> 1" 2 (Bignum.to_int (Bignum.shift_right (Bignum.of_int 5) 1));
+  Alcotest.(check int) "-5 >> 1 floors" (-3)
+    (Bignum.to_int (Bignum.shift_right (Bignum.of_int (-5)) 1));
+  Alcotest.(check int) "-4 >> 1 exact" (-2)
+    (Bignum.to_int (Bignum.shift_right (Bignum.of_int (-4)) 1))
+
+let test_bit_length () =
+  Alcotest.(check int) "0" 0 (Bignum.bit_length Bignum.zero);
+  Alcotest.(check int) "1" 1 (Bignum.bit_length Bignum.one);
+  Alcotest.(check int) "2^128" 129 (Bignum.bit_length (biglit "340282366920938463463374607431768211456"))
+
+let test_divmod_small () =
+  for _ = 1 to 200 do
+    let a = Stats.Rng.int_below rng 2_000_001 - 1_000_000 in
+    let b = Stats.Rng.int_below rng 999 + 1 in
+    let b = if Stats.Rng.bits rng 1 = 1 then -b else b in
+    let q, r = Bignum.divmod (Bignum.of_int a) (Bignum.of_int b) in
+    let qi = Bignum.to_int q and ri = Bignum.to_int r in
+    (* OCaml's / and mod are truncated like our contract *)
+    if qi <> a / b || ri <> a mod b then
+      Alcotest.failf "divmod %d %d: got (%d, %d) expected (%d, %d)" a b qi ri (a / b)
+        (a mod b)
+  done
+
+let prop_divmod_reconstruct =
+  QCheck.Test.make ~count:100 ~name:"a = q*b + r, |r| < |b|"
+    QCheck.(pair (int_range 10 400) (int_range 5 200))
+    (fun (abits, bbits) ->
+      let a = random_big abits and b = random_big bbits in
+      if Bignum.is_zero b then true
+      else begin
+        let q, r = Bignum.divmod a b in
+        Bignum.equal a (Bignum.add (Bignum.mul q b) r)
+        && Bignum.compare (Bignum.abs r) (Bignum.abs b) < 0
+        && (Bignum.is_zero r || Bignum.sign r = Bignum.sign a)
+      end)
+
+let prop_divmod_int_agrees =
+  QCheck.Test.make ~count:100 ~name:"divmod_int = divmod"
+    QCheck.(pair (int_range 10 300) (int_range 1 100000))
+    (fun (abits, d) ->
+      let a = random_big abits in
+      let q1, r1 = Bignum.divmod_int a d in
+      let q2, r2 = Bignum.divmod a (Bignum.of_int d) in
+      Bignum.equal q1 q2 && Bignum.equal (Bignum.of_int r1) r2)
+
+let prop_mul_matches_int =
+  QCheck.Test.make ~count:500 ~name:"mul matches native for small values"
+    QCheck.(pair (int_range (-1000000) 1000000) (int_range (-1000000) 1000000))
+    (fun (a, b) ->
+      Bignum.to_int (Bignum.mul (Bignum.of_int a) (Bignum.of_int b)) = a * b)
+
+let prop_add_assoc =
+  QCheck.Test.make ~count:100 ~name:"addition associative/commutative"
+    QCheck.(triple (int_range 10 300) (int_range 10 300) (int_range 10 300))
+    (fun (x, y, z) ->
+      let a = random_big x and b = random_big y and c = random_big z in
+      Bignum.equal (Bignum.add a (Bignum.add b c)) (Bignum.add (Bignum.add a b) c)
+      && Bignum.equal (Bignum.add a b) (Bignum.add b a))
+
+let prop_egcd =
+  QCheck.Test.make ~count:100 ~name:"egcd: u*a + v*b = g = gcd"
+    QCheck.(pair (int_range 5 300) (int_range 5 300))
+    (fun (x, y) ->
+      let a = random_big x and b = random_big y in
+      let g, u, v = Bignum.egcd a b in
+      let bezout = Bignum.add (Bignum.mul u a) (Bignum.mul v b) in
+      Bignum.equal bezout g
+      && Bignum.sign g >= 0
+      && Bignum.equal g (Bignum.gcd a b))
+
+let test_egcd_known () =
+  let g, u, v = Bignum.egcd (Bignum.of_int 240) (Bignum.of_int 46) in
+  Alcotest.(check int) "gcd(240,46)" 2 (Bignum.to_int g);
+  Alcotest.(check int) "bezout" 2 ((Bignum.to_int u * 240) + (Bignum.to_int v * 46));
+  let g, _, _ = Bignum.egcd Bignum.zero (Bignum.of_int (-7)) in
+  Alcotest.(check int) "gcd(0,-7)" 7 (Bignum.to_int g)
+
+let test_to_float_scaled () =
+  let a = biglit "340282366920938463463374607431768211456" (* 2^128 *) in
+  let m, e = Bignum.to_float_scaled a in
+  Alcotest.(check bool) "2^128" true (Float.abs ((m *. (2. ** float_of_int e)) -. 0x1p128) < 1e20);
+  Alcotest.(check bool) "mantissa range" true (Float.abs m >= 0.5 && Float.abs m < 1.);
+  let m, e = Bignum.to_float_scaled (Bignum.of_int (-12)) in
+  Alcotest.(check bool) "-12" true (m *. (2. ** float_of_int e) = -12.);
+  Alcotest.(check bool) "to_float small" true (Bignum.to_float (Bignum.of_int 99) = 99.)
+
+let test_compare () =
+  let pairs = [ (0, 0); (1, 0); (-1, 0); (-5, 3); (100, 100); (-7, -9) ] in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check int)
+        (Printf.sprintf "compare %d %d" a b)
+        (compare a b)
+        (Bignum.compare (Bignum.of_int a) (Bignum.of_int b)))
+    pairs
+
+let suite =
+  [
+    Alcotest.test_case "int roundtrip" `Quick test_int_roundtrip;
+    Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+    Alcotest.test_case "add/sub with carries" `Quick test_add_sub_known;
+    Alcotest.test_case "mul known product" `Quick test_mul_known;
+    Alcotest.test_case "shifts" `Quick test_shift;
+    Alcotest.test_case "bit_length" `Quick test_bit_length;
+    Alcotest.test_case "divmod small vs native" `Quick test_divmod_small;
+    Alcotest.test_case "egcd known" `Quick test_egcd_known;
+    Alcotest.test_case "to_float_scaled" `Quick test_to_float_scaled;
+    Alcotest.test_case "compare" `Quick test_compare;
+    QCheck_alcotest.to_alcotest prop_divmod_reconstruct;
+    QCheck_alcotest.to_alcotest prop_divmod_int_agrees;
+    QCheck_alcotest.to_alcotest prop_mul_matches_int;
+    QCheck_alcotest.to_alcotest prop_add_assoc;
+    QCheck_alcotest.to_alcotest prop_egcd;
+  ]

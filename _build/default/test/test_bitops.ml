@@ -1,0 +1,51 @@
+let test_popcount () =
+  Alcotest.(check int) "popcount 0" 0 (Bitops.popcount 0);
+  Alcotest.(check int) "popcount 0b1011" 3 (Bitops.popcount 0b1011);
+  Alcotest.(check int) "popcount max" 62 (Bitops.popcount max_int);
+  Alcotest.(check int) "popcount64 -1" 64 (Bitops.popcount64 (-1L));
+  Alcotest.(check int) "popcount64 min" 1 (Bitops.popcount64 Int64.min_int)
+
+let test_bit_length () =
+  Alcotest.(check int) "0" 0 (Bitops.bit_length 0);
+  Alcotest.(check int) "1" 1 (Bitops.bit_length 1);
+  Alcotest.(check int) "4" 3 (Bitops.bit_length 4);
+  Alcotest.(check int) "2^52" 53 (Bitops.bit_length (1 lsl 52))
+
+let test_bits_mask () =
+  Alcotest.(check int) "mask 5" 31 (Bitops.mask 5);
+  Alcotest.(check int) "bits" 0b101 (Bitops.bits 0b10100 ~lo:2 ~width:3);
+  Alcotest.(check int) "hd" 2 (Bitops.hamming_distance 0b110 0b011);
+  Alcotest.(check int) "parity" 1 (Bitops.parity 0b1011101)
+
+let test_brev () =
+  Alcotest.(check int) "brev 3bit" 0b110 (Bitops.brev 0b011 ~bits:3);
+  Alcotest.(check int) "brev id" 0b101 (Bitops.brev 0b101 ~bits:3)
+
+let prop_popcount_naive =
+  QCheck.Test.make ~count:500 ~name:"popcount matches naive loop"
+    QCheck.(int_bound max_int)
+    (fun x ->
+      let naive =
+        let r = ref 0 and v = ref x in
+        while !v <> 0 do
+          r := !r + (!v land 1);
+          v := !v lsr 1
+        done;
+        !r
+      in
+      Bitops.popcount x = naive)
+
+let prop_brev_involutive =
+  QCheck.Test.make ~count:500 ~name:"brev is an involution"
+    QCheck.(pair (int_bound 0xFFFF) (int_range 16 16))
+    (fun (x, b) -> Bitops.brev (Bitops.brev x ~bits:b) ~bits:b = x)
+
+let suite =
+  [
+    Alcotest.test_case "popcount" `Quick test_popcount;
+    Alcotest.test_case "bit_length" `Quick test_bit_length;
+    Alcotest.test_case "bits/mask/hd/parity" `Quick test_bits_mask;
+    Alcotest.test_case "brev" `Quick test_brev;
+    QCheck_alcotest.to_alcotest prop_popcount_naive;
+    QCheck_alcotest.to_alcotest prop_brev_involutive;
+  ]

@@ -1,0 +1,223 @@
+(* Countermeasures (Section V-B) and the profiled-attack extension
+   (Section V-A): masking must kill the first-order attack, shuffling
+   must dilute it, templates must beat the non-profiled attack. *)
+
+let secret = 0xC06017BC8036B580L
+let n = 64
+
+let known count seed =
+  Attack.Workload.known_inputs ~n ~coeff:5 ~component:`Re ~count ~seed
+
+(* views built from countermeasure traces share the Recover.view shape
+   for the unprotected sample layout attacks *)
+let masked_view count =
+  let rng = Stats.Rng.create ~seed:11 in
+  let ys = known count "masked" in
+  {
+    Attack.Recover.traces =
+      Array.map (fun y -> Defense.Masking.trace Leakage.default_model rng ~known:y ~secret) ys;
+    known = ys;
+  }
+
+let shuffled_view count =
+  let rng = Stats.Rng.create ~seed:12 in
+  let ys = known count "shuffled" in
+  {
+    Attack.Recover.traces =
+      Array.map (fun y -> Defense.Shuffle.trace Leakage.default_model rng ~known:y ~secret) ys;
+    known = ys;
+  }
+
+let plain_view count seed =
+  let rng = Stats.Rng.create ~seed in
+  let ys = known count (Printf.sprintf "plain %d" seed) in
+  Attack.Workload.mul_views Leakage.default_model rng ~x:secret ~known:ys
+
+let d_true = (Fpr.mantissa secret lor (1 lsl 52)) land ((1 lsl 25) - 1)
+
+let test_masked_mul_correct () =
+  (* the masked multiply computes the exact same product *)
+  let rng = Stats.Rng.create ~seed:13 in
+  let ys = known 50 "correctness" in
+  Array.iter
+    (fun y ->
+      let r = Defense.Masking.mul_emit ~rng ~emit:(fun _ -> ()) y secret in
+      Alcotest.(check int64) "same product as Fpr.mul" (Fpr.mul y secret) r)
+    ys
+
+let test_masked_event_count () =
+  let rng = Stats.Rng.create ~seed:14 in
+  let count = ref 0 in
+  ignore
+    (Defense.Masking.mul_emit ~rng
+       ~emit:(fun _ -> incr count)
+       (Fpr.of_float 3.25) secret);
+  Alcotest.(check int) "event count" Defense.Masking.events_per_mul !count;
+  Alcotest.(check bool) "overhead reported" true (Defense.Masking.overhead_factor > 1.)
+
+let test_masked_recombination_is_true_product () =
+  (* events 14/15 of the masked trace are the unmasked product words;
+     with a clean model they must match the unprotected zhigh/low *)
+  let rng = Stats.Rng.create ~seed:15 in
+  let y = (known 1 "recomb").(0) in
+  let vals = Array.make Defense.Masking.events_per_mul 0 in
+  ignore
+    (Defense.Masking.mul_emit ~rng
+       ~emit:(fun (e : Defense.Masking.event) -> vals.(e.index) <- e.value)
+       y secret);
+  (* reference zhigh from the unprotected instrumented multiply *)
+  let ref_zhigh = ref 0 in
+  ignore
+    (Fpr.mul_emit
+       ~emit:(fun (e : Fpr.event) -> if e.label = Fpr.Mant_zhigh then ref_zhigh := e.value)
+       y secret);
+  Alcotest.(check int) "recombined hi = zhigh" !ref_zhigh vals.(15)
+
+let test_masked_shares_are_random () =
+  (* per-share intermediates change across executions of the same inputs *)
+  let y = (known 1 "shares").(0) in
+  let run seed =
+    let rng = Stats.Rng.create ~seed in
+    let vals = Array.make Defense.Masking.events_per_mul 0 in
+    ignore
+      (Defense.Masking.mul_emit ~rng
+         ~emit:(fun (e : Defense.Masking.event) -> vals.(e.index) <- e.value)
+         y secret);
+    vals
+  in
+  let a = run 21 and b = run 22 in
+  Alcotest.(check bool) "share products differ" true (a.(2) <> b.(2));
+  Alcotest.(check int) "recombined value stable" a.(15) b.(15)
+
+let test_masking_blocks_cpa () =
+  (* the first-order attack that succeeds on 800 unprotected traces must
+     fail (or at least not find the true D) on 800 masked traces: there
+     is no sample whose value is the unmasked D x B product *)
+  let count = 800 in
+  let pv = plain_view count 16 in
+  let cands seed =
+    Array.to_seq
+      (Attack.Hypothesis.sampled (Stats.Rng.create ~seed) ~width:25 ~truth:d_true
+         ~decoys:256 ())
+  in
+  let plain_res = Attack.Recover.attack_mantissa_low ~candidates:(cands 1) pv in
+  Alcotest.(check int) "unprotected attack succeeds" d_true plain_res.winner;
+  let mv = masked_view count in
+  (* interpret the masked trace through the unprotected layout: the
+     attack correlates against samples that now hold share values *)
+  let mv16 =
+    { mv with Attack.Recover.traces = Array.map (fun t -> Array.sub t 0 16) mv.traces }
+  in
+  let masked_res = Attack.Recover.attack_mantissa_low ~candidates:(cands 2) mv16 in
+  (* truth should not emerge: its correlation advantage is gone *)
+  let top_corr =
+    match masked_res.pruned with s :: _ -> s.Attack.Dema.corr | [] -> 0.
+  in
+  Alcotest.(check bool) "masked attack does not single out the truth" true
+    (masked_res.winner <> d_true || top_corr < 0.2)
+
+let test_shuffling_dilutes () =
+  (* correlation of the true guess at the w00 slot must drop by roughly
+     the shuffle degree *)
+  let count = 3000 in
+  let pv = plain_view count 17 in
+  let sv = shuffled_view count in
+  let corr_at v =
+    let col =
+      Array.map
+        (fun t -> t.(Attack.Recover.sample Fpr.Mant_w00))
+        v.Attack.Recover.traces
+    in
+    let h =
+      Attack.Dema.hyp_vector ~model:Attack.Recover.m_w00 ~known:v.Attack.Recover.known
+        d_true
+    in
+    Float.abs (Stats.Pearson.corr h col)
+  in
+  let plain_corr = corr_at pv and shuf_corr = corr_at sv in
+  Alcotest.(check bool) "plain correlation strong" true (plain_corr > 0.6);
+  Alcotest.(check bool)
+    (Printf.sprintf "shuffled correlation diluted (%.3f vs %.3f)" shuf_corr plain_corr)
+    true
+    (shuf_corr < plain_corr /. 2.)
+
+let test_template_profile_sane () =
+  let pv = plain_view 1000 18 in
+  let tpl = Attack.Template.profile pv ~secret in
+  Array.iteri
+    (fun s a ->
+      (* constant-value samples (loads of the secret, sign with constant
+         distribution) may fit arbitrary gain; the mantissa samples must
+         fit alpha ~ 1, sigma ~ noise *)
+      if s >= 4 && s <= 8 then begin
+        Alcotest.(check bool) "alpha near 1" true (Float.abs (a -. 1.) < 0.1);
+        Alcotest.(check bool) "sigma near noise" true
+          (Float.abs (tpl.Attack.Template.sigma.(s) -. 2.) < 0.3)
+      end)
+    tpl.Attack.Template.alpha
+
+let test_template_recovers_with_fewer_traces () =
+  (* profile on 2000 traces of a *different* secret, then attack with a
+     small budget of the target *)
+  let prof_secret =
+    (* a generic profiling key: random mantissa so every datapath sample
+       varies during profiling (a round constant like 77.125 has an
+       all-zero low mantissa and leaves those samples untrainable) *)
+    Fpr.make ~sign:0 ~exp:1028 ~mant:0x9B72E4D1C35A7
+  in
+  let prof_view =
+    let rng = Stats.Rng.create ~seed:19 in
+    let ys = known 2000 "profiling" in
+    Attack.Workload.mul_views Leakage.default_model rng ~x:prof_secret ~known:ys
+  in
+  let tpl = Attack.Template.profile prof_view ~secret:prof_secret in
+  let attack_views =
+    let rng = Stats.Rng.create ~seed:20 in
+    let pairs = Attack.Workload.known_input_pairs ~n ~coeff:5 ~count:500 ~seed:"tmpl" in
+    let v1, v2 = Attack.Workload.mul_view_pair Leakage.default_model rng ~x:secret ~known_pairs:pairs in
+    [ v1; v2 ]
+  in
+  let got =
+    Attack.Template.coefficient tpl
+      ~strategy:
+        (Attack.Recover.Eval_sampled
+           { rng = Stats.Rng.create ~seed:21; decoys = 512; truth = secret })
+      attack_views
+  in
+  Alcotest.(check int64) "template recovers at 500 traces" secret got
+
+let test_template_rank_orders_truth_first () =
+  let pv = plain_view 800 22 in
+  let tpl = Attack.Template.profile pv ~secret in
+  let cands =
+    Array.to_seq
+      (Attack.Hypothesis.sampled (Stats.Rng.create ~seed:23) ~width:25 ~truth:d_true
+         ~decoys:512 ())
+  in
+  let ranked =
+    Attack.Template.rank tpl [ pv ]
+      ~parts:
+        [
+          (Fpr.Mant_w00, Attack.Recover.m_w00);
+          (Fpr.Mant_w10, Attack.Recover.m_w10);
+          (Fpr.Mant_z1a, Attack.Recover.m_z1a);
+        ]
+      ~candidates:cands ~top:4
+  in
+  Alcotest.(check int) "likelihood puts truth first" d_true
+    (List.hd ranked).Attack.Dema.guess
+
+let suite =
+  [
+    Alcotest.test_case "masked multiply is correct" `Quick test_masked_mul_correct;
+    Alcotest.test_case "masked event count/overhead" `Quick test_masked_event_count;
+    Alcotest.test_case "recombination equals true product" `Quick
+      test_masked_recombination_is_true_product;
+    Alcotest.test_case "shares are randomised" `Quick test_masked_shares_are_random;
+    Alcotest.test_case "masking blocks first-order CPA" `Slow test_masking_blocks_cpa;
+    Alcotest.test_case "shuffling dilutes correlation" `Slow test_shuffling_dilutes;
+    Alcotest.test_case "template profile sane" `Slow test_template_profile_sane;
+    Alcotest.test_case "template needs fewer traces" `Slow
+      test_template_recovers_with_fewer_traces;
+    Alcotest.test_case "template rank" `Slow test_template_rank_orders_truth_first;
+  ]

@@ -1,0 +1,126 @@
+(* Additional soft-float properties beyond the FPU-equivalence suite. *)
+
+let rng = Stats.Rng.create ~seed:60221
+
+let random_double ?(erange = 200) () =
+  let sign = Stats.Rng.bits rng 1 in
+  let exp = 1023 - erange + Stats.Rng.int_below rng (2 * erange) in
+  let mant = (Stats.Rng.bits rng 26 lsl 26) lor Stats.Rng.bits rng 26 in
+  Fpr.make ~sign ~exp ~mant
+
+let prop_scaled_is_ldexp =
+  QCheck.Test.make ~count:500 ~name:"scaled i sc = ldexp (float i) sc"
+    QCheck.(pair (int_range (-1000000000) 1000000000) (int_range (-60) 60))
+    (fun (i, sc) ->
+      Fpr.scaled i sc = Int64.bits_of_float (Float.ldexp (float_of_int i) sc))
+
+let prop_rint_of_int =
+  QCheck.Test.make ~count:500 ~name:"rint (of_int i) = i"
+    QCheck.(int_range (-1000000) 1000000)
+    (fun i -> Fpr.rint (Fpr.of_int i) = i)
+
+let prop_neg_involution =
+  QCheck.Test.make ~count:500 ~name:"neg involutive, flips sign"
+    QCheck.(int_range 1 10000000)
+    (fun i ->
+      let x = Fpr.scaled i (-3) in
+      Fpr.neg (Fpr.neg x) = x && Fpr.sign_bit (Fpr.neg x) = 1)
+
+let prop_mul_one =
+  QCheck.Test.make ~count:300 ~name:"x * 1 = x, x * -1 = -x" QCheck.unit (fun () ->
+      let x = random_double () in
+      Fpr.mul x Fpr.one = x && Fpr.mul x (Fpr.neg Fpr.one) = Fpr.neg x)
+
+let prop_add_zero =
+  QCheck.Test.make ~count:300 ~name:"x + 0 = x" QCheck.unit (fun () ->
+      let x = random_double () in
+      Fpr.add x Fpr.zero = x && Fpr.add Fpr.zero x = x)
+
+let prop_half_is_mul_half =
+  QCheck.Test.make ~count:300 ~name:"half x = x * 0.5" QCheck.unit (fun () ->
+      let x = random_double () in
+      Fpr.half x = Fpr.mul x (Fpr.of_float 0.5))
+
+let prop_div_mul_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"div then mul stays within 1 ulp" QCheck.unit
+    (fun () ->
+      let x = random_double ~erange:100 () and y = random_double ~erange:100 () in
+      let q = Fpr.div x y in
+      let back = Fpr.mul q y in
+      (* correctly rounded ops: x/y*y is within 1 ulp of x *)
+      let ulps = Int64.abs (Int64.sub back x) in
+      Int64.compare ulps 2L <= 0)
+
+let prop_sqrt_square =
+  QCheck.Test.make ~count:300 ~name:"sqrt(x)^2 within 1 ulp of x" QCheck.unit
+    (fun () ->
+      let x = Int64.logand (random_double ~erange:100 ()) Int64.max_int in
+      let r = Fpr.sqrt x in
+      let back = Fpr.mul r r in
+      Int64.compare (Int64.abs (Int64.sub back x)) 2L <= 0)
+
+let prop_lt_total_order =
+  QCheck.Test.make ~count:300 ~name:"lt trichotomy on distinct values" QCheck.unit
+    (fun () ->
+      let x = random_double () and y = random_double () in
+      if Fpr.equal x y then not (Fpr.lt x y) && not (Fpr.lt y x)
+      else Fpr.lt x y <> Fpr.lt y x)
+
+let prop_floor_trunc_rint_bracket =
+  QCheck.Test.make ~count:500 ~name:"floor <= rint-ish <= floor + 1" QCheck.unit
+    (fun () ->
+      let v = (Stats.Rng.float01 rng -. 0.5) *. 1e6 in
+      let x = Fpr.of_float v in
+      let fl = Fpr.floor x and ri = Fpr.rint x and tr = Fpr.trunc x in
+      fl <= ri && ri <= fl + 1 && abs tr <= abs fl + 1 && Float.abs (float_of_int ri -. v) <= 0.5)
+
+let test_add_emit_events () =
+  let x = Fpr.of_float 100.5 and y = Fpr.of_float (-3.25) in
+  let events = ref [] in
+  let r = Fpr.add_emit ~emit:(fun e -> events := e :: !events) x y in
+  Alcotest.(check int64) "same result" (Fpr.add x y) r;
+  let labels = List.rev_map (fun (e : Fpr.event) -> e.label) !events in
+  Alcotest.(check bool) "three add events" true
+    (labels = [ Fpr.Add_align; Fpr.Add_sum; Fpr.Add_norm ])
+
+let test_mul_emit_zero_operand () =
+  (* even with a zero operand the full event stream is emitted (the
+     reference code is branch-free) and the result is a signed zero *)
+  let y = Fpr.of_float (-2.5) in
+  let count = ref 0 in
+  let r = Fpr.mul_emit ~emit:(fun _ -> incr count) Fpr.zero y in
+  Alcotest.(check int) "events" 16 !count;
+  Alcotest.(check bool) "negative zero" true
+    (Fpr.is_zero r && Fpr.sign_bit r = 1)
+
+let test_expm_p63_monotone () =
+  let prev = ref Int64.max_int in
+  for i = 0 to 20 do
+    let x = Fpr.of_float (float_of_int i /. 10.) in
+    let v = Fpr.expm_p63 x Fpr.one in
+    Alcotest.(check bool) "decreasing in x" true (Int64.compare v !prev <= 0);
+    prev := v
+  done
+
+let test_pp () =
+  let s = Format.asprintf "%a" Fpr.pp (Fpr.of_float 1.0) in
+  Alcotest.(check bool) "pp mentions bit pattern" true
+    (String.length s > 10 && String.sub s 0 2 = "0x")
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_scaled_is_ldexp;
+    QCheck_alcotest.to_alcotest prop_rint_of_int;
+    QCheck_alcotest.to_alcotest prop_neg_involution;
+    QCheck_alcotest.to_alcotest prop_mul_one;
+    QCheck_alcotest.to_alcotest prop_add_zero;
+    QCheck_alcotest.to_alcotest prop_half_is_mul_half;
+    QCheck_alcotest.to_alcotest prop_div_mul_roundtrip;
+    QCheck_alcotest.to_alcotest prop_sqrt_square;
+    QCheck_alcotest.to_alcotest prop_lt_total_order;
+    QCheck_alcotest.to_alcotest prop_floor_trunc_rint_bracket;
+    Alcotest.test_case "add event stream" `Quick test_add_emit_events;
+    Alcotest.test_case "mul events with zero operand" `Quick test_mul_emit_zero_operand;
+    Alcotest.test_case "expm_p63 monotone" `Quick test_expm_p63_monotone;
+    Alcotest.test_case "pretty printer" `Quick test_pp;
+  ]

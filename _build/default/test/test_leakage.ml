@@ -1,0 +1,171 @@
+let sk16 = lazy (fst (Falcon.Scheme.keygen ~n:16 ~seed:"leakage test key"))
+
+let test_layout_constants () =
+  Alcotest.(check int) "events per mul" 16 Leakage.events_per_mul;
+  Alcotest.(check int) "events per add" 3 Leakage.events_per_add;
+  Alcotest.(check int) "events per coeff" 70 Leakage.events_per_coeff;
+  Alcotest.(check int) "w00 offset" 4 (Leakage.mul_event_offset Fpr.Mant_w00);
+  Alcotest.(check int) "z1a offset" 6 (Leakage.mul_event_offset Fpr.Mant_z1a);
+  Alcotest.(check int) "sign offset" 13 (Leakage.mul_event_offset Fpr.Sign_xor);
+  Alcotest.(check int) "sample_of"
+    ((3 * 70) + (2 * 16) + 4)
+    (Leakage.sample_of ~coeff:3 ~mul:2 Fpr.Mant_w00);
+  Alcotest.check_raises "addition label rejected"
+    (Invalid_argument "Leakage.mul_event_offset: not a multiplication event") (fun () ->
+      ignore (Leakage.mul_event_offset Fpr.Add_sum))
+
+let test_mul_trace_clean_is_hw () =
+  let rng = Stats.Rng.create ~seed:1 in
+  let known = Fpr.of_float 9828.6796875 and secret = Fpr.of_float (-67.33887) in
+  let tr = Leakage.mul_trace Leakage.clean_model rng ~known ~secret in
+  Alcotest.(check int) "length" 16 (Array.length tr);
+  (* cross-check a few samples against directly computed intermediates *)
+  let events = ref [] in
+  ignore (Fpr.mul_emit ~emit:(fun e -> events := e :: !events) known secret);
+  let events = Array.of_list (List.rev !events) in
+  Array.iteri
+    (fun i (e : Fpr.event) ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "sample %d = HW" i)
+        (float_of_int (Bitops.popcount e.value))
+        tr.(i))
+    events
+
+let test_mul_trace_noise_statistics () =
+  let rng = Stats.Rng.create ~seed:2 in
+  let model = { Leakage.alpha = 1.0; noise_sigma = 2.0; baseline = 10.0 } in
+  let known = Fpr.of_float 3.25 and secret = Fpr.of_float 1.5 in
+  let w = Stats.Welford.create () in
+  let clean =
+    Leakage.mul_trace Leakage.clean_model (Stats.Rng.create ~seed:3) ~known ~secret
+  in
+  for _ = 1 to 2000 do
+    let tr = Leakage.mul_trace model rng ~known ~secret in
+    Stats.Welford.add w (tr.(0) -. 10. -. clean.(0))
+  done;
+  Alcotest.(check bool) "noise mean ~ 0" true (Float.abs (Stats.Welford.mean w) < 0.2);
+  Alcotest.(check bool) "noise sigma ~ 2" true
+    (Float.abs (Stats.Welford.stddev w -. 2.) < 0.15)
+
+let test_capture_shape () =
+  let sk = Lazy.force sk16 in
+  let traces = Leakage.capture Leakage.default_model ~seed:9 sk ~count:3 in
+  Alcotest.(check int) "count" 3 (Array.length traces);
+  Array.iter
+    (fun (t : Leakage.trace) ->
+      Alcotest.(check int) "trace length" (16 * 70) (Array.length t.samples);
+      Alcotest.(check int) "c_fft size" 16 (Fft.length t.c_fft))
+    traces;
+  Alcotest.(check bool) "messages differ" true (traces.(0).msg <> traces.(1).msg)
+
+let test_capture_signatures_valid () =
+  let sk = Lazy.force sk16 in
+  let pk = Falcon.Scheme.public_of_secret sk in
+  let traces = Leakage.capture Leakage.default_model ~seed:10 sk ~count:3 in
+  Array.iter
+    (fun (t : Leakage.trace) ->
+      Alcotest.(check bool) "victim signature verifies" true
+        (Falcon.Scheme.verify pk t.msg t.signature))
+    traces
+
+let test_capture_c_fft_matches_salt () =
+  (* the attacker can recompute the known input from public data *)
+  let sk = Lazy.force sk16 in
+  let traces = Leakage.capture Leakage.default_model ~seed:11 sk ~count:2 in
+  Array.iter
+    (fun (t : Leakage.trace) ->
+      let c = Falcon.Hash.to_point ~n:16 (t.signature.Falcon.Scheme.salt ^ t.msg) in
+      let cf = Fft.fft_of_int c in
+      Alcotest.(check bool) "c_fft recomputable" true
+        (cf.Fft.re = t.c_fft.Fft.re && cf.Fft.im = t.c_fft.Fft.im))
+    traces
+
+let test_capture_determinism () =
+  let sk = Lazy.force sk16 in
+  let a = Leakage.capture Leakage.default_model ~seed:12 sk ~count:2 in
+  let b = Leakage.capture Leakage.default_model ~seed:12 sk ~count:2 in
+  Alcotest.(check bool) "same seed, same traces" true
+    (a.(0).samples = b.(0).samples && a.(1).samples = b.(1).samples)
+
+let test_capture_window_consistency () =
+  (* a captured window must equal the clean re-computation of the same
+     multiply up to noise *)
+  let sk = Lazy.force sk16 in
+  let traces = Leakage.capture Leakage.default_model ~seed:13 sk ~count:5 in
+  Array.iter
+    (fun (t : Leakage.trace) ->
+      for k = 0 to 3 do
+        let secret = sk.f_fft.Fft.re.(k) and known = t.c_fft.Fft.re.(k) in
+        let clean =
+          Leakage.mul_trace Leakage.clean_model (Stats.Rng.create ~seed:0) ~known ~secret
+        in
+        let lo = k * 70 in
+        for i = 0 to 15 do
+          let diff = t.samples.(lo + i) -. 10. -. clean.(i) in
+          if Float.abs diff > 12. then
+            Alcotest.failf "window mismatch coeff %d sample %d: %.1f" k i diff
+        done
+      done)
+    traces
+
+let test_ntt_trace () =
+  let rng = Stats.Rng.create ~seed:14 in
+  let p = Array.init 16 (fun i -> (i * 37) mod Zq.q) in
+  let tr = Leakage.ntt_trace Leakage.clean_model rng p in
+  (* log2(16) = 4 levels x 8 butterflies x 3 events *)
+  Alcotest.(check int) "length" (4 * 8 * 3) (Array.length tr);
+  Array.iter
+    (fun v -> Alcotest.(check bool) "HW range" true (v >= 0. && v <= 14.))
+    tr
+
+let suite =
+  [
+    Alcotest.test_case "layout constants" `Quick test_layout_constants;
+    Alcotest.test_case "clean mul trace = HW sequence" `Quick test_mul_trace_clean_is_hw;
+    Alcotest.test_case "noise statistics" `Slow test_mul_trace_noise_statistics;
+    Alcotest.test_case "capture shape" `Quick test_capture_shape;
+    Alcotest.test_case "captured signatures verify" `Quick test_capture_signatures_valid;
+    Alcotest.test_case "c_fft recomputable from public data" `Quick test_capture_c_fft_matches_salt;
+    Alcotest.test_case "capture deterministic" `Quick test_capture_determinism;
+    Alcotest.test_case "capture window consistency" `Quick test_capture_window_consistency;
+    Alcotest.test_case "ntt trace" `Quick test_ntt_trace;
+  ]
+
+let test_save_load_roundtrip () =
+  let sk = Lazy.force sk16 in
+  let traces = Leakage.capture Leakage.default_model ~seed:33 sk ~count:4 in
+  let path = Filename.temp_file "fd_traces" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Leakage.save path traces;
+      let back = Leakage.load path in
+      Alcotest.(check int) "count" 4 (Array.length back);
+      Array.iteri
+        (fun i (t : Leakage.trace) ->
+          Alcotest.(check bool) "samples bit-exact" true (t.samples = traces.(i).samples);
+          Alcotest.(check bool) "msg" true (t.msg = traces.(i).msg);
+          Alcotest.(check bool) "signature" true (t.signature = traces.(i).signature);
+          Alcotest.(check bool) "c_fft recomputed identically" true
+            (t.c_fft.Fft.re = traces.(i).c_fft.Fft.re
+            && t.c_fft.Fft.im = traces.(i).c_fft.Fft.im))
+        back)
+
+let test_load_rejects_garbage () =
+  let path = Filename.temp_file "fd_bad" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "NOT A TRACE FILE";
+      close_out oc;
+      match Leakage.load path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "garbage accepted")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "trace save/load roundtrip" `Quick test_save_load_roundtrip;
+      Alcotest.test_case "load rejects garbage" `Quick test_load_rejects_garbage;
+    ]

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "falcon_down"
+    [
+      ("bitops", Test_bitops.suite);
+      ("stats", Test_stats.suite);
+      ("fpr", Test_fpr.suite);
+      ("fpr_more", Test_fpr_more.suite);
+      ("fft", Test_fft.suite);
+      ("fft_more", Test_fft_more.suite);
+      ("zq", Test_zq.suite);
+      ("keccak", Test_keccak.suite);
+      ("bignum", Test_bignum.suite);
+      ("ntru", Test_ntru.suite);
+      ("sampler", Test_sampler.suite);
+      ("falcon", Test_falcon.suite);
+      ("leakage", Test_leakage.suite);
+      ("attack", Test_attack.suite);
+      ("more", Test_more.suite);
+      ("defense", Test_defense.suite);
+      ("keycodec", Test_keycodec.suite);
+      ("scheme_more", Test_scheme_more.suite);
+    ]

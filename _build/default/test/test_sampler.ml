@@ -1,0 +1,103 @@
+(* Statistical validation of SamplerZ: the signing distribution is what
+   makes FALCON signatures leak nothing through their values; the attack
+   instead listens to the arithmetic.  Here we check the sampler's
+   distribution against the exact discrete Gaussian. *)
+
+let exact_probs ~mu ~sigma lo hi =
+  let w k = exp (-.(((float_of_int k -. mu) ** 2.) /. (2. *. sigma *. sigma))) in
+  let total = ref 0. in
+  for k = lo to hi do
+    total := !total +. w k
+  done;
+  Array.init (hi - lo + 1) (fun i -> w (lo + i) /. !total)
+
+let chi_square ~mu ~sigma ~draws =
+  let rng = Prng.of_seed (Printf.sprintf "sampler chi2 %f %f" mu sigma) in
+  let lo = int_of_float mu - 12 and hi = int_of_float mu + 12 in
+  let counts = Array.make (hi - lo + 1) 0 in
+  for _ = 1 to draws do
+    let z = Sampler.sample_z rng ~mu ~sigma ~sigma_min:1.2778 in
+    if z < lo || z > hi then Alcotest.failf "sample %d outside 12-sigma window" z;
+    counts.(z - lo) <- counts.(z - lo) + 1
+  done;
+  let probs = exact_probs ~mu ~sigma lo hi in
+  let chi2 = ref 0. and dof = ref 0 in
+  Array.iteri
+    (fun i p ->
+      let e = p *. float_of_int draws in
+      if e >= 5. then begin
+        let d = float_of_int counts.(i) -. e in
+        chi2 := !chi2 +. (d *. d /. e);
+        incr dof
+      end)
+    probs;
+  (!chi2, !dof - 1)
+
+let check_chi2 name ~mu ~sigma =
+  let chi2, dof = chi_square ~mu ~sigma ~draws:20000 in
+  (* mean dof, sd sqrt(2 dof); allow ~5 sigma *)
+  let bound = float_of_int dof +. (5. *. sqrt (2. *. float_of_int dof)) in
+  if chi2 > bound then
+    Alcotest.failf "%s: chi2 %.1f exceeds bound %.1f (dof %d)" name chi2 bound dof
+
+let test_centered () = check_chi2 "mu=0 sigma=1.5" ~mu:0. ~sigma:1.5
+let test_shifted () = check_chi2 "mu=3.7 sigma=1.4" ~mu:3.7 ~sigma:1.4
+let test_negative_center () = check_chi2 "mu=-2.3 sigma=1.8" ~mu:(-2.3) ~sigma:1.8
+let test_sigma_max () = check_chi2 "sigma = sigma_max" ~mu:0.5 ~sigma:Sampler.sigma_max
+
+let test_moments () =
+  let rng = Prng.of_seed "sampler moments" in
+  let mu = 1.25 and sigma = 1.7 in
+  let w = Stats.Welford.create () in
+  for _ = 1 to 30000 do
+    Stats.Welford.add w
+      (float_of_int (Sampler.sample_z rng ~mu ~sigma ~sigma_min:1.2778))
+  done;
+  Alcotest.(check bool) "mean" true (Float.abs (Stats.Welford.mean w -. mu) < 0.05);
+  Alcotest.(check bool) "stddev" true (Float.abs (Stats.Welford.stddev w -. sigma) < 0.05)
+
+let test_base_sampler_nonneg () =
+  let rng = Prng.of_seed "base" in
+  for _ = 1 to 2000 do
+    let z = Sampler.base_sampler rng in
+    Alcotest.(check bool) "z0 >= 0" true (z >= 0 && z < 20)
+  done
+
+let test_ber_exp_extremes () =
+  let rng = Prng.of_seed "berexp" in
+  (* x = 0, ccs = 1: accept with probability ~1 *)
+  let acc = ref 0 in
+  for _ = 1 to 1000 do
+    if Sampler.ber_exp rng ~x:0. ~ccs:1. then incr acc
+  done;
+  Alcotest.(check bool) "always accept at x=0" true (!acc > 990);
+  (* huge x: essentially never accept *)
+  acc := 0;
+  for _ = 1 to 1000 do
+    if Sampler.ber_exp rng ~x:40. ~ccs:1. then incr acc
+  done;
+  Alcotest.(check int) "never accept at x=40" 0 !acc
+
+let test_ber_exp_rate () =
+  let rng = Prng.of_seed "berexp rate" in
+  let x = 0.8 and ccs = 0.9 in
+  let acc = ref 0 in
+  let trials = 50000 in
+  for _ = 1 to trials do
+    if Sampler.ber_exp rng ~x ~ccs then incr acc
+  done;
+  let p = float_of_int !acc /. float_of_int trials in
+  let expect = ccs *. exp (-.x) in
+  Alcotest.(check bool) "acceptance rate" true (Float.abs (p -. expect) < 0.01)
+
+let suite =
+  [
+    Alcotest.test_case "chi-square centered" `Slow test_centered;
+    Alcotest.test_case "chi-square shifted center" `Slow test_shifted;
+    Alcotest.test_case "chi-square negative center" `Slow test_negative_center;
+    Alcotest.test_case "chi-square at sigma_max" `Slow test_sigma_max;
+    Alcotest.test_case "moments" `Slow test_moments;
+    Alcotest.test_case "base sampler range" `Quick test_base_sampler_nonneg;
+    Alcotest.test_case "ber_exp extremes" `Quick test_ber_exp_extremes;
+    Alcotest.test_case "ber_exp acceptance rate" `Slow test_ber_exp_rate;
+  ]

@@ -1,0 +1,130 @@
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. (1. +. Float.abs a)
+
+let test_welford () =
+  let w = Stats.Welford.create () in
+  List.iter (Stats.Welford.add w) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Stats.Welford.count w);
+  Alcotest.(check bool) "mean" true (feq (Stats.Welford.mean w) 5.);
+  Alcotest.(check bool) "variance" true (feq (Stats.Welford.variance w) (32. /. 7.))
+
+let test_welford_merge () =
+  let w1 = Stats.Welford.create () and w2 = Stats.Welford.create () in
+  let all = Stats.Welford.create () in
+  let rng = Stats.Rng.create ~seed:7 in
+  for i = 0 to 99 do
+    let x = Stats.Rng.gaussian rng ~mu:3. ~sigma:2. in
+    Stats.Welford.add all x;
+    Stats.Welford.add (if i < 37 then w1 else w2) x
+  done;
+  let m = Stats.Welford.merge w1 w2 in
+  Alcotest.(check bool) "merged mean" true
+    (feq (Stats.Welford.mean m) (Stats.Welford.mean all));
+  Alcotest.(check bool) "merged var" true
+    (feq (Stats.Welford.variance m) (Stats.Welford.variance all))
+
+let test_corr_exact () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  let ys = [| 2.; 4.; 6.; 8. |] in
+  Alcotest.(check bool) "perfect" true (feq (Stats.Pearson.corr xs ys) 1.);
+  let yneg = Array.map (fun v -> -.v) ys in
+  Alcotest.(check bool) "anti" true (feq (Stats.Pearson.corr xs yneg) (-1.));
+  Alcotest.(check bool) "constant" true
+    (feq (Stats.Pearson.corr xs [| 5.; 5.; 5.; 5. |]) 0.)
+
+let test_corr_matrix_agrees () =
+  let rng = Stats.Rng.create ~seed:42 in
+  let d = 50 and t = 7 and g = 4 in
+  let traces =
+    Array.init d (fun _ ->
+        Array.init t (fun _ -> Stats.Rng.gaussian rng ~mu:0. ~sigma:1.))
+  in
+  let hyps =
+    Array.init g (fun _ ->
+        Array.init d (fun _ -> Stats.Rng.gaussian rng ~mu:4. ~sigma:2.))
+  in
+  let m = Stats.Pearson.corr_matrix ~traces ~hyps in
+  for i = 0 to g - 1 do
+    for j = 0 to t - 1 do
+      let col = Array.map (fun tr -> tr.(j)) traces in
+      let expect = Stats.Pearson.corr hyps.(i) col in
+      if not (feq ~eps:1e-9 m.(i).(j) expect) then
+        Alcotest.failf "corr_matrix(%d,%d)=%f expected %f" i j m.(i).(j) expect
+    done
+  done
+
+let test_evolution_tail () =
+  let rng = Stats.Rng.create ~seed:5 in
+  let d = 64 in
+  let hyp = Array.init d (fun _ -> Stats.Rng.gaussian rng ~mu:0. ~sigma:1.) in
+  let traces =
+    Array.map (fun h -> [| (2. *. h) +. Stats.Rng.gaussian rng ~mu:0. ~sigma:0.1 |]) hyp
+  in
+  let series = Stats.Pearson.evolution ~traces ~hyp ~sample:0 ~step:16 in
+  Alcotest.(check int) "series length" 4 (List.length series);
+  let dlast, rlast = List.nth series 3 in
+  Alcotest.(check int) "last d" 64 dlast;
+  let full = Stats.Pearson.corr hyp (Array.map (fun tr -> tr.(0)) traces) in
+  Alcotest.(check bool) "tail equals batch corr" true (feq rlast full)
+
+let test_probit () =
+  Alcotest.(check bool) "median" true (feq ~eps:1e-8 (Stats.Signif.probit 0.5) 0.);
+  Alcotest.(check bool) "95%" true
+    (Float.abs (Stats.Signif.probit 0.975 -. 1.959964) < 1e-4);
+  Alcotest.(check bool) "99.99% two-sided" true
+    (Float.abs (Stats.Signif.z_9999 -. 3.8906) < 1e-3);
+  (* symmetric tails *)
+  Alcotest.(check bool) "symmetry" true
+    (feq ~eps:1e-6 (Stats.Signif.probit 0.001) (-.Stats.Signif.probit 0.999))
+
+let test_threshold () =
+  let t1000 = Stats.Signif.threshold 1000 in
+  Alcotest.(check bool) "t(1000) ~ 0.1226" true (Float.abs (t1000 -. 0.12266) < 1e-3);
+  Alcotest.(check bool) "monotone" true (Stats.Signif.threshold 100 > t1000);
+  Alcotest.(check bool) "degenerate" true (Stats.Signif.threshold 2 = 1.)
+
+let test_traces_to_significance () =
+  let series = [ (100, 0.01); (200, 0.5); (300, 0.05); (400, 0.6); (500, 0.7) ] in
+  Alcotest.(check (option int)) "first stable crossing" (Some 400)
+    (Stats.Signif.traces_to_significance series);
+  Alcotest.(check (option int)) "never" None
+    (Stats.Signif.traces_to_significance [ (100, 0.001); (200, 0.001) ])
+
+let test_rng_determinism () =
+  let a = Stats.Rng.create ~seed:123 and b = Stats.Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Stats.Rng.next64 a) (Stats.Rng.next64 b)
+  done
+
+let prop_int_below_range =
+  QCheck.Test.make ~count:300 ~name:"int_below in range"
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let rng = Stats.Rng.create ~seed in
+      let v = Stats.Rng.int_below rng n in
+      v >= 0 && v < n)
+
+let test_gaussian_moments () =
+  let rng = Stats.Rng.create ~seed:99 in
+  let w = Stats.Welford.create () in
+  for _ = 1 to 20000 do
+    Stats.Welford.add w (Stats.Rng.gaussian rng ~mu:1.5 ~sigma:3.)
+  done;
+  Alcotest.(check bool) "mean close" true
+    (Float.abs (Stats.Welford.mean w -. 1.5) < 0.1);
+  Alcotest.(check bool) "sigma close" true
+    (Float.abs (Stats.Welford.stddev w -. 3.) < 0.1)
+
+let suite =
+  [
+    Alcotest.test_case "welford basic" `Quick test_welford;
+    Alcotest.test_case "welford merge" `Quick test_welford_merge;
+    Alcotest.test_case "pearson exact" `Quick test_corr_exact;
+    Alcotest.test_case "corr_matrix agrees with corr" `Quick test_corr_matrix_agrees;
+    Alcotest.test_case "evolution tail" `Quick test_evolution_tail;
+    Alcotest.test_case "probit" `Quick test_probit;
+    Alcotest.test_case "threshold" `Quick test_threshold;
+    Alcotest.test_case "traces_to_significance" `Quick test_traces_to_significance;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "gaussian moments" `Slow test_gaussian_moments;
+    QCheck_alcotest.to_alcotest prop_int_below_range;
+  ]
