@@ -12,6 +12,8 @@
      FD_N       ring size of the full-key attack (32)
      FD_NOISE   leakage noise sigma (2.0)
      FD_SEED    experiment seed (42)
+     FD_JOBS    worker domains for the key-recovery analysis (1); results
+                are bit-identical at every value
      FD_FULL    1 = exhaustive 2^25 / 2^27 mantissa enumeration in the
                 fig4 section (paper scale; hours on one core) *)
 
@@ -27,6 +29,8 @@ let full_n = getenv_int "FD_N" 32
 let noise = getenv_float "FD_NOISE" 2.0
 let seed = getenv_int "FD_SEED" 42
 let exhaustive = getenv_int "FD_FULL" 0 = 1
+let jobs = getenv_int "FD_JOBS" 1
+let () = Parallel.set_default_jobs jobs
 
 let model = { Leakage.default_model with noise_sigma = noise }
 
@@ -249,9 +253,12 @@ let headline () =
   section "Headline — full key extraction + forgery (Section IV)";
   let n = full_n in
   let sk, pk = Falcon.Scheme.keygen ~n ~seed:(Printf.sprintf "victim %d" seed) in
-  Printf.printf "victim: FALCON-%d; attacking with increasing trace budgets\n%!" n;
-  Printf.printf "traces | coeffs bit-exact | f exact | key rebuilt | forgery verifies\n";
-  Printf.printf "-------+------------------+---------+-------------+-----------------\n";
+  Printf.printf "victim: FALCON-%d; attacking with increasing trace budgets (%d jobs)\n%!"
+    n jobs;
+  Printf.printf
+    "traces | coeffs bit-exact | f exact | key rebuilt | forgery verifies | wall s\n";
+  Printf.printf
+    "-------+------------------+---------+-------------+------------------+-------\n";
   List.iter
     (fun count ->
       if count <= trace_budget then begin
@@ -263,7 +270,9 @@ let headline () =
           Attack.Recover.Eval_sampled
             { rng = Stats.Rng.create ~seed:(coeff * 7 + mul); decoys = 512; truth }
         in
-        let res = Attack.Fullkey.recover_key ~traces ~h:pk.h ~strategy in
+        let t0 = Unix.gettimeofday () in
+        let res = Attack.Fullkey.recover_key ~jobs ~traces ~h:pk.h strategy in
+        let wall = Unix.gettimeofday () -. t0 in
         let ok = Attack.Fullkey.count_correct res.f_fft ~truth:sk.f_fft in
         let forged =
           match res.keypair with
@@ -272,10 +281,11 @@ let headline () =
               Falcon.Scheme.verify pk "forged"
                 (Attack.Fullkey.forge ~keypair:kp ~seed:"forger" "forged")
         in
-        Printf.printf "%6d | %9d / %-4d | %-7b | %-11b | %b\n%!" count ok (2 * n)
+        Printf.printf "%6d | %9d / %-4d | %-7b | %-11b | %-16b | %.2f\n%!" count ok
+          (2 * n)
           (res.f = sk.kp.f)
           (res.keypair <> None)
-          forged
+          forged wall
       end)
     [ 250; 500; 1000; 2000; 4000 ]
 

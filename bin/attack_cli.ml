@@ -1,10 +1,21 @@
 (* Attack driver: capture simulated EM traces of a FALCON victim and run
    the full Falcon-Down key-recovery + forgery pipeline.
 
-     dune exec bin/attack_cli.exe -- run -n 32 -t 2500 --noise 2.0
+     dune exec bin/attack_cli.exe -- run -n 32 -t 2500 --noise 2.0 -j 4
      dune exec bin/attack_cli.exe -- coefficient --traces 4000 *)
 
-let cmd_run n traces noise seed =
+(* Every command returns its exit status; expected failures (malformed or
+   missing input files, failed key reconstruction) become a message on
+   stderr and a non-zero status rather than an uncaught exception. *)
+let with_errors f =
+  try f () with
+  | Failure msg | Sys_error msg | Invalid_argument msg ->
+      prerr_endline msg;
+      1
+
+let cmd_run n traces noise seed jobs =
+  with_errors @@ fun () ->
+  Parallel.set_default_jobs jobs;
   let model = { Leakage.default_model with noise_sigma = noise } in
   Printf.printf "victim: FALCON-%d, %d traces, noise sigma %.2f, seed %d\n%!" n traces
     noise seed;
@@ -15,7 +26,7 @@ let cmd_run n traces noise seed =
     Attack.Recover.Eval_sampled
       { rng = Stats.Rng.create ~seed:(seed + (coeff * 7) + mul); decoys = 512; truth }
   in
-  let res = Attack.Fullkey.recover_key ~traces:captured ~h:pk.h ~strategy in
+  let res = Attack.Fullkey.recover_key ~jobs ~traces:captured ~h:pk.h strategy in
   Printf.printf "bit-exact FFT(f) coefficients: %d / %d\n"
     (Attack.Fullkey.count_correct res.f_fft ~truth:sk.f_fft)
     (2 * n);
@@ -31,7 +42,9 @@ let cmd_run n traces noise seed =
         (Falcon.Scheme.verify pk msg sg);
       0
 
-let cmd_coefficient traces noise seed =
+let cmd_coefficient traces noise seed jobs =
+  with_errors @@ fun () ->
+  Parallel.set_default_jobs jobs;
   let model = { Leakage.default_model with noise_sigma = noise } in
   let x = 0xC06017BC8036B580L in
   Printf.printf "attacking the paper's coefficient %Lx with %d traces\n%!" x traces;
@@ -41,7 +54,7 @@ let cmd_coefficient traces noise seed =
   in
   let v = Attack.Workload.mul_views model (Stats.Rng.create ~seed) ~x ~known in
   let got =
-    Attack.Recover.coefficient
+    Attack.Recover.coefficient ~jobs
       ~strategy:
         (Attack.Recover.Eval_sampled
            { rng = Stats.Rng.create ~seed:(seed + 1); decoys = 4096; truth = x })
@@ -52,6 +65,7 @@ let cmd_coefficient traces noise seed =
   if got = x then 0 else 1
 
 let cmd_capture n traces noise seed out =
+  with_errors @@ fun () ->
   let model = { Leakage.default_model with noise_sigma = noise } in
   let sk, pk = Falcon.Scheme.keygen ~n ~seed:(Printf.sprintf "victim-%d" seed) in
   Printf.printf "capturing %d traces of a fresh FALCON-%d victim...\n%!" traces n;
@@ -69,7 +83,9 @@ let cmd_capture n traces noise seed out =
     out;
   0
 
-let cmd_crack input =
+let cmd_crack input jobs =
+  with_errors @@ fun () ->
+  Parallel.set_default_jobs jobs;
   let traces = Leakage.load input in
   let read path =
     let ic = open_in_bin path in
@@ -93,7 +109,7 @@ let cmd_crack input =
         Attack.Recover.Eval_sampled
           { rng = Stats.Rng.create ~seed:(coeff * 7 + mul); decoys = 512; truth }
       in
-      let res = Attack.Fullkey.recover_key ~traces ~h:pk.h ~strategy in
+      let res = Attack.Fullkey.recover_key ~jobs ~traces ~h:pk.h strategy in
       Printf.printf "f recovered exactly: %b\n" (res.f = truth_kp.f);
       (match res.keypair with
       | None ->
@@ -116,15 +132,24 @@ let traces_arg = Arg.(value & opt int 2500 & info [ "t"; "traces" ] ~doc:"Trace 
 let noise_arg = Arg.(value & opt float 2.0 & info [ "noise" ] ~doc:"Noise sigma.")
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Experiment seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Worker domains for the key-recovery analysis. The result is \
+           bit-identical at every value; 1 (the default) runs sequentially.")
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Full key extraction and forgery on a fresh victim")
-    Term.(const cmd_run $ n_arg $ traces_arg $ noise_arg $ seed_arg)
+    Term.(const cmd_run $ n_arg $ traces_arg $ noise_arg $ seed_arg $ jobs_arg)
 
 let coeff_cmd =
   Cmd.v
     (Cmd.info "coefficient" ~doc:"Attack the single coefficient of the paper's Fig. 4")
-    Term.(const cmd_coefficient $ traces_arg $ noise_arg $ seed_arg)
+    Term.(const cmd_coefficient $ traces_arg $ noise_arg $ seed_arg $ jobs_arg)
 
 let out_arg =
   Arg.(value & opt string "traces.bin" & info [ "o"; "out" ] ~doc:"Trace file.")
@@ -140,7 +165,7 @@ let capture_cmd =
 let crack_cmd =
   Cmd.v
     (Cmd.info "crack" ~doc:"Recover the key and forge from a stored trace file")
-    Term.(const cmd_crack $ in_arg)
+    Term.(const cmd_crack $ in_arg $ jobs_arg)
 
 let () =
   let doc = "Falcon Down side-channel attack driver" in

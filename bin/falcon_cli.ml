@@ -70,7 +70,12 @@ let string_of_hex h =
   String.init (String.length h / 2) (fun i ->
       Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2)))
 
-let cmd_keygen n seed out =
+let cmd_keygen n seed jobs out =
+  match Parallel.set_default_jobs jobs with
+  | exception Invalid_argument msg ->
+      prerr_endline msg;
+      1
+  | () ->
   let sk, pk = Falcon.Scheme.keygen ~n ~seed in
   save_secret (out ^ ".sk") sk.kp;
   save_public (out ^ ".pk") pk;
@@ -120,6 +125,13 @@ let n_arg =
 let seed_arg =
   Arg.(value & opt string "falcon cli seed" & info [ "s"; "seed" ] ~doc:"Keygen seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:"Worker domains for parallelisable stages (default 1).")
+
 let out_arg d = Arg.(value & opt string d & info [ "o"; "out" ] ~doc:"Output path.")
 let key_arg = Arg.(required & opt (some string) None & info [ "k"; "key" ] ~doc:"Key file.")
 let msg_arg = Arg.(required & opt (some string) None & info [ "m"; "message" ] ~doc:"Message.")
@@ -127,7 +139,7 @@ let sig_arg = Arg.(value & opt string "sig.txt" & info [ "i"; "input" ] ~doc:"Si
 
 let keygen_cmd =
   Cmd.v (Cmd.info "keygen" ~doc:"Generate a FALCON key pair")
-    Term.(const cmd_keygen $ n_arg $ seed_arg $ out_arg "key")
+    Term.(const cmd_keygen $ n_arg $ seed_arg $ jobs_arg $ out_arg "key")
 
 let sign_cmd =
   Cmd.v (Cmd.info "sign" ~doc:"Sign a message")

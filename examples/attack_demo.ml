@@ -41,7 +41,7 @@ let () =
       { rng = Stats.Rng.create ~seed:(coeff * 7 + mul); decoys = 512; truth }
   in
   let t0 = Unix.gettimeofday () in
-  let res = Attack.Fullkey.recover_key ~traces ~h:pk.h ~strategy in
+  let res = Attack.Fullkey.recover_key ~traces ~h:pk.h strategy in
   Printf.printf "  %.1f s\n" (Unix.gettimeofday () -. t0);
   let ok = Attack.Fullkey.count_correct res.f_fft ~truth:sk.f_fft in
   Printf.printf "  bit-exact FFT(f) coefficients: %d / %d\n" ok (2 * n);

@@ -1,100 +1,100 @@
 type scored = { guess : int; corr : float }
 
+(* Strict total order on scored candidates: higher score first, equal
+   scores broken by the smaller guess value.  The tie-break is what makes
+   top-k selection independent of enumeration order — the paper's
+   mantissa sweeps produce *exactly* tied alias classes, so without it
+   the returned ranking depends on how the candidate sequence happens to
+   be ordered (and chunked parallel sweeps would be nondeterministic). *)
+let compare_scored a b =
+  match Float.compare b.corr a.corr with
+  | 0 -> compare a.guess b.guess
+  | c -> c
+
+(* Streaming top-k accumulator under {!compare_scored}, kept worst-first
+   so eviction inspects the head.  Selection under a strict total order
+   is a pure function of the candidate multiset: processing order,
+   chunking and merge order cannot change the result. *)
+module Topk = struct
+  type t = { top : int; mutable size : int; mutable worst_first : scored list }
+
+  let create top = { top; size = 0; worst_first = [] }
+  let cmp_worst_first a b = compare_scored b a
+
+  let add t s =
+    if t.top > 0 then begin
+      if t.size < t.top then begin
+        t.worst_first <- List.merge cmp_worst_first [ s ] t.worst_first;
+        t.size <- t.size + 1
+      end
+      else
+        match t.worst_first with
+        | worst :: rest when compare_scored s worst < 0 ->
+            t.worst_first <- List.merge cmp_worst_first [ s ] rest
+        | _ -> ()
+    end
+
+  let merge into t =
+    List.iter (add into) t.worst_first;
+    into
+
+  let to_list t = List.rev t.worst_first
+end
+
+(* Candidates per unit of work distribution.  Scoring one candidate costs
+   O(parts x traces) floating-point work (tens of thousands of ops at
+   realistic trace counts), so ~512 candidates amortise the chunk
+   hand-off far below the noise floor while still load-balancing the
+   2^25-candidate enumerations of Section III-C. *)
+let sweep_chunk = 512
+
+let rank_scores ?jobs ~score ~top candidates =
+  let jobs = Parallel.resolve jobs in
+  Topk.to_list
+    (Parallel.map_reduce_chunks ~jobs ~chunk:sweep_chunk
+       ~map:(fun guesses ->
+         let t = Topk.create top in
+         Array.iter (fun g -> Topk.add t { guess = g; corr = score g }) guesses;
+         t)
+       ~reduce:Topk.merge ~init:(Topk.create top) candidates)
+
 let hyp_vector ~model ~known guess =
   Array.map (fun y -> float_of_int (Bitops.popcount (model guess y))) known
 
-(* Per-sample column statistics shared across all guesses. *)
-let column traces sample =
-  let d = Array.length traces in
-  let col = Array.make d 0. in
-  let s = ref 0. and ss = ref 0. in
-  for i = 0 to d - 1 do
-    let v = traces.(i).(sample) in
-    col.(i) <- v;
-    s := !s +. v;
-    ss := !ss +. (v *. v)
-  done;
-  let nf = float_of_int d in
-  (col, !s, !ss -. (!s *. !s /. nf))
+let rank ?jobs ~traces ~parts ~known ~top candidates =
+  (* column statistics are a per-sweep invariant: computed once here,
+     shared read-only by every guess on every domain *)
+  let cols =
+    List.map (fun (s, model) -> (Stats.Pearson.column_stats traces s, model)) parts
+  in
+  let score guess =
+    List.fold_left
+      (fun acc (c, model) ->
+        acc +. Float.abs (Stats.Pearson.corr_with c (hyp_vector ~model ~known guess)))
+      0. cols
+  in
+  rank_scores ?jobs ~score ~top candidates
 
-let corr_against (col, sum_t, var_t) h =
-  let d = Array.length col in
-  let nf = float_of_int d in
-  let sh = ref 0. and shh = ref 0. and sht = ref 0. in
-  for i = 0 to d - 1 do
-    let x = h.(i) in
-    sh := !sh +. x;
-    shh := !shh +. (x *. x);
-    sht := !sht +. (x *. col.(i))
-  done;
-  let vh = !shh -. (!sh *. !sh /. nf) in
-  let cov = !sht -. (!sh *. sum_t /. nf) in
-  if vh <= 0. || var_t <= 0. then 0. else cov /. sqrt (vh *. var_t)
-
-let rank ~traces ~parts ~known ~candidates ~top =
-  let cols = List.map (fun (s, model) -> (column traces s, model)) parts in
-  let best = ref [] (* ascending by score, length <= top *) in
-  let size = ref 0 in
-  Seq.iter
-    (fun guess ->
-      let score =
-        List.fold_left
-          (fun acc (c, model) ->
-            acc +. Float.abs (corr_against c (hyp_vector ~model ~known guess)))
-          0. cols
-      in
-      if !size < top then begin
-        best := List.merge (fun a b -> Float.compare a.corr b.corr) [ { guess; corr = score } ] !best;
-        incr size
-      end
-      else begin
-        match !best with
-        | worst :: rest when score > worst.corr ->
-            best :=
-              List.merge (fun a b -> Float.compare a.corr b.corr)
-                [ { guess; corr = score } ]
-                rest
-        | _ -> ()
-      end)
-    candidates;
-  List.rev !best
-
-let rank_absolute ~traces ~parts ~known ~candidates ~top ~alpha ~baseline =
+let rank_absolute ?jobs ~traces ~parts ~known ~top ~alpha ~baseline candidates =
   let cols =
     List.map (fun (s, model) -> (Array.map (fun t -> t.(s)) traces, model)) parts
   in
   let d = Array.length traces in
-  let best = ref [] and size = ref 0 in
-  Seq.iter
-    (fun guess ->
-      let err = ref 0. in
-      List.iter
-        (fun (col, model) ->
-          for i = 0 to d - 1 do
-            let pred =
-              baseline +. (alpha *. float_of_int (Bitops.popcount (model guess known.(i))))
-            in
-            let r = col.(i) -. pred in
-            err := !err +. (r *. r)
-          done)
-        cols;
-      let score = -. !err /. float_of_int d in
-      if !size < top then begin
-        best :=
-          List.merge (fun a b -> Float.compare a.corr b.corr) [ { guess; corr = score } ] !best;
-        incr size
-      end
-      else begin
-        match !best with
-        | worst :: rest when score > worst.corr ->
-            best :=
-              List.merge (fun a b -> Float.compare a.corr b.corr)
-                [ { guess; corr = score } ]
-                rest
-        | _ -> ()
-      end)
-    candidates;
-  List.rev !best
+  let score guess =
+    let err = ref 0. in
+    List.iter
+      (fun (col, model) ->
+        for i = 0 to d - 1 do
+          let pred =
+            baseline +. (alpha *. float_of_int (Bitops.popcount (model guess known.(i))))
+          in
+          let r = col.(i) -. pred in
+          err := !err +. (r *. r)
+        done)
+      cols;
+    -. !err /. float_of_int d
+  in
+  rank_scores ?jobs ~score ~top candidates
 
 let corr_time ~traces ~model ~known ~guesses =
   let hyps = Array.map (hyp_vector ~model ~known) guesses in

@@ -1,32 +1,56 @@
 (** Differential EM analysis engine: the Pearson-correlation
     distinguisher of Eq. (1), in three shapes matched to the paper's
-    plots and to streaming enumeration of large hypothesis spaces. *)
+    plots and to streaming enumeration of large hypothesis spaces.
+
+    {b Determinism.}  All rankings are selected under the strict total
+    order {!compare_scored} (higher score first, exact ties broken by
+    the smaller guess value), so the returned list is a pure function of
+    the candidate {e multiset} — reordering the candidate sequence, or
+    sweeping it in parallel chunks, yields bit-identical output.
+
+    {b Parallelism.}  The sweeps accept [?jobs] (default
+    {!Parallel.default_jobs}, i.e. 1): candidates are chunked across a
+    fixed-size domain pool, each domain keeps a local top-k, and the
+    partial top-ks are merged in chunk order.  Per-column trace
+    statistics are computed once per sweep and shared read-only. *)
 
 type scored = { guess : int; corr : float }
 
+val compare_scored : scored -> scored -> int
+(** Strict total order: descending score, ties by ascending guess. *)
+
+val rank_scores :
+  ?jobs:int -> score:(int -> float) -> top:int -> int Seq.t -> scored list
+(** Generic deterministic top-[top] selection of [candidates] under an
+    arbitrary scoring function (which must be pure and safe to call from
+    any domain).  The building block of {!rank}, {!rank_absolute} and
+    {!Template.rank}. *)
+
 val rank :
+  ?jobs:int ->
   traces:float array array ->
   parts:(int * (int -> 'k -> int)) list ->
   known:'k array ->
-  candidates:int Seq.t ->
   top:int ->
+  int Seq.t ->
   scored list
-(** [rank ~traces ~parts ~known ~candidates ~top] scores every candidate
+(** [rank ~traces ~parts ~known ~top candidates] scores every candidate
     guess by the sum over [parts] of the absolute correlation between the
     modelled leakage [HW (model guess known.(d))] and the trace column at
-    the part's sample index, streaming the candidate sequence with O(top)
-    memory.  Returns the [top] best, sorted by decreasing score.
-    [model guess y] is the predicted intermediate of a trace whose known
-    operand is [y]. *)
+    the part's sample index, streaming the candidate sequence with
+    O(top) memory per domain.  Returns the [top] best, sorted by
+    {!compare_scored}.  [model guess y] is the predicted intermediate of
+    a trace whose known operand is [y]. *)
 
 val rank_absolute :
+  ?jobs:int ->
   traces:float array array ->
   parts:(int * (int -> 'k -> int)) list ->
   known:'k array ->
-  candidates:int Seq.t ->
   top:int ->
   alpha:float ->
   baseline:float ->
+  int Seq.t ->
   scored list
 (** Like {!rank} but with a calibrated absolute-level distinguisher: each
     guess is scored by the negative mean squared residual between the

@@ -4,19 +4,36 @@ type result = {
   keypair : Ntru.Ntrugen.keypair option;
 }
 
-let recover_f_fft ~traces ~n ~strategy =
+let recover_f_fft ?jobs ~traces ~n strategy =
+  let jobs = Parallel.resolve jobs in
+  (* Each (coefficient, component) attack is independent given the shared
+     read-only trace array: fan the 2n of them out across the pool, and
+     give any leftover parallelism to the candidate sweeps inside. *)
+  let tasks = 2 * n in
+  let outer = min jobs tasks in
+  let inner = max 1 (jobs / max outer 1) in
+  let recovered =
+    Parallel.map_array ~jobs:outer
+      (fun t ->
+        let k = t lsr 1 in
+        if t land 1 = 0 then
+          let v_re = Recover.views_for traces ~coeff:k ~component:`Re in
+          Recover.coefficient ~jobs:inner ~strategy:(strategy ~coeff:k ~mul:0) v_re
+        else
+          let v_im = Recover.views_for traces ~coeff:k ~component:`Im in
+          Recover.coefficient ~jobs:inner ~strategy:(strategy ~coeff:k ~mul:1) v_im)
+      (Array.init tasks Fun.id)
+  in
   let out = Fft.zero n in
   for k = 0 to n - 1 do
-    let v_re = Recover.views_for traces ~coeff:k ~component:`Re in
-    out.Fft.re.(k) <- Recover.coefficient ~strategy:(strategy ~coeff:k ~mul:0) v_re;
-    let v_im = Recover.views_for traces ~coeff:k ~component:`Im in
-    out.Fft.im.(k) <- Recover.coefficient ~strategy:(strategy ~coeff:k ~mul:1) v_im
+    out.Fft.re.(k) <- recovered.(2 * k);
+    out.Fft.im.(k) <- recovered.((2 * k) + 1)
   done;
   out
 
-let recover_key ~traces ~h ~strategy =
+let recover_key ?jobs ~traces ~h strategy =
   let n = Array.length h in
-  let f_fft = recover_f_fft ~traces ~n ~strategy in
+  let f_fft = recover_f_fft ?jobs ~traces ~n strategy in
   let f = Fft.round_to_int (Fft.ifft f_fft) in
   let keypair = Ntru.Ntrugen.recover_from_f ~n ~f ~h in
   { f_fft; f; keypair }

@@ -16,18 +16,26 @@ type result = {
 }
 
 val recover_f_fft :
+  ?jobs:int ->
   traces:Leakage.trace array ->
   n:int ->
-  strategy:(coeff:int -> mul:int -> Recover.strategy) ->
+  (coeff:int -> mul:int -> Recover.strategy) ->
   Fft.t
 (** Attack every (coefficient, component) of FFT(f): the real part leaks
     through multiplication 0 (c_re x f_re), the imaginary part through
-    multiplication 1 (c_im x f_im). *)
+    multiplication 1 (c_im x f_im).
+
+    [?jobs] fans the 2n independent per-coefficient attacks out across a
+    domain pool (leftover parallelism flows into the candidate sweeps);
+    the recovered transform is bit-identical at every [jobs] provided
+    [strategy] is pure per (coeff, mul) — e.g. builds any RNG it uses
+    from a (coeff, mul)-derived seed. *)
 
 val recover_key :
+  ?jobs:int ->
   traces:Leakage.trace array ->
   h:int array ->
-  strategy:(coeff:int -> mul:int -> Recover.strategy) ->
+  (coeff:int -> mul:int -> Recover.strategy) ->
   result
 
 val count_correct : Fft.t -> truth:Fft.t -> int

@@ -127,7 +127,7 @@ let calibrate_views views =
   ( List.fold_left (fun acc (a, _) -> acc +. a) 0. als /. nf,
     List.fold_left (fun acc (_, b) -> acc +. b) 0. als /. nf )
 
-let sign_exponent_multi ?(exp_candidates = default_exponent_window) ~mant views =
+let sign_exponent_multi ?jobs ?(exp_candidates = default_exponent_window) ~mant views =
   let alpha, baseline = calibrate_views views in
   let traces, idx = combine views in
   let hi_model_pos = m_result_hi ~mant ~sign:0 in
@@ -146,26 +146,26 @@ let sign_exponent_multi ?(exp_candidates = default_exponent_window) ~mant views 
     ]
   in
   let ranked =
-    Dema.rank_absolute ~traces ~parts:(spread_parts views stage) ~known:idx
-      ~candidates ~top:8 ~alpha ~baseline
+    Dema.rank_absolute ?jobs ~traces ~parts:(spread_parts views stage) ~known:idx
+      ~top:8 ~alpha ~baseline candidates
   in
   match ranked with
   | best :: _ -> (best.guess lsr 11, best.guess land 0x7FF, ranked)
   | [] -> invalid_arg "Recover.sign_exponent: empty candidate set"
 
-let attack_sign_exponent ?exp_candidates ~mant v =
-  sign_exponent_multi ?exp_candidates ~mant [ v ]
+let attack_sign_exponent ?jobs ?exp_candidates ~mant v =
+  sign_exponent_multi ?jobs ?exp_candidates ~mant [ v ]
 
-let attack_exponent ?candidates ~mant ~sign v =
+let attack_exponent ?jobs ?candidates ~mant ~sign v =
   let candidates =
     match candidates with Some c -> c | None -> default_exponent_window
   in
   let alpha, baseline = calibrate_views [ v ] in
   let ranked =
-    Dema.rank_absolute ~traces:v.traces
+    Dema.rank_absolute ?jobs ~traces:v.traces
       ~parts:
         [ (sample Fpr.Exp_sum, m_exp); (sample Fpr.Result_hi, m_result_hi ~mant ~sign) ]
-      ~known:v.known ~candidates ~top:8 ~alpha ~baseline
+      ~known:v.known ~top:8 ~alpha ~baseline candidates
   in
   match ranked with
   | best :: _ -> (best.guess, ranked)
@@ -177,18 +177,18 @@ type mantissa_result = {
   pruned : Dema.scored list;
 }
 
-let extend_prune_multi ~top ~candidates ~extend_stage ~prune_stage views =
+let extend_prune_multi ?jobs ~top ~candidates ~extend_stage ~prune_stage views =
   let traces, idx = combine views in
   let extend_parts = spread_parts views extend_stage in
-  let extend = Dema.rank ~traces ~parts:extend_parts ~known:idx ~candidates ~top in
+  let extend = Dema.rank ?jobs ~traces ~parts:extend_parts ~known:idx ~top candidates in
   let survivors = List.to_seq (List.map (fun (s : Dema.scored) -> s.guess) extend) in
   (* The addition sample breaks the multiplication's shift-alias ties; the
      multiplication samples still separate low-bit neighbours, so the
      survivors are re-ranked on the combined evidence. *)
   let pruned =
-    Dema.rank ~traces
+    Dema.rank ?jobs ~traces
       ~parts:(extend_parts @ spread_parts views prune_stage)
-      ~known:idx ~candidates:survivors ~top
+      ~known:idx ~top survivors
   in
   match pruned with
   | best :: _ -> { winner = best.guess; extend; pruned }
@@ -198,20 +198,21 @@ let extend_prune_multi ~top ~candidates ~extend_stage ~prune_stage views =
    (D x B at the w00 sample, D x A at the w10 sample) — Section III-C. *)
 let low_extend_stage = [ (Fpr.Mant_w00, m_w00); (Fpr.Mant_w10, m_w10) ]
 
-let mantissa_low_multi ?(top = 16) ~candidates views =
-  extend_prune_multi ~top ~candidates ~extend_stage:low_extend_stage
+let mantissa_low_multi ?jobs ?(top = 16) ~candidates views =
+  extend_prune_multi ?jobs ~top ~candidates ~extend_stage:low_extend_stage
     ~prune_stage:[ (Fpr.Mant_z1a, m_z1a) ]
     views
 
-let attack_mantissa_low ?top ~candidates v = mantissa_low_multi ?top ~candidates [ v ]
+let attack_mantissa_low ?jobs ?top ~candidates v =
+  mantissa_low_multi ?jobs ?top ~candidates [ v ]
 
-let attack_mantissa_low_naive ?(top = 16) ~candidates v =
-  Dema.rank ~traces:v.traces
+let attack_mantissa_low_naive ?jobs ?(top = 16) ~candidates v =
+  Dema.rank ?jobs ~traces:v.traces
     ~parts:[ (sample Fpr.Mant_w00, m_w00); (sample Fpr.Mant_w10, m_w10) ]
-    ~known:v.known ~candidates ~top
+    ~known:v.known ~top candidates
 
-let mantissa_high_multi ?(top = 16) ~candidates ~d views =
-  extend_prune_multi ~top ~candidates
+let mantissa_high_multi ?jobs ?(top = 16) ~candidates ~d views =
+  extend_prune_multi ?jobs ~top ~candidates
     ~extend_stage:[ (Fpr.Mant_w01, m_w01); (Fpr.Mant_w11, m_w11) ]
     ~prune_stage:
       [
@@ -220,14 +221,14 @@ let mantissa_high_multi ?(top = 16) ~candidates ~d views =
       ]
     views
 
-let attack_mantissa_high ?top ~candidates ~d v =
-  mantissa_high_multi ?top ~candidates ~d [ v ]
+let attack_mantissa_high ?jobs ?top ~candidates ~d v =
+  mantissa_high_multi ?jobs ?top ~candidates ~d [ v ]
 
 type strategy =
   | Exhaustive
   | Eval_sampled of { rng : Stats.Rng.t; decoys : int; truth : Fpr.t }
 
-let coefficient ~strategy views =
+let coefficient ?jobs ~strategy views =
   let low_cands, high_cands =
     match strategy with
     | Exhaustive ->
@@ -243,9 +244,11 @@ let coefficient ~strategy views =
   in
   (* keep enough extend survivors that the truth cannot be displaced by
      its own alias class (up to ~25 exact ties for small D) plus noise *)
-  let low = mantissa_low_multi ~top:32 ~candidates:low_cands views in
-  let high = mantissa_high_multi ~top:32 ~candidates:high_cands ~d:low.winner views in
+  let low = mantissa_low_multi ?jobs ~top:32 ~candidates:low_cands views in
+  let high =
+    mantissa_high_multi ?jobs ~top:32 ~candidates:high_cands ~d:low.winner views
+  in
   let xu = (high.winner lsl 25) lor low.winner in
   let mant = xu land ((1 lsl 52) - 1) in
-  let s, e, _ = sign_exponent_multi ~mant views in
+  let s, e, _ = sign_exponent_multi ?jobs ~mant views in
   Fpr.make ~sign:s ~exp:e ~mant

@@ -59,11 +59,19 @@ val attack_sign : view -> int * float
     correct guess correlates positively). *)
 
 val attack_sign_exponent :
-  ?exp_candidates:int Seq.t -> mant:int -> view -> int * int * Dema.scored list
+  ?jobs:int ->
+  ?exp_candidates:int Seq.t ->
+  mant:int ->
+  view ->
+  int * int * Dema.scored list
 (** Single-window variant of {!sign_exponent_multi}. *)
 
 val sign_exponent_multi :
-  ?exp_candidates:int Seq.t -> mant:int -> view list -> int * int * Dema.scored list
+  ?jobs:int ->
+  ?exp_candidates:int Seq.t ->
+  mant:int ->
+  view list ->
+  int * int * Dema.scored list
 (** Joint recovery of (sign, biased exponent) with the calibrated
     absolute-level distinguisher over the exponent register, the sign XOR
     and the result's high-word store, given the recovered mantissa.
@@ -71,7 +79,12 @@ val sign_exponent_multi :
     {!attack_sign} (which follows the paper's Fig. 4(a) method). *)
 
 val attack_exponent :
-  ?candidates:int Seq.t -> mant:int -> sign:int -> view -> int * Dema.scored list
+  ?jobs:int ->
+  ?candidates:int Seq.t ->
+  mant:int ->
+  sign:int ->
+  view ->
+  int * Dema.scored list
 (** Biased exponent, combining the e = ex + ey - 2100 register leak with
     the result's high-word store; the latter requires the already-
     recovered 52-bit mantissa and sign (the divide-and-conquer recovers
@@ -89,22 +102,23 @@ type mantissa_result = {
 }
 
 val mantissa_low_multi :
-  ?top:int -> candidates:int Seq.t -> view list -> mantissa_result
+  ?jobs:int -> ?top:int -> candidates:int Seq.t -> view list -> mantissa_result
 
 val attack_mantissa_low :
-  ?top:int -> candidates:int Seq.t -> view -> mantissa_result
+  ?jobs:int -> ?top:int -> candidates:int Seq.t -> view -> mantissa_result
 (** Extend on the partial products D x B and D x A, prune on the
     intermediate addition z1a.  Candidates are 25-bit values. *)
 
-val attack_mantissa_low_naive : ?top:int -> candidates:int Seq.t -> view -> Dema.scored list
+val attack_mantissa_low_naive :
+  ?jobs:int -> ?top:int -> candidates:int Seq.t -> view -> Dema.scored list
 (** The straight differential attack on the multiplication only — the
     baseline whose exact-tie false positives motivate the paper. *)
 
 val mantissa_high_multi :
-  ?top:int -> candidates:int Seq.t -> d:int -> view list -> mantissa_result
+  ?jobs:int -> ?top:int -> candidates:int Seq.t -> d:int -> view list -> mantissa_result
 
 val attack_mantissa_high :
-  ?top:int -> candidates:int Seq.t -> d:int -> view -> mantissa_result
+  ?jobs:int -> ?top:int -> candidates:int Seq.t -> d:int -> view -> mantissa_result
 (** Same for the high 28 bits (top bit fixed to 1), pruning on the
     high-word accumulation, with the already-recovered low half [d]. *)
 
@@ -116,6 +130,9 @@ type strategy =
   | Eval_sampled of { rng : Stats.Rng.t; decoys : int; truth : Fpr.t }
       (** evaluation mode: truth + alias class + decoys (see DESIGN.md) *)
 
-val coefficient : strategy:strategy -> view list -> Fpr.t
+val coefficient : ?jobs:int -> strategy:strategy -> view list -> Fpr.t
 (** Run all component attacks jointly over the given windows (typically
-    {!views_for}) and reassemble the 64-bit value. *)
+    {!views_for}) and reassemble the 64-bit value.  [?jobs] (here and on
+    every ranking entry point above) sets the worker-domain count of the
+    underlying candidate sweeps — see {!Dema}; the output is
+    bit-identical at every [jobs]. *)

@@ -53,7 +53,7 @@ let profile (v : Recover.view) ~secret =
   done;
   { alpha; beta; sigma }
 
-let rank tpl (views : Recover.view list) ~parts ~candidates ~top =
+let rank ?jobs tpl (views : Recover.view list) ~parts ~candidates ~top =
   assert (views <> []);
   let d = Array.length (List.hd views).Recover.traces in
   let cols =
@@ -71,47 +71,27 @@ let rank tpl (views : Recover.view list) ~parts ~candidates ~top =
           parts)
       views
   in
-  let best = ref [] and size = ref 0 in
-  Seq.iter
-    (fun guess ->
-      let ll = ref 0. in
-      List.iter
-        (fun (col, known, model, a, b, two_var) ->
-          for i = 0 to d - 1 do
-            let pred =
-              (a *. float_of_int (Bitops.popcount (model guess known.(i)))) +. b
-            in
-            let r = col.(i) -. pred in
-            ll := !ll -. (r *. r /. two_var)
-          done)
-        cols;
-      let score = !ll /. float_of_int d in
-      if !size < top then begin
-        best :=
-          List.merge
-            (fun (x : Dema.scored) y -> Float.compare x.corr y.corr)
-            [ { guess; corr = score } ]
-            !best;
-        incr size
-      end
-      else begin
-        match !best with
-        | worst :: rest when score > worst.Dema.corr ->
-            best :=
-              List.merge
-                (fun (x : Dema.scored) y -> Float.compare x.corr y.corr)
-                [ { guess; corr = score } ]
-                rest
-        | _ -> ()
-      end)
-    candidates;
-  List.rev !best
+  let score guess =
+    let ll = ref 0. in
+    List.iter
+      (fun (col, known, model, a, b, two_var) ->
+        for i = 0 to d - 1 do
+          let pred =
+            (a *. float_of_int (Bitops.popcount (model guess known.(i)))) +. b
+          in
+          let r = col.(i) -. pred in
+          ll := !ll -. (r *. r /. two_var)
+        done)
+      cols;
+    !ll /. float_of_int d
+  in
+  Dema.rank_scores ?jobs ~score ~top candidates
 
 let winner = function
   | (best : Dema.scored) :: _ -> best.guess
   | [] -> invalid_arg "Template.winner: empty ranking"
 
-let coefficient tpl ~strategy (views : Recover.view list) =
+let coefficient ?jobs tpl ~strategy (views : Recover.view list) =
   let m25 = (1 lsl 25) - 1 in
   let low_cands, high_cands =
     match strategy with
@@ -127,7 +107,7 @@ let coefficient tpl ~strategy (views : Recover.view list) =
   in
   let d_low =
     winner
-      (rank tpl views
+      (rank ?jobs tpl views
          ~parts:
            [ (Fpr.Mant_w00, Recover.m_w00); (Fpr.Mant_w10, Recover.m_w10);
              (Fpr.Mant_z1a, Recover.m_z1a) ]
@@ -135,7 +115,7 @@ let coefficient tpl ~strategy (views : Recover.view list) =
   in
   let e_high =
     winner
-      (rank tpl views
+      (rank ?jobs tpl views
          ~parts:
            [
              (Fpr.Mant_w01, Recover.m_w01); (Fpr.Mant_w11, Recover.m_w11);
@@ -150,7 +130,7 @@ let coefficient tpl ~strategy (views : Recover.view list) =
   let hi_neg = Recover.m_result_hi ~mant ~sign:1 in
   let se =
     winner
-      (rank tpl views
+      (rank ?jobs tpl views
          ~parts:
            [
              (Fpr.Exp_sum, fun g y -> Recover.m_exp (g land 0x7FF) y);

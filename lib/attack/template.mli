@@ -25,6 +25,7 @@ val profile : Recover.view -> secret:Fpr.t -> t
     key has D = 0) gets gain 0 and contributes nothing to the attack. *)
 
 val rank :
+  ?jobs:int ->
   t ->
   Recover.view list ->
   parts:(Fpr.label * (int -> Fpr.t -> int)) list ->
@@ -36,7 +37,8 @@ val rank :
     (t - alpha*HW(pred) - beta)^2 / (2 sigma^2), with the per-sample
     template parameters shared across windows (same device). *)
 
-val coefficient : t -> strategy:Recover.strategy -> Recover.view list -> Fpr.t
+val coefficient :
+  ?jobs:int -> t -> strategy:Recover.strategy -> Recover.view list -> Fpr.t
 (** Template version of the full per-coefficient recovery (mantissa low,
     mantissa high, then joint sign + exponent), all stages scored by
     likelihood, typically over both windows of the secret

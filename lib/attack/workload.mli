@@ -9,7 +9,12 @@
 
 val known_inputs :
   n:int -> coeff:int -> component:[ `Re | `Im ] -> count:int -> seed:string -> Fpr.t array
-(** FFT(c) values at [coeff] for [count] random salted messages. *)
+(** FFT(c) values at [coeff] for [count] random salted messages.  Each
+    entry is an independent hash-and-FFT, generated across
+    {!Parallel.default_jobs} worker domains (deterministically — the
+    value at every index is a pure function of [seed] and the index;
+    the trace simulation in {!mul_views} stays sequential: it consumes
+    one shared noise-RNG stream). *)
 
 val mul_views :
   Leakage.model -> Stats.Rng.t -> x:Fpr.t -> known:Fpr.t array -> Recover.view

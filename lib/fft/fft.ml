@@ -18,7 +18,15 @@ let log2 n =
    and th/2 + pi (right child), starting from th = pi. *)
 let twiddle_cache : (int, (Fpr.t * Fpr.t) array array) Hashtbl.t = Hashtbl.create 8
 
+(* The cache is shared process state and transforms may run from worker
+   domains (e.g. Workload/Fullkey fan-out); a bare Hashtbl is a data
+   race under OCaml 5, so all access goes through this lock.  The table
+   is tiny (one entry per ring size) and entries are immutable once
+   built, so holding the lock across a miss is harmless. *)
+let twiddle_lock = Mutex.create ()
+
 let twiddles n =
+  Mutex.protect twiddle_lock @@ fun () ->
   match Hashtbl.find_opt twiddle_cache n with
   | Some t -> t
   | None ->

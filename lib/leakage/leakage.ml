@@ -105,39 +105,72 @@ let save path traces =
             t.samples)
         traces)
 
+(* A trace file comes from disk or the network: every declared length is
+   validated against the bytes actually remaining BEFORE any allocation,
+   so a corrupted or truncated file fails with a descriptive [Failure]
+   (including the byte offset of the offending field) instead of
+   [End_of_file] mid-parse or [Out_of_memory] on a wild length field. *)
+let max_string_field = 1 lsl 20
+
 let load path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      try
-        let m = really_input_string ic (String.length magic) in
-        if m <> magic then failwith "Leakage.load: bad magic";
-        let n = input_binary_int ic in
-        if n < 2 || n > 1024 || n land (n - 1) <> 0 then
-          failwith "Leakage.load: bad ring size";
-        let count = input_binary_int ic in
-        if count < 0 || count > 10_000_000 then failwith "Leakage.load: bad count";
-        Array.init count (fun _ ->
-            let msg = really_input_string ic (input_binary_int ic) in
-            let salt = really_input_string ic (input_binary_int ic) in
-            let body = really_input_string ic (input_binary_int ic) in
-            let slen = input_binary_int ic in
-            if slen <> n * events_per_coeff then failwith "Leakage.load: bad trace length";
-            let samples =
-              Array.init slen (fun _ ->
-                  let bits = ref 0L in
-                  for _ = 1 to 8 do
-                    bits :=
-                      Int64.logor (Int64.shift_left !bits 8)
-                        (Int64.of_int (input_char ic |> Char.code))
-                  done;
-                  Int64.float_of_bits !bits)
-            in
-            let c = Falcon.Hash.to_point ~n (salt ^ msg) in
-            { samples; c_fft = Fft.fft_of_int c; msg;
-              signature = { Falcon.Scheme.salt; body } })
-      with End_of_file -> failwith "Leakage.load: truncated file")
+      let total = in_channel_length ic in
+      let fail fmt =
+        Printf.ksprintf
+          (fun s -> failwith (Printf.sprintf "Leakage.load: %s: %s" path s))
+          fmt
+      in
+      let need what bytes =
+        let here = pos_in ic in
+        if bytes < 0 || bytes > total - here then
+          fail "truncated file: %s needs %d bytes at offset %d but only %d remain"
+            what bytes here (total - here)
+      in
+      let read_int what =
+        need what 4;
+        input_binary_int ic
+      in
+      let read_string what =
+        let off = pos_in ic in
+        let len = read_int (what ^ " length") in
+        if len < 0 || len > max_string_field then
+          fail "%s length %d at offset %d out of range [0, %d]" what len off
+            max_string_field;
+        need what len;
+        really_input_string ic len
+      in
+      need "magic" (String.length magic);
+      let m = really_input_string ic (String.length magic) in
+      if m <> magic then fail "bad magic %S (want %S)" m magic;
+      let off_n = pos_in ic in
+      let n = read_int "ring size" in
+      if n < 2 || n > 1024 || n land (n - 1) <> 0 then
+        fail "ring size %d at offset %d is not a power of two in [2, 1024]" n off_n;
+      let off_count = pos_in ic in
+      let count = read_int "trace count" in
+      if count < 0 || count > 10_000_000 then
+        fail "trace count %d at offset %d out of range" count off_count;
+      Array.init count (fun i ->
+          let msg = read_string (Printf.sprintf "trace %d message" i) in
+          let salt = read_string (Printf.sprintf "trace %d salt" i) in
+          let body = read_string (Printf.sprintf "trace %d signature body" i) in
+          let off_slen = pos_in ic in
+          let slen = read_int (Printf.sprintf "trace %d sample count" i) in
+          if slen <> n * events_per_coeff then
+            fail "trace %d sample count %d at offset %d (want %d for n = %d)" i
+              slen off_slen (n * events_per_coeff) n;
+          need (Printf.sprintf "trace %d samples" i) (8 * slen);
+          let raw = Bytes.create (8 * slen) in
+          really_input ic raw 0 (8 * slen);
+          let samples =
+            Array.init slen (fun j -> Int64.float_of_bits (Bytes.get_int64_be raw (8 * j)))
+          in
+          let c = Falcon.Hash.to_point ~n (salt ^ msg) in
+          { samples; c_fft = Fft.fft_of_int c; msg;
+            signature = { Falcon.Scheme.salt; body } }))
 
 let ntt_trace model rng p =
   let buf = ref [] in

@@ -82,7 +82,11 @@ val save : string -> trace array -> unit
     set. *)
 
 val load : string -> trace array
-(** Raises [Failure] on a malformed file. *)
+(** Raises [Failure] on a malformed file.  Every declared length is
+    checked against the bytes remaining before anything is allocated, so
+    truncation or corruption yields a descriptive message naming the
+    offending field and its byte offset — never [End_of_file] or
+    [Out_of_memory]. *)
 
 (** {1 NTT traces (section V-C comparison)} *)
 

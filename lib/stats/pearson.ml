@@ -19,6 +19,37 @@ let corr xs ys =
     if vx <= 0. || vy <= 0. then 0. else cov /. sqrt (vx *. vy)
   end
 
+(* Per-sample column statistics shared across all guesses of a sweep:
+   computed once, then read-only — safe to share across domains. *)
+type col_stats = { col : float array; sum : float; var_n : float }
+
+let column_stats traces sample =
+  let d = Array.length traces in
+  let col = Array.make d 0. in
+  let s = ref 0. and ss = ref 0. in
+  for i = 0 to d - 1 do
+    let v = traces.(i).(sample) in
+    col.(i) <- v;
+    s := !s +. v;
+    ss := !ss +. (v *. v)
+  done;
+  let nf = float_of_int d in
+  { col; sum = !s; var_n = !ss -. (!s *. !s /. nf) }
+
+let corr_with { col; sum = sum_t; var_n = var_t } h =
+  let d = Array.length col in
+  let nf = float_of_int d in
+  let sh = ref 0. and shh = ref 0. and sht = ref 0. in
+  for i = 0 to d - 1 do
+    let x = h.(i) in
+    sh := !sh +. x;
+    shh := !shh +. (x *. x);
+    sht := !sht +. (x *. col.(i))
+  done;
+  let vh = !shh -. (!sh *. !sh /. nf) in
+  let cov = !sht -. (!sh *. sum_t /. nf) in
+  if vh <= 0. || var_t <= 0. then 0. else cov /. sqrt (vh *. var_t)
+
 (* Shared per-sample trace statistics: sums and sums of squares over the
    trace dimension, so each guess only pays one cross-term pass. *)
 let trace_moments traces =

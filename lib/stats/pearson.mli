@@ -10,6 +10,22 @@ val corr : float array -> float array -> float
 (** Plain correlation of two equal-length vectors; 0 if either is
     constant. *)
 
+type col_stats = { col : float array; sum : float; var_n : float }
+(** One trace column (fixed time sample across all traces) with its sum
+    and n-scaled variance precomputed — the per-sweep invariant of a
+    candidate enumeration.  Immutable once built: hoist it out of the
+    per-guess loop and share it read-only across worker domains. *)
+
+val column_stats : float array array -> int -> col_stats
+(** [column_stats traces sample] extracts column [sample] of the [D x T]
+    trace matrix and its moments in one pass. *)
+
+val corr_with : col_stats -> float array -> float
+(** [corr_with c h] is the Pearson correlation between hypothesis vector
+    [h] and the precomputed column, paying only the [h]-dependent terms
+    per call; 0 if either side is constant.  Bit-identical to
+    [corr c.col h]. *)
+
 val corr_matrix : traces:float array array -> hyps:float array array -> float array array
 (** [corr_matrix ~traces ~hyps] is the [G x T] matrix of correlations
     between each guess's modelled leakage and each time sample — the

@@ -173,7 +173,7 @@ let test_full_pipeline_forgery () =
     Attack.Recover.Eval_sampled
       { rng = Stats.Rng.create ~seed:(1000 + (coeff * 4) + mul); decoys = 400; truth }
   in
-  let res = Attack.Fullkey.recover_key ~traces ~h:pk.h ~strategy in
+  let res = Attack.Fullkey.recover_key ~traces ~h:pk.h strategy in
   Alcotest.(check int) "all coefficients recovered" (2 * n)
     (Attack.Fullkey.count_correct res.f_fft ~truth:sk.f_fft);
   Alcotest.(check bool) "f recovered" true (res.f = sk.kp.f);
@@ -198,7 +198,7 @@ let test_recovery_fails_with_wrong_traces () =
     Attack.Recover.Eval_sampled
       { rng = Stats.Rng.create ~seed:(2000 + coeff + mul); decoys = 100; truth }
   in
-  let res = Attack.Fullkey.recover_key ~traces ~h:pk_b.h ~strategy in
+  let res = Attack.Fullkey.recover_key ~traces ~h:pk_b.h strategy in
   Alcotest.(check bool) "key B not recovered from key A's traces" true
     (res.keypair = None || res.f <> sk_b.kp.f)
 

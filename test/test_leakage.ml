@@ -163,9 +163,64 @@ let test_load_rejects_garbage () =
       | exception Failure _ -> ()
       | _ -> Alcotest.fail "garbage accepted")
 
+let check_load_failure name path ~mentions =
+  match Leakage.load path with
+  | _ -> Alcotest.failf "%s: malformed file accepted" name
+  | exception Failure msg ->
+      List.iter
+        (fun frag ->
+          if
+            not
+              (let fl = String.length frag and ml = String.length msg in
+               let rec scan i =
+                 i + fl <= ml && (String.sub msg i fl = frag || scan (i + 1))
+               in
+               scan 0)
+          then Alcotest.failf "%s: %S does not mention %S" name msg frag)
+        mentions
+
+let with_fixture f =
+  let sk = Lazy.force sk16 in
+  let traces = Leakage.capture Leakage.default_model ~seed:34 sk ~count:2 in
+  let path = Filename.temp_file "fd_fixture" ".bin" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      Leakage.save path traces;
+      f path)
+
+let test_load_truncated_reports_offset () =
+  with_fixture @@ fun path ->
+  let whole =
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  in
+  (* cut inside the first trace's sample block *)
+  let cut = (String.length whole / 2) + 3 in
+  let oc = open_out_bin path in
+  output_string oc (String.sub whole 0 cut);
+  close_out oc;
+  check_load_failure "truncated" path ~mentions:[ "truncated"; "offset" ]
+
+let test_load_bitflipped_length_rejected () =
+  (* flip the top bit of the first trace's message-length field (byte 16,
+     after 8 bytes of magic + ring size + trace count): the declared
+     length becomes wild, and load must refuse it by validation — not by
+     attempting the allocation *)
+  with_fixture @@ fun path ->
+  let fd = open_out_gen [ Open_binary; Open_wronly ] 0 path in
+  seek_out fd 16;
+  output_char fd '\x7f';
+  close_out fd;
+  check_load_failure "bit-flipped length" path
+    ~mentions:[ "message length"; "out of range"; "offset 16" ]
+
 let suite =
   suite
   @ [
       Alcotest.test_case "trace save/load roundtrip" `Quick test_save_load_roundtrip;
       Alcotest.test_case "load rejects garbage" `Quick test_load_rejects_garbage;
+      Alcotest.test_case "truncated file reports offset" `Quick
+        test_load_truncated_reports_offset;
+      Alcotest.test_case "bit-flipped length field rejected" `Quick
+        test_load_bitflipped_length_rejected;
     ]

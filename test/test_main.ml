@@ -3,6 +3,7 @@ let () =
     [
       ("bitops", Test_bitops.suite);
       ("stats", Test_stats.suite);
+      ("parallel", Test_parallel.suite);
       ("fpr", Test_fpr.suite);
       ("fpr_more", Test_fpr_more.suite);
       ("fft", Test_fft.suite);
@@ -16,6 +17,7 @@ let () =
       ("leakage", Test_leakage.suite);
       ("attack", Test_attack.suite);
       ("more", Test_more.suite);
+      ("multicore", Test_multicore.suite);
       ("defense", Test_defense.suite);
       ("keycodec", Test_keycodec.suite);
       ("scheme_more", Test_scheme_more.suite);
