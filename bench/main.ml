@@ -7,7 +7,7 @@
 
      FD_ONLY    run a single section (fig3, fig4, headline, ntt_vs_fft,
                 ablation_snr, ablation_prune, countermeasures, profiled,
-                micro)
+                stream, micro)
      FD_TRACES  trace budget for the per-coefficient experiments (10000)
      FD_N       ring size of the full-key attack (32)
      FD_NOISE   leakage noise sigma (2.0)
@@ -256,9 +256,9 @@ let headline () =
   Printf.printf "victim: FALCON-%d; attacking with increasing trace budgets (%d jobs)\n%!"
     n jobs;
   Printf.printf
-    "traces | coeffs bit-exact | f exact | key rebuilt | forgery verifies | wall s\n";
+    "traces | coeffs bit-exact | f exact | key rebuilt | forgery verifies | jobs | wall s\n";
   Printf.printf
-    "-------+------------------+---------+-------------+------------------+-------\n";
+    "-------+------------------+---------+-------------+------------------+------+-------\n";
   List.iter
     (fun count ->
       if count <= trace_budget then begin
@@ -281,11 +281,13 @@ let headline () =
               Falcon.Scheme.verify pk "forged"
                 (Attack.Fullkey.forge ~keypair:kp ~seed:"forger" "forged")
         in
-        Printf.printf "%6d | %9d / %-4d | %-7b | %-11b | %-16b | %.2f\n%!" count ok
+        (* wall-clock is only comparable across runs at the same FD_JOBS,
+           so every row carries the worker count it was measured at *)
+        Printf.printf "%6d | %9d / %-4d | %-7b | %-11b | %-16b | %4d | %.2f\n%!" count ok
           (2 * n)
           (res.f = sk.kp.f)
           (res.keypair <> None)
-          forged wall
+          forged jobs wall
       end)
     [ 250; 500; 1000; 2000; 4000 ]
 
@@ -442,6 +444,156 @@ let ablation_prune () =
   Printf.printf "extend-and-prune recovers D:            %d / %d\n" !ep_ok trials
 
 (* ---------------------------------------------------------------- *)
+(* Out-of-core engine: streaming sweeps over a sharded trace store vs
+   the in-memory engine at equal trace counts.  The streaming ranking
+   must be bit-identical (column extraction is arithmetic-free); the
+   evolution checkpoints agree with prefix rescans up to FP
+   reassociation.  Emits one JSON row (BENCH_stream.json) with
+   throughput and a peak-memory proxy. *)
+
+let vm_hwm_kb () =
+  (* Linux peak resident set (VmHWM), falling back to the instantaneous
+     VmRSS where the kernel does not export the high-water mark;
+     0 where /proc is unavailable entirely *)
+  try
+    let ic = open_in "/proc/self/status" in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go hwm rss =
+          match input_line ic with
+          | exception End_of_file -> if hwm > 0 then hwm else rss
+          | line -> (
+              match Scanf.sscanf line "VmHWM: %d kB" Fun.id with
+              | kb -> go kb rss
+              | exception _ -> (
+                  match Scanf.sscanf line "VmRSS: %d kB" Fun.id with
+                  | kb -> go hwm kb
+                  | exception _ -> go hwm rss))
+        in
+        go 0 0)
+  with Sys_error _ -> 0
+
+let rm_store dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let stream () =
+  section "Stream — out-of-core DEMA over a sharded store vs in-memory";
+  let n = full_n in
+  let count = min trace_budget 2000 in
+  let shard = max 1 ((count + 3) / 4) in
+  let sk, _ = Falcon.Scheme.keygen ~n ~seed:(Printf.sprintf "victim %d" seed) in
+  let traces = Leakage.capture model ~seed sk ~count in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "fd_bench_store" in
+  rm_store dir;
+  let writer =
+    Tracestore.Writer.create ~dir ~n ~width:(n * Leakage.events_per_coeff)
+      ~shard_traces:shard
+      ~model:
+        {
+          Tracestore.alpha = model.Leakage.alpha;
+          noise_sigma = model.Leakage.noise_sigma;
+          baseline = model.Leakage.baseline;
+        }
+  in
+  let t0 = Unix.gettimeofday () in
+  Array.iter (fun t -> Tracestore.Writer.append writer (Leakage.to_record t)) traces;
+  Tracestore.Writer.close writer;
+  let write_s = Unix.gettimeofday () -. t0 in
+  let reader = Tracestore.Reader.open_store dir in
+  Printf.printf "campaign: %d traces of FALCON-%d in %d shards (%d jobs)\n%!" count n
+    (Tracestore.Reader.shard_count reader)
+    jobs;
+
+  (* sweep target: the low mantissa half of FFT(f)[0].re, attacked at
+     the w00 multiply and z1a addition events of multiplication 0 —
+     coefficient 0, so absolute sample positions equal window-relative
+     ones *)
+  let d_true = (Fpr.mantissa sk.f_fft.Fft.re.(0) lor (1 lsl 52)) land 0x1FFFFFF in
+  let candidates =
+    Attack.Hypothesis.sampled
+      (Stats.Rng.create ~seed:(seed + 50))
+      ~width:25 ~truth:d_true ~decoys:4096 ()
+  in
+  let parts =
+    [
+      (Attack.Recover.sample Fpr.Mant_w00, Attack.Recover.m_w00);
+      (Attack.Recover.sample Fpr.Mant_z1a, Attack.Recover.m_z1a);
+    ]
+  in
+  let rows = Array.map (fun (t : Leakage.trace) -> t.samples) traces in
+  let ks = Array.map (fun (t : Leakage.trace) -> t.c_fft.Fft.re.(0)) traces in
+  let t0 = Unix.gettimeofday () in
+  let mem_ranked =
+    Attack.Dema.rank ~jobs ~traces:rows ~parts ~known:ks ~top:8
+      (Array.to_seq candidates)
+  in
+  let mem_s = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let stream_ranked =
+    Attack.Dema.Stream.rank ~jobs reader ~parts
+      ~known:(fun (t : Leakage.trace) -> t.c_fft.Fft.re.(0))
+      ~top:8 (Array.to_seq candidates)
+  in
+  let stream_s = Unix.gettimeofday () -. t0 in
+  let identical = mem_ranked = stream_ranked in
+  Printf.printf "top-8 sweep over %d candidates: in-memory %.3fs, streaming %.3fs\n"
+    (Array.length candidates) mem_s stream_s;
+  Printf.printf "streaming top-k bit-identical to in-memory: %b\n" identical;
+  (match mem_ranked with
+  | best :: _ ->
+      Printf.printf "best guess 0x%07x (true 0x%07x), score %.4f\n" best.Attack.Dema.guess
+        d_true best.Attack.Dema.corr
+  | [] -> ());
+
+  (* evolution checkpoints: shard-merged accumulators vs prefix rescans *)
+  let stream_evo =
+    Attack.Dema.Stream.evolution ~jobs reader
+      ~sample:(Attack.Recover.sample Fpr.Mant_w00)
+      ~model:Attack.Recover.m_w00
+      ~known:(fun (t : Leakage.trace) -> t.c_fft.Fft.re.(0))
+      ~guess:d_true
+  in
+  let mem_evo =
+    Attack.Dema.evolution ~traces:rows
+      ~sample:(Attack.Recover.sample Fpr.Mant_w00)
+      ~model:Attack.Recover.m_w00 ~known:ks ~guess:d_true ~step:shard
+  in
+  let max_dev =
+    List.fold_left
+      (fun acc (d, r) ->
+        match List.assoc_opt d mem_evo with
+        | Some r' -> Float.max acc (Float.abs (r -. r'))
+        | None -> acc)
+      0. stream_evo
+  in
+  Printf.printf "evolution checkpoints (%d) vs prefix rescans: max |deviation| = %.2e\n"
+    (List.length stream_evo) max_dev;
+
+  let tps = float_of_int count /. stream_s in
+  let hwm = vm_hwm_kb () in
+  let heap_w = (Gc.quick_stat ()).Gc.top_heap_words in
+  Printf.printf
+    "streaming throughput %.0f traces/s; peak RSS %d kB (VmHWM), OCaml top heap %d words\n"
+    tps hwm heap_w;
+  let oc = open_out "BENCH_stream.json" in
+  Printf.fprintf oc
+    "{\"section\":\"stream\",\"n\":%d,\"traces\":%d,\"shards\":%d,\"jobs\":%d,\
+     \"candidates\":%d,\"write_s\":%.4f,\"mem_rank_s\":%.4f,\"stream_rank_s\":%.4f,\
+     \"stream_traces_per_sec\":%.1f,\"bit_identical\":%b,\"evo_max_dev\":%.3e,\
+     \"vm_hwm_kb\":%d,\"top_heap_words\":%d}\n"
+    n count
+    (Tracestore.Reader.shard_count reader)
+    jobs (Array.length candidates) write_s mem_s stream_s tps identical max_dev hwm
+    heap_w;
+  close_out oc;
+  Printf.printf "wrote BENCH_stream.json\n";
+  rm_store dir
+
+(* ---------------------------------------------------------------- *)
 (* Micro-benchmarks (Bechamel). *)
 
 let micro () =
@@ -596,5 +748,6 @@ let () =
   if want "ablation_prune" then ablation_prune ();
   if want "countermeasures" then countermeasures ();
   if want "profiled" then profiled ();
+  if want "stream" then stream ();
   if want "micro" then micro ();
   Printf.printf "\ndone.\n"

@@ -83,47 +83,79 @@ let cmd_capture n traces noise seed out =
     out;
   0
 
-let cmd_crack input jobs =
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* The sampled-hypothesis evaluation strategy used by both crack paths:
+   pure per (coeff, mul), so recovery is bit-identical at every -j. *)
+let crack_strategy truth_sk ~coeff ~mul =
+  let truth =
+    if mul = 0 then truth_sk.Falcon.Scheme.f_fft.Fft.re.(coeff)
+    else truth_sk.Falcon.Scheme.f_fft.Fft.im.(coeff)
+  in
+  Attack.Recover.Eval_sampled
+    { rng = Stats.Rng.create ~seed:(coeff * 7 + mul); decoys = 512; truth }
+
+let crack_report pk truth_kp (res : Attack.Fullkey.result) =
+  Printf.printf "f recovered exactly: %b\n" (res.f = truth_kp.Ntru.Ntrugen.f);
+  match res.keypair with
+  | None ->
+      print_endline "key reconstruction failed";
+      1
+  | Some kp ->
+      let msg = "offline-cracked forgery" in
+      let sg = Attack.Fullkey.forge ~keypair:kp ~seed:"forger" msg in
+      Printf.printf "forged signature verifies: %b\n" (Falcon.Scheme.verify pk msg sg);
+      0
+
+let cmd_crack input store jobs =
   with_errors @@ fun () ->
   Parallel.set_default_jobs jobs;
-  let traces = Leakage.load input in
-  let read path =
-    let ic = open_in_bin path in
-    let s = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    s
-  in
-  match
-    ( Falcon.Keycodec.decode_public (read (input ^ ".pk")),
-      Falcon.Keycodec.decode_secret (read (input ^ ".sk")) )
-  with
-  | Some pk, Some truth_kp ->
-      let truth_sk = Falcon.Scheme.secret_of_keypair truth_kp in
-      Printf.printf "loaded %d traces of a FALCON-%d victim\n%!" (Array.length traces)
-        pk.params.n;
-      let strategy ~coeff ~mul =
-        let truth =
-          if mul = 0 then truth_sk.f_fft.Fft.re.(coeff)
-          else truth_sk.f_fft.Fft.im.(coeff)
-        in
-        Attack.Recover.Eval_sampled
-          { rng = Stats.Rng.create ~seed:(coeff * 7 + mul); decoys = 512; truth }
-      in
-      let res = Attack.Fullkey.recover_key ~jobs ~traces ~h:pk.h strategy in
-      Printf.printf "f recovered exactly: %b\n" (res.f = truth_kp.f);
-      (match res.keypair with
-      | None ->
-          print_endline "key reconstruction failed";
-          1
-      | Some kp ->
-          let msg = "offline-cracked forgery" in
-          let sg = Attack.Fullkey.forge ~keypair:kp ~seed:"forger" msg in
-          Printf.printf "forged signature verifies: %b\n"
-            (Falcon.Scheme.verify pk msg sg);
-          0)
-  | _ ->
-      prerr_endline "could not read companion .pk/.sk files";
-      1
+  match store with
+  | Some dir -> (
+      (* out-of-core path: stream shards from the store, never holding
+         the whole campaign in memory *)
+      let reader = Tracestore.Reader.open_store dir in
+      match
+        ( Falcon.Keycodec.decode_public (read_file (Filename.concat dir "public.key")),
+          Falcon.Keycodec.decode_secret (read_file (Filename.concat dir "secret.key"))
+        )
+      with
+      | Some pk, Some truth_kp ->
+          let truth_sk = Falcon.Scheme.secret_of_keypair truth_kp in
+          Printf.printf
+            "streaming %d traces (%d shards) of a FALCON-%d victim from %s\n%!"
+            (Tracestore.Reader.total_traces reader)
+            (Tracestore.Reader.shard_count reader)
+            pk.params.n dir;
+          let res =
+            Attack.Fullkey.recover_key_store ~jobs ~reader ~h:pk.h
+              (crack_strategy truth_sk)
+          in
+          crack_report pk truth_kp res
+      | _ ->
+          prerr_endline "could not read the store's public.key/secret.key files";
+          1)
+  | None -> (
+      let traces = Leakage.load input in
+      match
+        ( Falcon.Keycodec.decode_public (read_file (input ^ ".pk")),
+          Falcon.Keycodec.decode_secret (read_file (input ^ ".sk")) )
+      with
+      | Some pk, Some truth_kp ->
+          let truth_sk = Falcon.Scheme.secret_of_keypair truth_kp in
+          Printf.printf "loaded %d traces of a FALCON-%d victim\n%!"
+            (Array.length traces) pk.params.n;
+          let res =
+            Attack.Fullkey.recover_key ~jobs ~traces ~h:pk.h (crack_strategy truth_sk)
+          in
+          crack_report pk truth_kp res
+      | _ ->
+          prerr_endline "could not read companion .pk/.sk files";
+          1)
 
 open Cmdliner
 
@@ -157,6 +189,16 @@ let out_arg =
 let in_arg =
   Arg.(value & opt string "traces.bin" & info [ "i"; "input" ] ~doc:"Trace file.")
 
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Attack a sharded trace-store campaign (recorded with trace_cli) instead \
+           of a single trace file, streaming shards so peak memory stays bounded by \
+           one shard per worker.  Overrides --input.")
+
 let capture_cmd =
   Cmd.v
     (Cmd.info "capture" ~doc:"Capture simulated EM traces of a fresh victim to a file")
@@ -164,8 +206,9 @@ let capture_cmd =
 
 let crack_cmd =
   Cmd.v
-    (Cmd.info "crack" ~doc:"Recover the key and forge from a stored trace file")
-    Term.(const cmd_crack $ in_arg $ jobs_arg)
+    (Cmd.info "crack"
+       ~doc:"Recover the key and forge from a stored trace file or trace store")
+    Term.(const cmd_crack $ in_arg $ store_arg $ jobs_arg)
 
 let () =
   let doc = "Falcon Down side-channel attack driver" in

@@ -1,0 +1,217 @@
+(* Trace-campaign driver: record, extend, inspect and verify sharded
+   on-disk trace stores (lib/tracestore), the acquisition side of the
+   out-of-core attack pipeline.
+
+     dune exec bin/trace_cli.exe -- record -n 32 -t 5000 --shard 1000 -o campaign
+     dune exec bin/trace_cli.exe -- verify -i campaign
+     dune exec bin/attack_cli.exe -- crack --store campaign -j 4 *)
+
+let with_errors f =
+  try f () with
+  | Failure msg | Sys_error msg | Invalid_argument msg ->
+      prerr_endline msg;
+      1
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let store_model (m : Leakage.model) =
+  { Tracestore.alpha = m.alpha; noise_sigma = m.noise_sigma; baseline = m.baseline }
+
+let leakage_model (m : Tracestore.model_meta) =
+  { Leakage.alpha = m.alpha; noise_sigma = m.noise_sigma; baseline = m.baseline }
+
+let record_into writer model ~seed sk count =
+  let next = Leakage.capture_stream model ~seed sk in
+  for _ = 1 to count do
+    Tracestore.Writer.append writer (Leakage.to_record (next ()))
+  done
+
+let cmd_record n traces noise seed shard out =
+  with_errors @@ fun () ->
+  let model = { Leakage.default_model with noise_sigma = noise } in
+  let sk, pk = Falcon.Scheme.keygen ~n ~seed:(Printf.sprintf "victim-%d" seed) in
+  let writer =
+    Tracestore.Writer.create ~dir:out ~n ~width:(n * Leakage.events_per_coeff)
+      ~shard_traces:shard ~model:(store_model model)
+  in
+  Printf.printf
+    "recording %d traces of a fresh FALCON-%d victim into %s (noise sigma %.2f, \
+     shards of %d)\n%!"
+    traces n out noise shard;
+  record_into writer model ~seed sk traces;
+  Tracestore.Writer.close writer;
+  (* the attacker also holds the public key; keep the ground truth for
+     evaluation of the sampled-hypothesis mode *)
+  write_file (Filename.concat out "public.key") (Falcon.Keycodec.encode_public pk);
+  write_file (Filename.concat out "secret.key") (Falcon.Keycodec.encode_secret sk.kp);
+  Printf.printf "wrote %d traces in %d shards + manifest, public.key, secret.key\n"
+    traces
+    ((traces + shard - 1) / shard);
+  0
+
+let cmd_append store traces seed =
+  with_errors @@ fun () ->
+  let writer = Tracestore.Writer.open_append store in
+  let meta = Tracestore.Writer.meta writer in
+  let model = leakage_model meta.Tracestore.model in
+  match Falcon.Keycodec.decode_secret (read_file (Filename.concat store "secret.key")) with
+  | None ->
+      prerr_endline "could not read the store's secret.key (needed to keep signing)";
+      1
+  | Some kp ->
+      let sk = Falcon.Scheme.secret_of_keypair kp in
+      let before = Tracestore.Writer.total_traces writer in
+      Printf.printf
+        "appending %d traces (campaign seed %d) to %s holding %d; existing shards \
+         are never rewritten\n%!"
+        traces seed store before;
+      record_into writer model ~seed sk traces;
+      Tracestore.Writer.close writer;
+      Printf.printf "store now records %d traces\n" (before + traces);
+      0
+
+let cmd_inspect store =
+  with_errors @@ fun () ->
+  let reader = Tracestore.Reader.open_store store in
+  let m = Tracestore.Reader.meta reader in
+  Printf.printf "store      %s\n" store;
+  Printf.printf "victim     FALCON-%d (%d samples/trace)\n" m.Tracestore.n
+    m.Tracestore.width;
+  Printf.printf "model      alpha %.3f, noise sigma %.3f, baseline %.3f\n"
+    m.Tracestore.model.alpha m.Tracestore.model.noise_sigma m.Tracestore.model.baseline;
+  Printf.printf "sharding   %d traces per full shard\n" m.Tracestore.shard_traces;
+  Printf.printf "shard | traces | bytes    | crc32\n";
+  Printf.printf "------+--------+----------+---------\n";
+  for i = 0 to Tracestore.Reader.shard_count reader - 1 do
+    let e = Tracestore.Reader.entry reader i in
+    Printf.printf "%5d | %6d | %8d | %08x\n" i e.Tracestore.count e.Tracestore.bytes
+      e.Tracestore.crc
+  done;
+  Printf.printf "total %d traces in %d shards\n"
+    (Tracestore.Reader.total_traces reader)
+    (Tracestore.Reader.shard_count reader);
+  0
+
+let cmd_verify store =
+  with_errors @@ fun () ->
+  let meta, results = Tracestore.verify store in
+  Printf.printf "verifying %s (FALCON-%d, %d samples/trace)\n%!" store
+    meta.Tracestore.n meta.Tracestore.width;
+  let bad = ref 0 in
+  List.iter
+    (fun (i, r) ->
+      match r with
+      | Ok count -> Printf.printf "shard %4d: OK (%d traces)\n" i count
+      | Error msg ->
+          incr bad;
+          Printf.printf "shard %4d: CORRUPT — %s\n" i msg)
+    results;
+  if !bad = 0 then begin
+    Printf.printf "store OK: %d shards verified\n" (List.length results);
+    0
+  end
+  else begin
+    Printf.printf "%d of %d shards corrupt\n" !bad (List.length results);
+    1
+  end
+
+let cmd_import input out shard noise =
+  with_errors @@ fun () ->
+  let traces = Leakage.load input in
+  if Array.length traces = 0 then failwith "empty trace file";
+  let n = Fft.length traces.(0).Leakage.c_fft in
+  (* single-file trace sets carry no model metadata, so the acquisition
+     parameters are declared on the command line *)
+  let writer =
+    Tracestore.Writer.create ~dir:out ~n ~width:(n * Leakage.events_per_coeff)
+      ~shard_traces:shard
+      ~model:(store_model { Leakage.default_model with noise_sigma = noise })
+  in
+  Array.iter (fun t -> Tracestore.Writer.append writer (Leakage.to_record t)) traces;
+  Tracestore.Writer.close writer;
+  List.iter
+    (fun (ext, name) ->
+      let src = input ^ ext in
+      if Sys.file_exists src then write_file (Filename.concat out name) (read_file src))
+    [ (".pk", "public.key"); (".sk", "secret.key") ];
+  Printf.printf "imported %d traces from %s into %s (%d shards)\n" (Array.length traces)
+    input out
+    ((Array.length traces + shard - 1) / shard);
+  0
+
+open Cmdliner
+
+let n_arg = Arg.(value & opt int 32 & info [ "n" ] ~doc:"Ring degree of the victim.")
+let traces_arg = Arg.(value & opt int 2500 & info [ "t"; "traces" ] ~doc:"Trace count.")
+let noise_arg = Arg.(value & opt float 2.0 & info [ "noise" ] ~doc:"Noise sigma.")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt int 42
+    & info [ "seed" ]
+        ~doc:
+          "Campaign seed (probe noise, victim messages).  Append runs must use a \
+           seed distinct from every earlier run on the same store, or messages and \
+           noise repeat.")
+
+let shard_arg =
+  Arg.(
+    value
+    & opt int 1024
+    & info [ "shard" ] ~docv:"TRACES"
+        ~doc:"Traces per shard — the out-of-core analysis memory unit.")
+
+let out_arg =
+  Arg.(value & opt string "campaign" & info [ "o"; "out" ] ~doc:"Store directory.")
+
+let store_arg =
+  Arg.(value & opt string "campaign" & info [ "i"; "store" ] ~doc:"Store directory.")
+
+let in_file_arg =
+  Arg.(value & opt string "traces.bin" & info [ "input" ] ~doc:"Single trace file.")
+
+let record_cmd =
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:"Record a fresh victim's signing campaign into a sharded trace store")
+    Term.(const cmd_record $ n_arg $ traces_arg $ noise_arg $ seed_arg $ shard_arg $ out_arg)
+
+let append_cmd =
+  Cmd.v
+    (Cmd.info "append" ~doc:"Extend an existing campaign with more traces (append-only)")
+    Term.(const cmd_append $ store_arg $ traces_arg $ seed_arg)
+
+let inspect_cmd =
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Print the manifest: metadata and per-shard inventory")
+    Term.(const cmd_inspect $ store_arg)
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"CRC-check and fully parse every shard; exit 1 if any is corrupt")
+    Term.(const cmd_verify $ store_arg)
+
+let import_cmd =
+  Cmd.v
+    (Cmd.info "import"
+       ~doc:
+         "Convert a single-file trace set (including legacy FDTRACE1 files) into a \
+          sharded store")
+    Term.(const cmd_import $ in_file_arg $ out_arg $ shard_arg $ noise_arg)
+
+let () =
+  let doc = "Falcon Down trace-campaign store driver" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "trace_cli" ~doc)
+          [ record_cmd; append_cmd; inspect_cmd; verify_cmd; import_cmd ]))

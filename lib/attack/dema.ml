@@ -96,6 +96,84 @@ let rank_absolute ?jobs ~traces ~parts ~known ~top ~alpha ~baseline candidates =
   in
   rank_scores ?jobs ~score ~top candidates
 
+(* ---- streaming engine over an on-disk trace store ----
+
+   Everything below reads a Tracestore campaign one shard at a time:
+   shards are decoded on the Parallel domain pool (one shard per work
+   unit, so at most [jobs] decoded shards are ever live) and their
+   per-shard results are combined in shard order.  Column extraction is
+   arithmetic-free, so the assembled columns are byte-for-byte the ones
+   the in-memory path sees and every ranking below is bit-identical to
+   its in-memory counterpart at every [jobs]; the evolution path merges
+   Welford/Chan accumulators in shard order, deterministic at every
+   [jobs] and equal to a prefix rescan up to floating-point
+   reassociation. *)
+module Stream = struct
+  let check_meta reader =
+    let m = Tracestore.Reader.meta reader in
+    if m.Tracestore.width <> m.Tracestore.n * Leakage.events_per_coeff then
+      failwith
+        (Printf.sprintf
+           "Dema.Stream: store width %d does not match n = %d signing traces (want %d)"
+           m.Tracestore.width m.Tracestore.n
+           (m.Tracestore.n * Leakage.events_per_coeff));
+    m
+
+  let map_shards ?jobs reader f =
+    let m = check_meta reader in
+    let jobs = Parallel.resolve jobs in
+    let idx = Seq.init (Tracestore.Reader.shard_count reader) Fun.id in
+    List.filter_map Fun.id
+      (Parallel.map_chunks ~jobs ~chunk:1
+         ~map:(fun _ chunk ->
+           let i = chunk.(0) in
+           match Tracestore.Reader.read_shard reader i with
+           | None -> None
+           | Some records ->
+               Some (f i (Array.map (Leakage.of_record ~n:m.Tracestore.n) records)))
+         idx)
+
+  let extract ?jobs reader ~samples ~known =
+    let samples = Array.of_list samples in
+    let pieces =
+      map_shards ?jobs reader (fun _ traces ->
+          ( Array.map
+              (fun (t : Leakage.trace) -> Array.map (fun s -> t.samples.(s)) samples)
+              traces,
+            Array.map known traces ))
+    in
+    ( Array.concat (List.map fst pieces),
+      Array.concat (List.map snd pieces) )
+
+  let rank ?jobs reader ~parts ~known ~top candidates =
+    let traces, ks = extract ?jobs reader ~samples:(List.map fst parts) ~known in
+    let narrow_parts = List.mapi (fun i (_, model) -> (i, model)) parts in
+    rank ?jobs ~traces ~parts:narrow_parts ~known:ks ~top candidates
+
+  let evolution ?jobs reader ~sample ~model ~known ~guess =
+    let per_shard =
+      map_shards ?jobs reader (fun _ traces ->
+          let acc = Stats.Welford.Cov.create () in
+          Array.iter
+            (fun (t : Leakage.trace) ->
+              Stats.Welford.Cov.add acc
+                (float_of_int (Bitops.popcount (model guess (known t))))
+                t.samples.(sample))
+            traces;
+          acc)
+    in
+    let _, checkpoints =
+      List.fold_left
+        (fun (acc, out) shard_acc ->
+          let acc = Stats.Welford.Cov.merge acc shard_acc in
+          ( acc,
+            (Stats.Welford.Cov.count acc, Stats.Welford.Cov.correlation acc) :: out ))
+        (Stats.Welford.Cov.create (), [])
+        per_shard
+    in
+    List.rev checkpoints
+end
+
 let corr_time ~traces ~model ~known ~guesses =
   let hyps = Array.map (hyp_vector ~model ~known) guesses in
   Stats.Pearson.corr_matrix ~traces ~hyps

@@ -62,6 +62,63 @@ val rank_absolute :
     {!Calibrate.estimate} — i.e. from the same traces, not from a
     profiling device. *)
 
+(** Streaming engine over an on-disk {!Tracestore} campaign: the same
+    distinguishers without ever materialising the corpus.  Shards are
+    decoded on the domain pool (one shard per work unit, so peak memory
+    is bounded by [jobs] decoded shards plus the extracted columns /
+    accumulators) and combined in shard order.
+
+    {b Determinism.}  Column extraction is arithmetic-free, so
+    {!Stream.rank} is {e bit-identical} to the in-memory {!rank} over
+    the same traces, at every [jobs].  {!Stream.evolution} merges
+    {!Stats.Welford.Cov} accumulators in shard order (Chan's formula):
+    deterministic at every [jobs], and equal to a prefix rescan up to
+    floating-point reassociation (1e-9 in the property tests).
+
+    All entry points raise [Failure] if the store's sample width does
+    not match its ring size, or (under the reader's [`Fail] policy) if
+    a shard is corrupt; under [`Skip] corrupt shards are dropped from
+    the analysis and recorded on the reader. *)
+module Stream : sig
+  val map_shards :
+    ?jobs:int -> Tracestore.Reader.t -> (int -> Leakage.trace array -> 'a) -> 'a list
+  (** Decode every (readable) shard into full traces on the domain pool
+      and return per-shard results in shard order. *)
+
+  val extract :
+    ?jobs:int ->
+    Tracestore.Reader.t ->
+    samples:int list ->
+    known:(Leakage.trace -> 'k) ->
+    float array array * 'k array
+  (** One streaming pass assembling the narrow [D x |samples|] column
+      matrix and the known-operand array, in global trace order. *)
+
+  val rank :
+    ?jobs:int ->
+    Tracestore.Reader.t ->
+    parts:(int * (int -> 'k -> int)) list ->
+    known:(Leakage.trace -> 'k) ->
+    top:int ->
+    int Seq.t ->
+    scored list
+  (** Store-backed {!rank}: part sample indices are {e absolute} trace
+      sample positions (e.g. from [Leakage.sample_of]); [known] maps a
+      trace to the operand fed to the part models. *)
+
+  val evolution :
+    ?jobs:int ->
+    Tracestore.Reader.t ->
+    sample:int ->
+    model:(int -> 'k -> int) ->
+    known:(Leakage.trace -> 'k) ->
+    guess:int ->
+    (int * float) list
+  (** Correlation-vs-trace-count checkpoints, one per shard boundary
+      (Fig. 4 e-h at campaign scale): running accumulators instead of
+      prefix rescans. *)
+end
+
 val corr_time :
   traces:float array array ->
   model:(int -> 'k -> int) ->

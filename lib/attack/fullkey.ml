@@ -38,6 +38,78 @@ let recover_key ?jobs ~traces ~h strategy =
   let keypair = Ntru.Ntrugen.recover_from_f ~n ~f ~h in
   { f_fft; f; keypair }
 
+(* ---- out-of-core variant over a Tracestore campaign ----
+
+   One streaming pass per (coefficient, component) task extracts just
+   that task's two 16-sample windows and known operands — O(D) floats —
+   then runs the unchanged per-coefficient attack on them.  Extraction
+   is arithmetic-free and in shard order, so the views are exactly the
+   ones [Recover.views_for] builds from the in-memory corpus and the
+   recovered key is bit-identical to [recover_key] at every [jobs];
+   peak memory is one decoded shard per domain plus the extracted
+   windows, never the whole campaign. *)
+let store_views ~reader ~coeff ~component =
+  let muls = match component with `Re -> [ 0; 3 ] | `Im -> [ 1; 2 ] in
+  let samples =
+    List.concat_map
+      (fun m ->
+        List.init Leakage.events_per_mul (fun i ->
+            (coeff * Leakage.events_per_coeff) + (m * Leakage.events_per_mul) + i))
+      muls
+  in
+  let known (t : Leakage.trace) =
+    (t.c_fft.Fft.re.(coeff), t.c_fft.Fft.im.(coeff))
+  in
+  let narrow, ks = Dema.Stream.extract ~jobs:1 reader ~samples ~known in
+  List.mapi
+    (fun vi m ->
+      let lo = vi * Leakage.events_per_mul in
+      {
+        Recover.traces =
+          Array.map (fun row -> Array.sub row lo Leakage.events_per_mul) narrow;
+        known =
+          Array.map (fun (re, im) -> match m with 0 | 2 -> re | _ -> im) ks;
+      })
+    muls
+
+let recover_f_fft_store ?jobs ~reader strategy =
+  let n = (Tracestore.Reader.meta reader).Tracestore.n in
+  let jobs = Parallel.resolve jobs in
+  let tasks = 2 * n in
+  let outer = min jobs tasks in
+  let inner = max 1 (jobs / max outer 1) in
+  let recovered =
+    Parallel.map_array ~jobs:outer
+      (fun t ->
+        let k = t lsr 1 in
+        let component = if t land 1 = 0 then `Re else `Im in
+        let views = store_views ~reader ~coeff:k ~component in
+        Recover.coefficient ~jobs:inner
+          ~strategy:(strategy ~coeff:k ~mul:(t land 1))
+          views)
+      (Array.init tasks Fun.id)
+  in
+  let out = Fft.zero n in
+  for k = 0 to n - 1 do
+    out.Fft.re.(k) <- recovered.(2 * k);
+    out.Fft.im.(k) <- recovered.((2 * k) + 1)
+  done;
+  out
+
+let recover_key_store ?jobs ~reader ~h strategy =
+  let n = Array.length h in
+  let store_n = (Tracestore.Reader.meta reader).Tracestore.n in
+  if store_n <> n then
+    failwith
+      (Printf.sprintf
+         "Fullkey.recover_key_store: store holds FALCON-%d traces but the public key \
+          is FALCON-%d"
+         store_n n);
+  let f_fft = recover_f_fft_store ?jobs ~reader strategy in
+  let f = Fft.round_to_int (Fft.ifft f_fft) in
+  let keypair = Ntru.Ntrugen.recover_from_f ~n ~f ~h in
+  { f_fft; f; keypair }
+
 let count_correct recovered ~truth =
   let n = Fft.length recovered in
   assert (Fft.length truth = n);

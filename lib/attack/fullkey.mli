@@ -38,6 +38,27 @@ val recover_key :
   (coeff:int -> mul:int -> Recover.strategy) ->
   result
 
+val recover_f_fft_store :
+  ?jobs:int ->
+  reader:Tracestore.Reader.t ->
+  (coeff:int -> mul:int -> Recover.strategy) ->
+  Fft.t
+(** Out-of-core {!recover_f_fft} over a {!Tracestore} campaign: each
+    (coefficient, component) task makes one streaming pass extracting
+    only its two 16-sample windows, so peak memory is bounded by one
+    decoded shard per domain plus O(traces) extracted window floats —
+    never the whole campaign.  Bit-identical to the in-memory path over
+    the same traces, at every [jobs]. *)
+
+val recover_key_store :
+  ?jobs:int ->
+  reader:Tracestore.Reader.t ->
+  h:int array ->
+  (coeff:int -> mul:int -> Recover.strategy) ->
+  result
+(** [recover_key] reading from a trace store.  Raises [Failure] if the
+    store's ring size disagrees with the public key. *)
+
 val count_correct : Fft.t -> truth:Fft.t -> int
 (** Number of bit-exact coefficient matches (out of 2n values). *)
 

@@ -51,68 +51,78 @@ type trace = {
   signature : Falcon.Scheme.signature;
 }
 
-let capture model ~seed (sk : Falcon.Scheme.secret_key) ~count =
+let capture_stream model ~seed (sk : Falcon.Scheme.secret_key) =
+  (* The probe state (noise RNG) and the victim's signer RNG live across
+     calls, so an acquisition campaign can pull traces one at a time —
+     appending each to an out-of-core store — and still produce exactly
+     the stream a single batch capture would. *)
   let noise_rng = Stats.Rng.create ~seed in
   let signer_rng = Prng.of_seed (Printf.sprintf "victim signer %d" seed) in
   let n = sk.params.n in
-  Array.init count (fun i ->
-      let msg = Printf.sprintf "message %d-%d" seed i in
-      let samples = Array.make (n * events_per_coeff) 0. in
-      let pos = Array.make n 0 in
-      let emit k (e : Fpr.event) =
-        (* Events of coefficient k arrive in mul0..mul3, add0, add1 order;
-           since Fft.mul_emit processes one coefficient at a time, a
-           per-coefficient cursor places them. *)
-        if pos.(k) < events_per_coeff then begin
-          samples.((k * events_per_coeff) + pos.(k)) <- render model noise_rng e.value;
-          pos.(k) <- pos.(k) + 1
-        end
-      in
-      let signature = Falcon.Scheme.sign ~emit_cf:emit ~rng:signer_rng sk msg in
-      let c =
-        Falcon.Hash.to_point ~n (signature.Falcon.Scheme.salt ^ msg)
-      in
-      { samples; c_fft = Fft.fft_of_int c; msg; signature })
+  let next = ref 0 in
+  fun () ->
+    let i = !next in
+    incr next;
+    let msg = Printf.sprintf "message %d-%d" seed i in
+    let samples = Array.make (n * events_per_coeff) 0. in
+    let pos = Array.make n 0 in
+    let emit k (e : Fpr.event) =
+      (* Events of coefficient k arrive in mul0..mul3, add0, add1 order;
+         since Fft.mul_emit processes one coefficient at a time, a
+         per-coefficient cursor places them. *)
+      if pos.(k) < events_per_coeff then begin
+        samples.((k * events_per_coeff) + pos.(k)) <- render model noise_rng e.value;
+        pos.(k) <- pos.(k) + 1
+      end
+    in
+    let signature = Falcon.Scheme.sign ~emit_cf:emit ~rng:signer_rng sk msg in
+    let c = Falcon.Hash.to_point ~n (signature.Falcon.Scheme.salt ^ msg) in
+    { samples; c_fft = Fft.fft_of_int c; msg; signature }
 
-let magic = "FDTRACE1"
+let capture model ~seed sk ~count =
+  let next = capture_stream model ~seed sk in
+  Array.init count (fun _ -> next ())
+
+let to_record t =
+  {
+    Tracestore.msg = t.msg;
+    salt = t.signature.Falcon.Scheme.salt;
+    body = t.signature.Falcon.Scheme.body;
+    samples = t.samples;
+  }
+
+let of_record ~n (r : Tracestore.record) =
+  (* the known input FFT(c) is recomputed from the stored public salt
+     and message — exactly the information a real adversary keeps *)
+  let c = Falcon.Hash.to_point ~n (r.salt ^ r.msg) in
+  {
+    samples = r.samples;
+    c_fft = Fft.fft_of_int c;
+    msg = r.msg;
+    signature = { Falcon.Scheme.salt = r.salt; body = r.body };
+  }
+
+(* Single-file persistence is one shard of the Tracestore format:
+   exactly the binary layout and validation path of a store shard
+   (header, CRC32-protected payload), so a standalone trace file and a
+   sharded campaign cannot drift apart.  Files written by the pre-store
+   "FDTRACE1" format are still readable through the legacy shim. *)
+let legacy_magic = "FDTRACE1"
 
 let save path traces =
   if Array.length traces = 0 then invalid_arg "Leakage.save: empty trace set";
   let n = Fft.length traces.(0).c_fft in
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc magic;
-      output_binary_int oc n;
-      output_binary_int oc (Array.length traces);
-      Array.iter
-        (fun t ->
-          output_binary_int oc (String.length t.msg);
-          output_string oc t.msg;
-          output_binary_int oc (String.length t.signature.Falcon.Scheme.salt);
-          output_string oc t.signature.Falcon.Scheme.salt;
-          output_binary_int oc (String.length t.signature.Falcon.Scheme.body);
-          output_string oc t.signature.Falcon.Scheme.body;
-          output_binary_int oc (Array.length t.samples);
-          Array.iter
-            (fun v ->
-              let bits = Int64.bits_of_float v in
-              for b = 7 downto 0 do
-                output_char oc
-                  (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * b)) land 0xFF))
-              done)
-            t.samples)
-        traces)
+  ignore
+    (Tracestore.Shard.write_file path ~n ~width:(n * events_per_coeff)
+       (Array.map to_record traces))
 
-(* A trace file comes from disk or the network: every declared length is
-   validated against the bytes actually remaining BEFORE any allocation,
-   so a corrupted or truncated file fails with a descriptive [Failure]
-   (including the byte offset of the offending field) instead of
-   [End_of_file] mid-parse or [Out_of_memory] on a wild length field. *)
+(* The pre-Tracestore reader, kept verbatim as a read-only shim for old
+   fixtures: lengths are validated against the bytes remaining before
+   any allocation, with offset-reporting failures (the PR 1 hardening).
+   There is no CRC in this format. *)
 let max_string_field = 1 lsl 20
 
-let load path =
+let load_legacy path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -142,9 +152,7 @@ let load path =
         need what len;
         really_input_string ic len
       in
-      need "magic" (String.length magic);
-      let m = really_input_string ic (String.length magic) in
-      if m <> magic then fail "bad magic %S (want %S)" m magic;
+      seek_in ic (String.length legacy_magic);
       let off_n = pos_in ic in
       let n = read_int "ring size" in
       if n < 2 || n > 1024 || n land (n - 1) <> 0 then
@@ -171,6 +179,27 @@ let load path =
           let c = Falcon.Hash.to_point ~n (salt ^ msg) in
           { samples; c_fft = Fft.fft_of_int c; msg;
             signature = { Falcon.Scheme.salt; body } }))
+
+let peek_magic path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let want = String.length legacy_magic in
+      if in_channel_length ic < want then ""
+      else really_input_string ic want)
+
+let load path =
+  if peek_magic path = legacy_magic then load_legacy path
+  else begin
+    let n, width, records = Tracestore.Shard.read_file path in
+    if width <> n * events_per_coeff then
+      failwith
+        (Printf.sprintf
+           "Leakage.load: %s: sample width %d does not match n = %d (want %d)" path
+           width n (n * events_per_coeff));
+    Array.map (of_record ~n) records
+  end
 
 let ntt_trace model rng p =
   let buf = ref [] in

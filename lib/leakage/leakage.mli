@@ -68,14 +68,32 @@ val capture : model -> seed:int -> Falcon.Scheme.secret_key -> count:int -> trac
     consumes its own ChaCha20 randomness; measurement noise comes from the
     [seed]ed experiment RNG. *)
 
+val capture_stream : model -> seed:int -> Falcon.Scheme.secret_key -> unit -> trace
+(** One-at-a-time capture for out-of-core campaigns: each call signs the
+    next message and returns its trace, carrying the probe and signer
+    RNG state across calls, so
+    [Array.init count (capture_stream m ~seed sk)] is the same stream as
+    [capture m ~seed sk ~count] without ever holding more than one trace
+    — append each to a {!Tracestore.Writer} as it is produced. *)
+
 (** {1 Trace-set persistence}
 
     A measurement campaign and the key-recovery analysis are separate
-    steps in practice; these functions store a captured trace set in a
-    simple self-describing binary format (magic, ring size, per-trace
-    message, salt and samples) so the attack can run offline.  The known
-    input FFT(c) is {e recomputed} from the stored public salt+message on
-    load — exactly the information a real adversary keeps. *)
+    steps in practice; a captured trace set is stored in the
+    {!Tracestore} binary format (a single-file trace set is exactly one
+    store shard: header, records, trailing CRC32), so standalone files
+    and sharded out-of-core campaigns share one codec and one
+    validation path.  The known input FFT(c) is {e recomputed} from the
+    stored public salt+message on load — exactly the information a real
+    adversary keeps. *)
+
+val to_record : trace -> Tracestore.record
+(** Strip a trace to its storable public part (message, salt, signature
+    body, raw samples). *)
+
+val of_record : n:int -> Tracestore.record -> trace
+(** Rebuild a full trace from a stored record, recomputing FFT(c) from
+    the salt and message. *)
 
 val save : string -> trace array -> unit
 (** Raises [Sys_error] on I/O failure, [Invalid_argument] on an empty
@@ -83,10 +101,12 @@ val save : string -> trace array -> unit
 
 val load : string -> trace array
 (** Raises [Failure] on a malformed file.  Every declared length is
-    checked against the bytes remaining before anything is allocated, so
-    truncation or corruption yields a descriptive message naming the
-    offending field and its byte offset — never [End_of_file] or
-    [Out_of_memory]. *)
+    checked against the bytes remaining before anything is allocated,
+    and the payload CRC32 is verified, so truncation or corruption
+    yields a descriptive message naming the offending field and its
+    byte offset — never [End_of_file] or [Out_of_memory].  Files in the
+    pre-store "FDTRACE1" format are read through a legacy shim (same
+    validation, no CRC). *)
 
 (** {1 NTT traces (section V-C comparison)} *)
 

@@ -121,6 +121,40 @@ let evolution ~traces ~hyp ~sample ~step =
   done;
   List.rev !out
 
+module Streaming = struct
+  type t = { width : int; mutable n : int; cols : Welford.Cov.t array }
+
+  let create ~width =
+    if width < 0 then invalid_arg "Pearson.Streaming.create: negative width";
+    { width; n = 0; cols = Array.init width (fun _ -> Welford.Cov.create ()) }
+
+  let add t ~hyp row =
+    if Array.length row <> t.width then
+      invalid_arg
+        (Printf.sprintf "Pearson.Streaming.add: row has %d samples, tracker width is %d"
+           (Array.length row) t.width);
+    t.n <- t.n + 1;
+    for j = 0 to t.width - 1 do
+      Welford.Cov.add t.cols.(j) hyp row.(j)
+    done
+
+  let count t = t.n
+  let width t = t.width
+  let corr t j = Welford.Cov.correlation t.cols.(j)
+  let corr_all t = Array.init t.width (corr t)
+
+  let merge a b =
+    if a.width <> b.width then
+      invalid_arg
+        (Printf.sprintf "Pearson.Streaming.merge: widths %d and %d differ" a.width
+           b.width);
+    {
+      width = a.width;
+      n = a.n + b.n;
+      cols = Array.init a.width (fun j -> Welford.Cov.merge a.cols.(j) b.cols.(j));
+    }
+end
+
 let best_sample r =
   let best = ref 0 in
   Array.iteri (fun j v -> if Float.abs v > Float.abs r.(!best) then best := j) r;

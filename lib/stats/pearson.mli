@@ -45,6 +45,36 @@ val evolution :
     [d = step, 2*step, ...] — the paper's correlation-vs-measurement
     plots (Fig. 4 e-h). *)
 
+(** Streaming per-column correlation tracker: one {!Welford.Cov}
+    accumulator per trace column, fed one trace (hypothesis value +
+    sample row) at a time.  Correlation-vs-trace-count curves become a
+    sequence of {!corr} checkpoints on a single growing tracker — no
+    prefix rescans — and partial trackers built per shard merge in shard
+    order into the whole-campaign statistic (Chan's formula, associative
+    up to floating-point reassociation). *)
+module Streaming : sig
+  type t
+
+  val create : width:int -> t
+  (** Track [width] trace columns against one hypothesis stream. *)
+
+  val add : t -> hyp:float -> float array -> unit
+  (** [add t ~hyp row] folds one trace: its modelled leakage [hyp] and
+      its [width] measured samples.  Raises [Invalid_argument] on a
+      width mismatch. *)
+
+  val count : t -> int
+  val width : t -> int
+
+  val corr : t -> int -> float
+  (** Correlation at column [j] over everything folded so far. *)
+
+  val corr_all : t -> float array
+
+  val merge : t -> t -> t
+  (** Combine disjoint partial trackers; neither input is mutated. *)
+end
+
 val best_sample : float array -> int * float
 (** Index and value of the entry with the largest absolute value. *)
 

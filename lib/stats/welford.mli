@@ -12,3 +12,37 @@ val variance : t -> float
 val stddev : t -> float
 val merge : t -> t -> t
 (** Combine two accumulators (Chan's parallel formula). *)
+
+(** Paired (bivariate) accumulator: single-pass running mean, variance
+    and covariance of an (x, y) stream, with a Chan-formula [merge] so
+    partial accumulators computed shard-by-shard (possibly on different
+    domains) combine into exactly the statistic of the concatenated
+    stream, up to floating-point reassociation (see the 1e-9 property
+    tests).  The building block of {!Pearson.Streaming}. *)
+module Cov : sig
+  type t
+
+  val create : unit -> t
+  val copy : t -> t
+
+  val add : t -> float -> float -> unit
+  (** [add t x y] folds one paired observation. *)
+
+  val count : t -> int
+  val mean_x : t -> float
+  val mean_y : t -> float
+
+  val variance_x : t -> float
+  (** Unbiased; 0 when fewer than two observations (likewise below). *)
+
+  val variance_y : t -> float
+  val covariance : t -> float
+
+  val correlation : t -> float
+  (** Pearson correlation of everything folded so far; 0 if either side
+      is constant. *)
+
+  val merge : t -> t -> t
+  (** Combine two disjoint partial accumulators (Chan).  Neither input
+      is mutated. *)
+end

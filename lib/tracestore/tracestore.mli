@@ -1,0 +1,165 @@
+(** Append-only sharded on-disk trace corpus.
+
+    A measurement campaign at paper scale (10k+ traces of 70n samples)
+    does not have to fit in RAM: this module stores it as a directory of
+    fixed-size binary {e shards} plus a {e manifest} carrying per-shard
+    trace counts, the sample width, leakage-model metadata and CRC32
+    checksums.  A {!Writer} appends traces during acquisition (buffering
+    at most one shard); a {!Reader} iterates the corpus one shard at a
+    time with shard-level corruption detection and a skip-or-fail
+    policy.
+
+    The layer is deliberately ignorant of the FALCON attack: a trace is
+    a {!record} of public strings plus raw samples.  [Leakage] converts
+    to and from its richer trace type (recomputing the known input
+    FFT(c) from the stored salt and message), and delegates its
+    single-file [save]/[load] through the same {!Shard} codec, so there
+    is exactly one binary trace format and one validation path in the
+    repository.
+
+    {b Validation.}  Mirroring the [Leakage.load] hardening: every
+    declared length is checked against the bytes actually present
+    before anything is allocated, and every failure is a [Failure]
+    whose message names the offending field, its byte offset, and (for
+    store shards) the shard index — never [End_of_file] or
+    [Out_of_memory].  See DESIGN.md section 8 for the byte-level
+    layout. *)
+
+type record = {
+  msg : string;  (** signed message (public) *)
+  salt : string;  (** signature salt (public) *)
+  body : string;  (** compressed signature body (public) *)
+  samples : float array;  (** raw EM samples, [width] of them *)
+}
+
+type model_meta = { alpha : float; noise_sigma : float; baseline : float }
+(** Leakage-model parameters recorded at acquisition time so an offline
+    analysis knows the campaign's SNR. *)
+
+type meta = {
+  n : int;  (** ring size of the victim (power of two in [2, 1024]) *)
+  width : int;  (** samples per trace *)
+  shard_traces : int;  (** target traces per full shard *)
+  model : model_meta;
+}
+
+type shard_entry = {
+  count : int;  (** traces in this shard *)
+  bytes : int;  (** total shard file size *)
+  crc : int;  (** CRC32 of the shard payload *)
+}
+
+val shard_name : int -> string
+(** [shard_name i] is ["shard-%04d.fdt"], the file name of shard [i]
+    inside a store directory. *)
+
+val manifest_name : string
+(** ["manifest.fdm"]. *)
+
+module Crc32 : sig
+  val digest : Bytes.t -> pos:int -> len:int -> int
+  (** Standard CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected),
+      returned as a non-negative int in [0, 2^32). *)
+
+  val digest_string : string -> int
+end
+
+(** {1 Single-shard codec}
+
+    A shard file is self-contained: header (magic, ring size, sample
+    width, trace count), the trace records, and a trailing CRC32 of the
+    record payload.  [Leakage.save]/[load] use exactly this format for
+    standalone trace files. *)
+
+module Shard : sig
+  val write_file : string -> n:int -> width:int -> record array -> shard_entry
+  (** Encode and write one shard; returns its manifest entry.  Raises
+      [Invalid_argument] if a record's sample count differs from
+      [width], [Sys_error] on I/O failure. *)
+
+  val read_file : string -> int * int * record array
+  (** [read_file path] is [(n, width, records)].  Raises [Failure] with
+      field/offset diagnostics on any malformation (bad magic, field
+      out of range, truncation, CRC mismatch, trailing garbage). *)
+end
+
+(** {1 Acquisition} *)
+
+module Writer : sig
+  type t
+
+  val create :
+    dir:string -> n:int -> width:int -> shard_traces:int -> model:model_meta -> t
+  (** Start a new store in [dir] (created if missing).  Raises
+      [Failure] if [dir] already contains a manifest — append-only
+      stores are extended with {!open_append}, never overwritten. *)
+
+  val open_append : string -> t
+  (** Reopen an existing store for appending.  Existing shard files are
+      never rewritten: new traces go to fresh shards (so the shard
+      before the append boundary may hold fewer than [shard_traces]
+      traces).  Raises [Failure] if the manifest is missing or
+      malformed. *)
+
+  val meta : t -> meta
+
+  val append : t -> record -> unit
+  (** Buffer one trace; flushes a shard to disk whenever [shard_traces]
+      are pending.  Raises [Invalid_argument] on a sample-count
+      mismatch or after [close]. *)
+
+  val total_traces : t -> int
+  (** Traces in flushed shards plus pending ones. *)
+
+  val close : t -> unit
+  (** Flush the partial tail shard (if any) and atomically write the
+      manifest (temp file + rename).  Idempotent. *)
+end
+
+(** {1 Analysis} *)
+
+module Reader : sig
+  type t
+
+  val open_store : ?policy:[ `Fail | `Skip ] -> string -> t
+  (** Open a store for reading; validates the manifest eagerly (a
+      corrupt manifest always raises [Failure], whatever the policy).
+      [policy] governs shard-level corruption during iteration:
+      [`Fail] (default) raises; [`Skip] drops the shard and records it
+      in {!skipped}.  The handle is safe to share across domains. *)
+
+  val meta : t -> meta
+  val shard_count : t -> int
+
+  val total_traces : t -> int
+  (** Sum of manifest per-shard counts (including shards that would be
+      skipped). *)
+
+  val entry : t -> int -> shard_entry
+
+  val load_shard : t -> int -> record array
+  (** Strict single-shard load: reads, CRC-checks and parses shard [i],
+      validating size, count and checksum against the manifest.  Raises
+      [Failure] (naming the shard index and byte offset) on any
+      corruption, regardless of policy. *)
+
+  val read_shard : t -> int -> record array option
+  (** Policy-honouring load: [None] if the shard is corrupt and the
+      policy is [`Skip]. *)
+
+  val skipped : t -> (int * string) list
+  (** Shards skipped so far (index, diagnostic), in skip order. *)
+
+  val fold : t -> init:'a -> f:('a -> int -> record array -> 'a) -> 'a
+  (** Sequential in-order fold over shards, one shard in memory at a
+      time; corrupt shards skip or fail per policy. *)
+
+  val to_seq : t -> record Seq.t
+  (** Lazy record stream in shard order; at most one decoded shard is
+      live at any point of the traversal. *)
+end
+
+val verify : string -> meta * (int * (int, string) result) list
+(** [verify dir] opens the manifest strictly and strictly loads every
+    shard, returning per-shard outcomes in order: [Ok count] or
+    [Error diagnostic].  The store is never modified. *)

@@ -187,40 +187,96 @@ let with_fixture f =
       Leakage.save path traces;
       f path)
 
-let test_load_truncated_reports_offset () =
+let test_load_truncated_rejected () =
   with_fixture @@ fun path ->
   let whole =
     let ic = open_in_bin path in
     Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
         really_input_string ic (in_channel_length ic))
   in
-  (* cut inside the first trace's sample block *)
-  let cut = (String.length whole / 2) + 3 in
+  (* cut below the shard header minimum: reported as truncation ... *)
   let oc = open_out_bin path in
-  output_string oc (String.sub whole 0 cut);
+  output_string oc (String.sub whole 0 15);
   close_out oc;
-  check_load_failure "truncated" path ~mentions:[ "truncated"; "offset" ]
+  check_load_failure "headless" path ~mentions:[ "truncated" ];
+  (* ... and a cut inside the record payload breaks the trailing
+     checksum, reported as corruption over the payload byte range *)
+  let oc = open_out_bin path in
+  output_string oc (String.sub whole 0 ((String.length whole / 2) + 3));
+  close_out oc;
+  check_load_failure "truncated payload" path ~mentions:[ "CRC mismatch"; "20" ]
 
-let test_load_bitflipped_length_rejected () =
-  (* flip the top bit of the first trace's message-length field (byte 16,
-     after 8 bytes of magic + ring size + trace count): the declared
-     length becomes wild, and load must refuse it by validation — not by
+let test_load_bitflipped_count_rejected () =
+  (* flip the top bit of the header trace-count field (byte 16, after
+     8 bytes of magic + ring size + sample width): the declared count
+     becomes wild, and load must refuse it by validation — not by
      attempting the allocation *)
   with_fixture @@ fun path ->
   let fd = open_out_gen [ Open_binary; Open_wronly ] 0 path in
   seek_out fd 16;
   output_char fd '\x7f';
   close_out fd;
-  check_load_failure "bit-flipped length" path
-    ~mentions:[ "message length"; "out of range"; "offset 16" ]
+  check_load_failure "bit-flipped count" path
+    ~mentions:[ "trace count"; "out of range"; "offset 16" ]
+
+let test_load_bitflipped_payload_rejected () =
+  (* a flip inside the record payload is caught by the shard CRC *)
+  with_fixture @@ fun path ->
+  let fd = open_out_gen [ Open_binary; Open_wronly ] 0 path in
+  seek_out fd 200;
+  output_char fd '\xff';
+  close_out fd;
+  check_load_failure "bit-flipped payload" path
+    ~mentions:[ "CRC mismatch"; "corruption" ]
+
+let test_load_legacy_format () =
+  (* a pre-Tracestore "FDTRACE1" file (no CRC, OCaml binary ints) must
+     still load through the legacy shim *)
+  let sk = Lazy.force sk16 in
+  let traces = Leakage.capture Leakage.default_model ~seed:35 sk ~count:2 in
+  let path = Filename.temp_file "fd_legacy" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "FDTRACE1";
+      output_binary_int oc 16;
+      output_binary_int oc (Array.length traces);
+      Array.iter
+        (fun (t : Leakage.trace) ->
+          let str s =
+            output_binary_int oc (String.length s);
+            output_string oc s
+          in
+          str t.msg;
+          str t.signature.Falcon.Scheme.salt;
+          str t.signature.Falcon.Scheme.body;
+          output_binary_int oc (Array.length t.samples);
+          let b = Bytes.create 8 in
+          Array.iter
+            (fun v ->
+              Bytes.set_int64_be b 0 (Int64.bits_of_float v);
+              output_bytes oc b)
+            t.samples)
+        traces;
+      close_out oc;
+      let back = Leakage.load path in
+      Alcotest.(check int) "count" 2 (Array.length back);
+      Array.iteri
+        (fun i (t : Leakage.trace) ->
+          Alcotest.(check bool) "samples bit-exact" true (t.samples = traces.(i).samples);
+          Alcotest.(check bool) "signature" true (t.signature = traces.(i).signature))
+        back)
 
 let suite =
   suite
   @ [
       Alcotest.test_case "trace save/load roundtrip" `Quick test_save_load_roundtrip;
       Alcotest.test_case "load rejects garbage" `Quick test_load_rejects_garbage;
-      Alcotest.test_case "truncated file reports offset" `Quick
-        test_load_truncated_reports_offset;
-      Alcotest.test_case "bit-flipped length field rejected" `Quick
-        test_load_bitflipped_length_rejected;
+      Alcotest.test_case "truncated file rejected" `Quick test_load_truncated_rejected;
+      Alcotest.test_case "bit-flipped count field rejected" `Quick
+        test_load_bitflipped_count_rejected;
+      Alcotest.test_case "bit-flipped payload fails CRC" `Quick
+        test_load_bitflipped_payload_rejected;
+      Alcotest.test_case "legacy FDTRACE1 shim" `Quick test_load_legacy_format;
     ]

@@ -15,6 +15,8 @@ let () =
       ("sampler", Test_sampler.suite);
       ("falcon", Test_falcon.suite);
       ("leakage", Test_leakage.suite);
+      ("tracestore", Test_tracestore.suite);
+      ("stream", Test_stream.suite);
       ("attack", Test_attack.suite);
       ("more", Test_more.suite);
       ("multicore", Test_multicore.suite);

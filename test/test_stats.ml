@@ -22,6 +22,58 @@ let test_welford_merge () =
   Alcotest.(check bool) "merged var" true
     (feq (Stats.Welford.variance m) (Stats.Welford.variance all))
 
+let test_cov_exact () =
+  let c = Stats.Welford.Cov.create () in
+  List.iter
+    (fun (x, y) -> Stats.Welford.Cov.add c x y)
+    [ (1., 2.); (2., 4.); (3., 6.); (4., 8.) ];
+  Alcotest.(check int) "count" 4 (Stats.Welford.Cov.count c);
+  Alcotest.(check bool) "mean x" true (feq (Stats.Welford.Cov.mean_x c) 2.5);
+  Alcotest.(check bool) "mean y" true (feq (Stats.Welford.Cov.mean_y c) 5.);
+  Alcotest.(check bool) "var x" true (feq (Stats.Welford.Cov.variance_x c) (5. /. 3.));
+  Alcotest.(check bool) "var y" true (feq (Stats.Welford.Cov.variance_y c) (20. /. 3.));
+  Alcotest.(check bool) "cov" true (feq (Stats.Welford.Cov.covariance c) (10. /. 3.));
+  Alcotest.(check bool) "perfect corr" true (feq (Stats.Welford.Cov.correlation c) 1.);
+  (* constant y: correlation defined as 0, not NaN *)
+  let k = Stats.Welford.Cov.create () in
+  List.iter (fun x -> Stats.Welford.Cov.add k x 7.) [ 1.; 2.; 3. ];
+  Alcotest.(check bool) "constant side" true (feq (Stats.Welford.Cov.correlation k) 0.)
+
+let test_cov_matches_two_pass () =
+  let rng = Stats.Rng.create ~seed:21 in
+  let d = 500 in
+  let xs = Array.init d (fun _ -> Stats.Rng.gaussian rng ~mu:3. ~sigma:2.) in
+  let ys =
+    Array.map (fun x -> (0.7 *. x) +. Stats.Rng.gaussian rng ~mu:0. ~sigma:1.) xs
+  in
+  let c = Stats.Welford.Cov.create () in
+  Array.iteri (fun i x -> Stats.Welford.Cov.add c x ys.(i)) xs;
+  Alcotest.(check bool) "streaming corr == two-pass corr" true
+    (feq (Stats.Welford.Cov.correlation c) (Stats.Pearson.corr xs ys))
+
+let test_cov_merge () =
+  let rng = Stats.Rng.create ~seed:22 in
+  let whole = Stats.Welford.Cov.create () in
+  let a = Stats.Welford.Cov.create () and b = Stats.Welford.Cov.create () in
+  for i = 0 to 199 do
+    let x = Stats.Rng.gaussian rng ~mu:0. ~sigma:1. in
+    let y = x +. Stats.Rng.gaussian rng ~mu:0. ~sigma:0.5 in
+    Stats.Welford.Cov.add whole x y;
+    Stats.Welford.Cov.add (if i < 73 then a else b) x y
+  done;
+  let m = Stats.Welford.Cov.merge a b in
+  Alcotest.(check int) "count" 200 (Stats.Welford.Cov.count m);
+  Alcotest.(check bool) "mean x" true
+    (feq (Stats.Welford.Cov.mean_x m) (Stats.Welford.Cov.mean_x whole));
+  Alcotest.(check bool) "cov" true
+    (feq (Stats.Welford.Cov.covariance m) (Stats.Welford.Cov.covariance whole));
+  Alcotest.(check bool) "corr" true
+    (feq (Stats.Welford.Cov.correlation m) (Stats.Welford.Cov.correlation whole));
+  (* merging with an empty accumulator is the identity *)
+  let e = Stats.Welford.Cov.merge (Stats.Welford.Cov.create ()) whole in
+  Alcotest.(check bool) "empty merge identity" true
+    (feq (Stats.Welford.Cov.correlation e) (Stats.Welford.Cov.correlation whole))
+
 let test_corr_exact () =
   let xs = [| 1.; 2.; 3.; 4. |] in
   let ys = [| 2.; 4.; 6.; 8. |] in
@@ -118,6 +170,9 @@ let suite =
   [
     Alcotest.test_case "welford basic" `Quick test_welford;
     Alcotest.test_case "welford merge" `Quick test_welford_merge;
+    Alcotest.test_case "cov exact" `Quick test_cov_exact;
+    Alcotest.test_case "cov matches two-pass" `Quick test_cov_matches_two_pass;
+    Alcotest.test_case "cov merge" `Quick test_cov_merge;
     Alcotest.test_case "pearson exact" `Quick test_corr_exact;
     Alcotest.test_case "corr_matrix agrees with corr" `Quick test_corr_matrix_agrees;
     Alcotest.test_case "evolution tail" `Quick test_evolution_tail;

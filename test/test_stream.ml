@@ -1,0 +1,255 @@
+(* Streaming (out-of-core) analysis engine: the property tests of the
+   determinism contract.  Streaming Pearson must equal the two-pass
+   computation to 1e-9; Welford.Cov / Pearson.Streaming merges must be
+   associative and split-point independent; shard-checkpointed evolution
+   must match prefix rescans; and the store-backed rank / full-key paths
+   must be bit-identical to the in-memory ones at every jobs value. *)
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. (1. +. Float.abs a)
+
+let sk16 = lazy (fst (Falcon.Scheme.keygen ~n:16 ~seed:"stream test key"))
+let model = { Leakage.default_model with noise_sigma = 0.4 }
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+(* one campaign, shared across the suite: 30 traces in shards of 8 *)
+let with_campaign f =
+  let sk = Lazy.force sk16 in
+  let traces = Leakage.capture model ~seed:77 sk ~count:30 in
+  let dir = Filename.temp_dir "fd_stream_test" "" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let w =
+        Tracestore.Writer.create ~dir ~n:16
+          ~width:(16 * Leakage.events_per_coeff)
+          ~shard_traces:8
+          ~model:
+            {
+              Tracestore.alpha = model.alpha;
+              noise_sigma = model.noise_sigma;
+              baseline = model.baseline;
+            }
+      in
+      Array.iter (fun t -> Tracestore.Writer.append w (Leakage.to_record t)) traces;
+      Tracestore.Writer.close w;
+      f sk traces (Tracestore.Reader.open_store dir))
+
+let test_streaming_pearson_matches_two_pass () =
+  let rng = Stats.Rng.create ~seed:31 in
+  let d = 200 and width = 5 in
+  let hyps = Array.init d (fun _ -> Stats.Rng.gaussian rng ~mu:4. ~sigma:1.5) in
+  let rows =
+    Array.map
+      (fun h ->
+        Array.init width (fun j ->
+            (float_of_int (j + 1) *. h) +. Stats.Rng.gaussian rng ~mu:0. ~sigma:2.))
+      hyps
+  in
+  let s = Stats.Pearson.Streaming.create ~width in
+  Array.iteri (fun i row -> Stats.Pearson.Streaming.add s ~hyp:hyps.(i) row) rows;
+  Alcotest.(check int) "count" d (Stats.Pearson.Streaming.count s);
+  for j = 0 to width - 1 do
+    let col = Array.map (fun r -> r.(j)) rows in
+    let two_pass = Stats.Pearson.corr hyps col in
+    if not (feq (Stats.Pearson.Streaming.corr s j) two_pass) then
+      Alcotest.failf "column %d: streaming %.12f vs two-pass %.12f" j
+        (Stats.Pearson.Streaming.corr s j)
+        two_pass
+  done
+
+let test_streaming_merge_split_independent () =
+  let rng = Stats.Rng.create ~seed:32 in
+  let d = 120 and width = 3 in
+  let hyps = Array.init d (fun _ -> Stats.Rng.gaussian rng ~mu:0. ~sigma:1.) in
+  let rows =
+    Array.map
+      (fun h ->
+        Array.init width (fun _ -> h +. Stats.Rng.gaussian rng ~mu:0. ~sigma:0.7))
+      hyps
+  in
+  let tracker lo hi =
+    let s = Stats.Pearson.Streaming.create ~width in
+    for i = lo to hi - 1 do
+      Stats.Pearson.Streaming.add s ~hyp:hyps.(i) rows.(i)
+    done;
+    s
+  in
+  let whole = tracker 0 d in
+  (* any split into consecutive chunks must merge back to the whole *)
+  List.iter
+    (fun cuts ->
+      let bounds = (0 :: cuts) @ [ d ] in
+      let rec pieces = function
+        | lo :: (hi :: _ as rest) -> tracker lo hi :: pieces rest
+        | _ -> []
+      in
+      let merged =
+        match pieces bounds with
+        | p :: ps -> List.fold_left Stats.Pearson.Streaming.merge p ps
+        | [] -> assert false
+      in
+      for j = 0 to width - 1 do
+        if
+          not
+            (feq
+               (Stats.Pearson.Streaming.corr merged j)
+               (Stats.Pearson.Streaming.corr whole j))
+        then
+          Alcotest.failf "split %s col %d diverges"
+            (String.concat "," (List.map string_of_int cuts))
+            j
+      done)
+    [ [ 60 ]; [ 17 ]; [ 40; 80 ]; [ 8; 16; 100 ] ];
+  (* associativity: (a + b) + c == a + (b + c) *)
+  let a = tracker 0 40 and b = tracker 40 80 and c = tracker 80 d in
+  let left =
+    Stats.Pearson.Streaming.merge (Stats.Pearson.Streaming.merge a b) c
+  in
+  let right =
+    Stats.Pearson.Streaming.merge a (Stats.Pearson.Streaming.merge b c)
+  in
+  for j = 0 to width - 1 do
+    if
+      not
+        (feq
+           (Stats.Pearson.Streaming.corr left j)
+           (Stats.Pearson.Streaming.corr right j))
+    then Alcotest.failf "merge not associative at col %d" j
+  done
+
+let test_stream_rank_bit_identical () =
+  with_campaign @@ fun sk traces reader ->
+  let d_true = (Fpr.mantissa sk.f_fft.Fft.re.(0) lor (1 lsl 52)) land 0x1FFFFFF in
+  let candidates =
+    Attack.Hypothesis.sampled
+      (Stats.Rng.create ~seed:5)
+      ~width:25 ~truth:d_true ~decoys:200 ()
+  in
+  let parts =
+    [
+      (Attack.Recover.sample Fpr.Mant_w00, Attack.Recover.m_w00);
+      (Attack.Recover.sample Fpr.Mant_z1a, Attack.Recover.m_z1a);
+    ]
+  in
+  let rows = Array.map (fun (t : Leakage.trace) -> t.samples) traces in
+  let ks = Array.map (fun (t : Leakage.trace) -> t.c_fft.Fft.re.(0)) traces in
+  let mem jobs =
+    Attack.Dema.rank ~jobs ~traces:rows ~parts ~known:ks ~top:5
+      (Array.to_seq candidates)
+  in
+  let streamed jobs =
+    Attack.Dema.Stream.rank ~jobs reader ~parts
+      ~known:(fun (t : Leakage.trace) -> t.c_fft.Fft.re.(0))
+      ~top:5 (Array.to_seq candidates)
+  in
+  let reference = mem 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "stream rank == memory rank at -j %d" jobs)
+        true
+        (streamed jobs = reference))
+    [ 1; 2; 3 ];
+  Alcotest.(check bool) "memory rank itself jobs-invariant" true (mem 2 = reference)
+
+let test_stream_evolution_matches_prefix_rescan () =
+  with_campaign @@ fun sk traces reader ->
+  let d_true = (Fpr.mantissa sk.f_fft.Fft.re.(0) lor (1 lsl 52)) land 0x1FFFFFF in
+  let rows = Array.map (fun (t : Leakage.trace) -> t.samples) traces in
+  let ks = Array.map (fun (t : Leakage.trace) -> t.c_fft.Fft.re.(0)) traces in
+  let streamed jobs =
+    Attack.Dema.Stream.evolution ~jobs reader
+      ~sample:(Attack.Recover.sample Fpr.Mant_w00)
+      ~model:Attack.Recover.m_w00
+      ~known:(fun (t : Leakage.trace) -> t.c_fft.Fft.re.(0))
+      ~guess:d_true
+  in
+  let checkpoints = streamed 1 in
+  (* one checkpoint per shard boundary: 8, 16, 24, 30 *)
+  Alcotest.(check (list int))
+    "checkpoint trace counts" [ 8; 16; 24; 30 ] (List.map fst checkpoints);
+  let rescans =
+    Attack.Dema.evolution ~traces:rows
+      ~sample:(Attack.Recover.sample Fpr.Mant_w00)
+      ~model:Attack.Recover.m_w00 ~known:ks ~guess:d_true ~step:1
+  in
+  List.iter
+    (fun (d, r) ->
+      match List.assoc_opt d rescans with
+      | None -> Alcotest.failf "no rescan at %d traces" d
+      | Some r' ->
+          if not (feq r r') then
+            Alcotest.failf "checkpoint at %d traces: %.12f vs rescan %.12f" d r r')
+    checkpoints;
+  (* deterministic across jobs (same shard-order merge) *)
+  Alcotest.(check bool) "evolution jobs-invariant" true (streamed 2 = checkpoints)
+
+let test_fullkey_store_matches_memory () =
+  with_campaign @@ fun sk traces reader ->
+  let strategy ~coeff ~mul =
+    let truth =
+      if mul = 0 then sk.Falcon.Scheme.f_fft.Fft.re.(coeff)
+      else sk.Falcon.Scheme.f_fft.Fft.im.(coeff)
+    in
+    Attack.Recover.Eval_sampled
+      { rng = Stats.Rng.create ~seed:((coeff * 7) + mul); decoys = 32; truth }
+  in
+  let mem = Attack.Fullkey.recover_f_fft ~jobs:1 ~traces ~n:16 strategy in
+  List.iter
+    (fun jobs ->
+      let st = Attack.Fullkey.recover_f_fft_store ~jobs ~reader strategy in
+      Alcotest.(check bool)
+        (Printf.sprintf "store FFT(f) == memory FFT(f) at -j %d" jobs)
+        true
+        (st.Fft.re = mem.Fft.re && st.Fft.im = mem.Fft.im))
+    [ 1; 2 ]
+
+let test_stream_rejects_width_mismatch () =
+  (* a store whose sample width does not match 70n must be refused by
+     the streaming engine up front *)
+  let dir = Filename.temp_dir "fd_stream_bad" "" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let w =
+        Tracestore.Writer.create ~dir ~n:16 ~width:7 ~shard_traces:4
+          ~model:{ Tracestore.alpha = 1.; noise_sigma = 0.; baseline = 0. }
+      in
+      Tracestore.Writer.append w
+        { Tracestore.msg = "m"; salt = "s"; body = "b"; samples = Array.make 7 0. };
+      Tracestore.Writer.close w;
+      let reader = Tracestore.Reader.open_store dir in
+      match
+        Attack.Dema.Stream.evolution reader ~sample:0 ~model:(fun _ _ -> 0)
+          ~known:(fun _ -> 0) ~guess:0
+      with
+      | _ -> Alcotest.fail "width mismatch accepted"
+      | exception Failure msg ->
+          Alcotest.(check bool) "message names the width" true
+            (let frag = "width" in
+             let fl = String.length frag and ml = String.length msg in
+             let rec scan i =
+               i + fl <= ml && (String.sub msg i fl = frag || scan (i + 1))
+             in
+             scan 0))
+
+let suite =
+  [
+    Alcotest.test_case "streaming pearson == two-pass" `Quick
+      test_streaming_pearson_matches_two_pass;
+    Alcotest.test_case "merge split-independent and associative" `Quick
+      test_streaming_merge_split_independent;
+    Alcotest.test_case "stream rank bit-identical" `Quick
+      test_stream_rank_bit_identical;
+    Alcotest.test_case "evolution checkpoints == prefix rescans" `Quick
+      test_stream_evolution_matches_prefix_rescan;
+    Alcotest.test_case "fullkey store path == memory path" `Slow
+      test_fullkey_store_matches_memory;
+    Alcotest.test_case "stream rejects width mismatch" `Quick
+      test_stream_rejects_width_mismatch;
+  ]

@@ -1,0 +1,270 @@
+(* Sharded trace-store: roundtrips, append-only growth, and the three
+   corruption fixtures (truncation, bit-flip, manifest/shard count
+   disagreement) — each of which must be reported with the shard index
+   and a byte offset, and honoured by the skip-or-fail policy. *)
+
+let width = 24
+
+let mk_record i =
+  {
+    Tracestore.msg = Printf.sprintf "message %d" i;
+    salt = Printf.sprintf "salt-%d" i;
+    body = Printf.sprintf "signature body %d" i;
+    samples = Array.init width (fun j -> float_of_int ((i * 100) + j) /. 7.);
+  }
+
+let model = { Tracestore.alpha = 1.0; noise_sigma = 0.5; baseline = 10.0 }
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let with_store ?(count = 8) ?(shard_traces = 3) f =
+  let dir = Filename.temp_dir "fd_store_test" "" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let w =
+        Tracestore.Writer.create ~dir ~n:16 ~width ~shard_traces ~model
+      in
+      for i = 0 to count - 1 do
+        Tracestore.Writer.append w (mk_record i)
+      done;
+      Tracestore.Writer.close w;
+      f dir)
+
+let contains msg frag =
+  let fl = String.length frag and ml = String.length msg in
+  let rec scan i = i + fl <= ml && (String.sub msg i fl = frag || scan (i + 1)) in
+  scan 0
+
+let check_failure name ~mentions f =
+  match f () with
+  | _ -> Alcotest.failf "%s: corruption accepted" name
+  | exception Failure msg ->
+      List.iter
+        (fun frag ->
+          if not (contains msg frag) then
+            Alcotest.failf "%s: %S does not mention %S" name msg frag)
+        mentions
+
+let patch_file path pos bytes =
+  let fd = open_out_gen [ Open_binary; Open_wronly ] 0 path in
+  Fun.protect
+    ~finally:(fun () -> close_out fd)
+    (fun () ->
+      seek_out fd pos;
+      output_string fd bytes)
+
+let file_size path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> in_channel_length ic)
+
+let test_crc32_vector () =
+  (* the standard IEEE 802.3 check value *)
+  Alcotest.(check int) "crc32(123456789)" 0xCBF43926
+    (Tracestore.Crc32.digest_string "123456789")
+
+let test_roundtrip_multi_shard () =
+  with_store @@ fun dir ->
+  let r = Tracestore.Reader.open_store dir in
+  let m = Tracestore.Reader.meta r in
+  Alcotest.(check int) "n" 16 m.Tracestore.n;
+  Alcotest.(check int) "width" width m.Tracestore.width;
+  Alcotest.(check int) "shard target" 3 m.Tracestore.shard_traces;
+  Alcotest.(check (float 0.)) "model noise" 0.5 m.Tracestore.model.noise_sigma;
+  Alcotest.(check int) "shards" 3 (Tracestore.Reader.shard_count r);
+  Alcotest.(check int) "total" 8 (Tracestore.Reader.total_traces r);
+  Alcotest.(check int) "tail shard count" 2 (Tracestore.Reader.entry r 2).count;
+  let back = Array.of_seq (Tracestore.Reader.to_seq r) in
+  Alcotest.(check int) "records streamed" 8 (Array.length back);
+  Array.iteri
+    (fun i (rec_ : Tracestore.record) ->
+      let want = mk_record i in
+      Alcotest.(check string) "msg" want.msg rec_.msg;
+      Alcotest.(check string) "salt" want.salt rec_.salt;
+      Alcotest.(check string) "body" want.body rec_.body;
+      Alcotest.(check bool) "samples bit-exact" true (rec_.samples = want.samples))
+    back;
+  (* fold visits shards in order, one at a time *)
+  let order =
+    Tracestore.Reader.fold r ~init:[] ~f:(fun acc i recs ->
+        (i, Array.length recs) :: acc)
+  in
+  Alcotest.(check (list (pair int int)))
+    "fold order" [ (0, 3); (1, 3); (2, 2) ] (List.rev order)
+
+let test_verify_clean () =
+  with_store @@ fun dir ->
+  let _, results = Tracestore.verify dir in
+  Alcotest.(check int) "all shards checked" 3 (List.length results);
+  List.iter
+    (function
+      | _, Ok _ -> ()
+      | i, Error e -> Alcotest.failf "clean shard %d reported corrupt: %s" i e)
+    results
+
+let test_append_only_growth () =
+  with_store @@ fun dir ->
+  let before = (Tracestore.Reader.entry (Tracestore.Reader.open_store dir) 2).crc in
+  let w = Tracestore.Writer.open_append dir in
+  Alcotest.(check int) "resumes at 8" 8 (Tracestore.Writer.total_traces w);
+  for i = 8 to 11 do
+    Tracestore.Writer.append w (mk_record i)
+  done;
+  Tracestore.Writer.close w;
+  let r = Tracestore.Reader.open_store dir in
+  Alcotest.(check int) "total" 12 (Tracestore.Reader.total_traces r);
+  (* the short tail shard was not rewritten: same checksum, and the new
+     traces landed in fresh shards after it *)
+  Alcotest.(check int) "tail untouched" before (Tracestore.Reader.entry r 2).crc;
+  Alcotest.(check int) "new shards appended" 5 (Tracestore.Reader.shard_count r);
+  let back = Array.of_seq (Tracestore.Reader.to_seq r) in
+  Alcotest.(check string) "order preserved" "message 11" back.(11).Tracestore.msg
+
+let test_create_refuses_existing () =
+  with_store @@ fun dir ->
+  check_failure "create over existing store" ~mentions:[ "already a trace store" ]
+    (fun () -> Tracestore.Writer.create ~dir ~n:16 ~width ~shard_traces:3 ~model)
+
+let test_truncated_shard () =
+  with_store @@ fun dir ->
+  let path = Filename.concat dir (Tracestore.shard_name 1) in
+  let size = file_size path in
+  let whole =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic size)
+  in
+  let oc = open_out_bin path in
+  output_string oc (String.sub whole 0 (size - 10));
+  close_out oc;
+  let r = Tracestore.Reader.open_store dir in
+  check_failure "truncated shard" ~mentions:[ "shard 1"; "truncated or replaced" ]
+    (fun () -> Tracestore.Reader.load_shard r 1);
+  (* other shards stay readable *)
+  Alcotest.(check int) "shard 0 intact" 3
+    (Array.length (Tracestore.Reader.load_shard r 0))
+
+let test_bitflip_crc_mismatch () =
+  with_store @@ fun dir ->
+  let path = Filename.concat dir (Tracestore.shard_name 0) in
+  patch_file path 40 "\xff";
+  let r = Tracestore.Reader.open_store dir in
+  check_failure "bit-flipped payload" ~mentions:[ "shard 0"; "CRC mismatch"; "20" ]
+    (fun () -> Tracestore.Reader.load_shard r 0);
+  (* the skip policy drops the shard, records the diagnostic, and keeps
+     iterating the healthy remainder *)
+  let rs = Tracestore.Reader.open_store ~policy:`Skip dir in
+  Alcotest.(check bool) "read_shard skips" true
+    (Tracestore.Reader.read_shard rs 0 = None);
+  let survivors = Array.length (Array.of_seq (Tracestore.Reader.to_seq rs)) in
+  Alcotest.(check int) "remaining traces" 5 survivors;
+  match Tracestore.Reader.skipped rs with
+  | (0, diag) :: _ ->
+      Alcotest.(check bool) "diagnostic names the offset" true
+        (contains diag "CRC mismatch")
+  | other -> Alcotest.failf "skip log wrong: %d entries" (List.length other)
+
+let test_count_disagreement () =
+  with_store @@ fun dir ->
+  (* rewrite the header trace count (byte 16, outside the payload CRC)
+     from 3 to 2: a structurally valid shard that contradicts the
+     manifest *)
+  let path = Filename.concat dir (Tracestore.shard_name 0) in
+  patch_file path 16 "\x00\x00\x00\x02";
+  let r = Tracestore.Reader.open_store dir in
+  check_failure "count disagreement"
+    ~mentions:
+      [ "shard 0"; "header declares 2 traces at offset 16"; "manifest records 3" ]
+    (fun () -> Tracestore.Reader.load_shard r 0)
+
+let test_deep_validation_behind_crc () =
+  (* corrupt a record length field and then forge a matching CRC: the
+     checksum no longer objects, so the record parser itself must refuse
+     the wild length by validation, naming field and offset *)
+  with_store @@ fun dir ->
+  let path = Filename.concat dir (Tracestore.shard_name 0) in
+  patch_file path 20 "\x7f";
+  let size = file_size path in
+  let b =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let b = Bytes.create size in
+        really_input ic b 0 size;
+        b)
+  in
+  let crc = Tracestore.Crc32.digest b ~pos:20 ~len:(size - 24) in
+  let tail = Bytes.create 4 in
+  Bytes.set_int32_be tail 0 (Int32.of_int crc);
+  patch_file path (size - 4) (Bytes.to_string tail);
+  (* read the shard standalone: with no manifest cross-check, the forged
+     CRC passes and the record parser is the last line of defence *)
+  check_failure "wild length behind forged CRC"
+    ~mentions:[ "message length"; "offset 20"; "out of range" ]
+    (fun () -> Tracestore.Shard.read_file path)
+
+let test_manifest_corruption () =
+  with_store @@ fun dir ->
+  let path = Filename.concat dir Tracestore.manifest_name in
+  patch_file path 30 "\xff";
+  check_failure "corrupt manifest" ~mentions:[ "manifest"; "CRC" ] (fun () ->
+      Tracestore.Reader.open_store dir);
+  (* a corrupt manifest is fatal even under `Skip *)
+  check_failure "corrupt manifest under skip" ~mentions:[ "manifest" ] (fun () ->
+      Tracestore.Reader.open_store ~policy:`Skip dir)
+
+let test_writer_rejects_width_mismatch () =
+  let dir = Filename.temp_dir "fd_store_test" "" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let w = Tracestore.Writer.create ~dir ~n:16 ~width ~shard_traces:4 ~model in
+      (match
+         Tracestore.Writer.append w
+           { (mk_record 0) with samples = Array.make (width - 1) 0. }
+       with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "short trace accepted");
+      Tracestore.Writer.close w)
+
+let test_single_shard_file_roundtrip () =
+  let path = Filename.temp_file "fd_shard" ".fdt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let records = Array.init 5 mk_record in
+      let entry = Tracestore.Shard.write_file path ~n:16 ~width records in
+      Alcotest.(check int) "entry count" 5 entry.Tracestore.count;
+      Alcotest.(check int) "entry bytes" (file_size path) entry.Tracestore.bytes;
+      let n, w, back = Tracestore.Shard.read_file path in
+      Alcotest.(check int) "n" 16 n;
+      Alcotest.(check int) "width" width w;
+      Alcotest.(check bool) "records" true (back = records))
+
+let suite =
+  [
+    Alcotest.test_case "crc32 test vector" `Quick test_crc32_vector;
+    Alcotest.test_case "multi-shard roundtrip" `Quick test_roundtrip_multi_shard;
+    Alcotest.test_case "verify clean store" `Quick test_verify_clean;
+    Alcotest.test_case "append-only growth" `Quick test_append_only_growth;
+    Alcotest.test_case "create refuses existing store" `Quick
+      test_create_refuses_existing;
+    Alcotest.test_case "truncated shard reported" `Quick test_truncated_shard;
+    Alcotest.test_case "bit-flip fails CRC with offsets" `Quick
+      test_bitflip_crc_mismatch;
+    Alcotest.test_case "manifest/shard count disagreement" `Quick
+      test_count_disagreement;
+    Alcotest.test_case "validation behind a forged CRC" `Quick
+      test_deep_validation_behind_crc;
+    Alcotest.test_case "manifest corruption is fatal" `Quick test_manifest_corruption;
+    Alcotest.test_case "writer rejects width mismatch" `Quick
+      test_writer_rejects_width_mismatch;
+    Alcotest.test_case "single shard file roundtrip" `Quick
+      test_single_shard_file_roundtrip;
+  ]
