@@ -7,7 +7,7 @@
 
      FD_ONLY    run a single section (fig3, fig4, headline, ntt_vs_fft,
                 ablation_snr, ablation_prune, countermeasures, profiled,
-                stream, micro)
+                stream, assess, micro)
      FD_TRACES  trace budget for the per-coefficient experiments (10000)
      FD_N       ring size of the full-key attack (32)
      FD_NOISE   leakage noise sigma (2.0)
@@ -594,6 +594,71 @@ let stream () =
   rm_store dir
 
 (* ---------------------------------------------------------------- *)
+(* Leakage-assessment lab: TVLA throughput per defense plus one attack
+   metrics cell, the building blocks of the evaluation matrix.  Emits
+   one JSON row (BENCH_assess.json). *)
+
+let assess () =
+  section "Assess — TVLA throughput and attack-metrics cell";
+  let count = min trace_budget 4000 in
+  let secret = Assess.Campaign.secret_operand (Stats.Rng.create ~seed:(seed lxor 0x7e57)) in
+  Printf.printf "fixed-vs-random campaigns: %d traces, noise sigma %.2f, %d jobs\n%!"
+    count noise jobs;
+  Printf.printf "defense  |  n_fix/n_rnd  | region max|t1| | max|t2| | verdict      | traces/s\n";
+  Printf.printf "---------+---------------+----------------+---------+--------------+---------\n";
+  let rows =
+    List.map
+      (fun defense ->
+        let entries =
+          Assess.Campaign.generate defense ~noise ~secret ~count ~seed
+        in
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Assess.Tvla.of_entries ~jobs ~classify:Assess.Tvla.fixed_vs_random entries
+        in
+        let tvla_s = Unix.gettimeofday () -. t0 in
+        let lo, hi = Assess.Campaign.assessed_region defense in
+        let _, t1 = Assess.Tvla.max_abs ~lo ~hi r.t1 in
+        let _, t2 = Assess.Tvla.max_abs ~lo ~hi r.t2 in
+        let tps = float_of_int count /. tvla_s in
+        Printf.printf "%-8s | %5d / %5d | %14.2f | %7.2f | %-12s | %8.0f\n%!"
+          (Assess.Campaign.name defense)
+          r.n_a r.n_b t1 t2
+          (if t1 > Assess.Tvla.threshold then "LEAK" else "quiet (1st)")
+          tps;
+        (defense, t1, tps))
+      Assess.Campaign.all
+  in
+  let budget = max 64 (min trace_budget 300) in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    Assess.Metrics.run ~jobs
+      { Assess.Metrics.defense = `None; noise; budget; experiments = 4; decoys = 64;
+        seed }
+  in
+  let metrics_s = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "metrics cell (unprotected, %d traces x 4 experiments): SR %.2f, GE %.2f, MTD %s \
+     in %.2fs\n%!"
+    budget outcome.success_rate outcome.guessing_entropy
+    (match outcome.mtd with Some d -> string_of_int d | None -> "> budget")
+    metrics_s;
+  let t1_of d = List.assoc d (List.map (fun (d, t1, _) -> (d, t1)) rows) in
+  let tps_of d = List.assoc d (List.map (fun (d, _, t) -> (d, t)) rows) in
+  let oc = open_out "BENCH_assess.json" in
+  Printf.fprintf oc
+    "{\"section\":\"assess\",\"traces\":%d,\"noise\":%.2f,\"jobs\":%d,\
+     \"max_t1_none\":%.3f,\"max_t1_masking\":%.3f,\"max_t1_shuffle\":%.3f,\
+     \"tvla_traces_per_sec_none\":%.1f,\"tvla_traces_per_sec_masking\":%.1f,\
+     \"metrics_budget\":%d,\"metrics_s\":%.4f,\"success_rate\":%.3f,\
+     \"guessing_entropy\":%.3f,\"mtd\":%s}\n"
+    count noise jobs (t1_of `None) (t1_of `Masking) (t1_of `Shuffle) (tps_of `None)
+    (tps_of `Masking) budget metrics_s outcome.success_rate outcome.guessing_entropy
+    (match outcome.mtd with Some d -> string_of_int d | None -> "null");
+  close_out oc;
+  Printf.printf "wrote BENCH_assess.json\n"
+
+(* ---------------------------------------------------------------- *)
 (* Micro-benchmarks (Bechamel). *)
 
 let micro () =
@@ -749,5 +814,6 @@ let () =
   if want "countermeasures" then countermeasures ();
   if want "profiled" then profiled ();
   if want "stream" then stream ();
+  if want "assess" then assess ();
   if want "micro" then micro ();
   Printf.printf "\ndone.\n"

@@ -4,14 +4,11 @@
      dune exec bin/attack_cli.exe -- run -n 32 -t 2500 --noise 2.0 -j 4
      dune exec bin/attack_cli.exe -- coefficient --traces 4000 *)
 
-(* Every command returns its exit status; expected failures (malformed or
-   missing input files, failed key reconstruction) become a message on
-   stderr and a non-zero status rather than an uncaught exception. *)
-let with_errors f =
-  try f () with
-  | Failure msg | Sys_error msg | Invalid_argument msg ->
-      prerr_endline msg;
-      1
+(* Exit statuses follow the repository-wide convention in Cli_common:
+   expected failures (malformed or missing input files, failed key
+   reconstruction) become a message on stderr and the data-error status
+   rather than an uncaught exception. *)
+let with_errors = Cli_common.with_errors
 
 let cmd_run n traces noise seed jobs =
   with_errors @@ fun () ->

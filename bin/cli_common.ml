@@ -1,0 +1,21 @@
+(* Shared exit-status convention of every CLI in this repository:
+
+     0    success
+     1    data error — malformed or missing input files, failed key
+          reconstruction, invalid parameter values (the Failure /
+          Sys_error / Invalid_argument families)
+     124  command-line usage error (cmdliner's Cmd.eval' default)
+
+   Each executable's main is  exit (Cmd.eval' (Cmd.group ...))  and each
+   subcommand body runs under [with_errors], which maps the expected
+   exception families to the data-error status with their message on
+   stderr; any other exception is a bug and escapes as a backtrace. *)
+
+let ok = 0
+let data_error = 1
+
+let with_errors f =
+  try f () with
+  | Failure msg | Sys_error msg | Invalid_argument msg ->
+      prerr_endline msg;
+      data_error

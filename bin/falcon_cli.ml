@@ -70,12 +70,14 @@ let string_of_hex h =
   String.init (String.length h / 2) (fun i ->
       Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2)))
 
+(* Exit statuses follow the repository-wide convention in Cli_common:
+   malformed key/signature files and bad parameters exit with the
+   data-error status and a message, never a backtrace. *)
+let with_errors = Cli_common.with_errors
+
 let cmd_keygen n seed jobs out =
-  match Parallel.set_default_jobs jobs with
-  | exception Invalid_argument msg ->
-      prerr_endline msg;
-      1
-  | () ->
+  with_errors @@ fun () ->
+  Parallel.set_default_jobs jobs;
   let sk, pk = Falcon.Scheme.keygen ~n ~seed in
   save_secret (out ^ ".sk") sk.kp;
   save_public (out ^ ".pk") pk;
@@ -83,6 +85,7 @@ let cmd_keygen n seed jobs out =
   0
 
 let cmd_sign key msg out =
+  with_errors @@ fun () ->
   let kp = load_secret key in
   let sk = Falcon.Scheme.secret_of_keypair kp in
   let rng = Prng.of_seed (Printf.sprintf "cli-sign-%f" (Sys.time ())) in
@@ -94,6 +97,7 @@ let cmd_sign key msg out =
   0
 
 let cmd_verify key msg input =
+  with_errors @@ fun () ->
   let pk = load_public key in
   let lines = String.split_on_char '\n' (read_file input) in
   let field tag =

@@ -6,11 +6,7 @@
      dune exec bin/trace_cli.exe -- verify -i campaign
      dune exec bin/attack_cli.exe -- crack --store campaign -j 4 *)
 
-let with_errors f =
-  try f () with
-  | Failure msg | Sys_error msg | Invalid_argument msg ->
-      prerr_endline msg;
-      1
+let with_errors = Cli_common.with_errors
 
 let write_file path s =
   let oc = open_out_bin path in
@@ -123,6 +119,22 @@ let cmd_verify store =
     1
   end
 
+(* Single-multiply fixed-vs-random campaign for the leakage-assessment
+   workflow (assess_cli): the class label and known operand ride in each
+   record, defense/secret/seed in the assess.fda sidecar. *)
+let cmd_record_tvla defense traces noise seed p_fixed shard out =
+  with_errors @@ fun () ->
+  let secret = Assess.Campaign.secret_operand (Stats.Rng.create ~seed:(seed lxor 0x7e57)) in
+  Assess.Campaign.record_store ~p_fixed ~dir:out defense ~noise ~secret ~count:traces
+    ~seed ~shard_traces:shard ();
+  Printf.printf
+    "recorded %d single-multiply traces (defense %s, fixed-class fraction %.2f, \
+     noise sigma %.2f) into %s\n"
+    traces
+    (Assess.Campaign.name defense)
+    p_fixed noise out;
+  0
+
 let cmd_import input out shard noise =
   with_errors @@ fun () ->
   let traces = Leakage.load input in
@@ -201,6 +213,32 @@ let verify_cmd =
        ~doc:"CRC-check and fully parse every shard; exit 1 if any is corrupt")
     Term.(const cmd_verify $ store_arg)
 
+let defense_arg =
+  Arg.(
+    value
+    & opt (enum [ ("none", `None); ("masking", `Masking); ("shuffle", `Shuffle) ]) `None
+    & info [ "defense" ] ~docv:"DEFENSE"
+        ~doc:"Countermeasure producing the traces: $(b,none), $(b,masking) or \
+              $(b,shuffle).")
+
+let p_fixed_arg =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "p-fixed" ] ~docv:"P"
+        ~doc:"Fixed-class probability per trace (1.0 records an all-fixed attack \
+              campaign).")
+
+let record_tvla_cmd =
+  Cmd.v
+    (Cmd.info "record-tvla"
+       ~doc:
+         "Record a fixed-vs-random single-multiply campaign for leakage assessment \
+          (analysed with assess_cli)")
+    Term.(
+      const cmd_record_tvla $ defense_arg $ traces_arg $ noise_arg $ seed_arg
+      $ p_fixed_arg $ shard_arg $ out_arg)
+
 let import_cmd =
   Cmd.v
     (Cmd.info "import"
@@ -214,4 +252,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "trace_cli" ~doc)
-          [ record_cmd; append_cmd; inspect_cmd; verify_cmd; import_cmd ]))
+          [ record_cmd; record_tvla_cmd; append_cmd; inspect_cmd; verify_cmd; import_cmd ]))

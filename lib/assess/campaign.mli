@@ -1,0 +1,124 @@
+(** Fixed-vs-random acquisition campaigns for leakage assessment.
+
+    TVLA methodology needs a corpus of single-multiply traces in which
+    every trace is labelled {e fixed} (secret operand held at one value)
+    or {e random} (fresh secret per trace), with the known operand always
+    fresh.  This module generates such campaigns for the unprotected
+    multiply and both countermeasures, in memory or straight into a
+    {!Tracestore} (class label in the record [msg], known operand in
+    [salt]), and carries the per-defense facts the assessment and the
+    evaluation matrix need: trace width, overhead factors, the
+    first-order {e assessed region} and the masking share pairs.
+
+    One sequential RNG stream drives class choice, operand draws and
+    measurement noise, so a campaign is a pure function of
+    [(defense, noise, secret, count, seed)] — the in-memory and recorded
+    forms of the same campaign are bit-identical. *)
+
+type defense = [ `None | `Masking | `Shuffle ]
+
+val all : defense list
+(** In evaluation-matrix order: none, masking, shuffle. *)
+
+val name : defense -> string
+val of_name : string -> defense
+(** Raises [Failure] on an unknown name. *)
+
+val width : defense -> int
+(** Samples per trace: 16 unprotected/shuffled, 21 masked. *)
+
+val overhead_factor : defense -> float
+(** Event-count overhead vs the unprotected multiply (1.0 baseline). *)
+
+val dilution : defense -> int
+(** Shuffle degree (1 when not shuffling). *)
+
+val assessed_region : defense -> int * int
+(** Inclusive sample range over which the defense claims (or the
+    baseline exhibits) first-order secret dependence: the secret
+    datapath [2..11] for the unprotected multiply, the shuffled slots
+    [4..9], and the mask + share datapaths [0..13] for masking — the
+    recombination tail a masked implementation must eventually compute
+    is deliberately outside. *)
+
+val share_pairs : defense -> (int * int) array
+(** Matching (share-1, share-2) sample pairs for the bivariate
+    second-order test; empty unless masking. *)
+
+val attack_window : defense -> float array -> float array
+(** The 16-sample window an attacker feeds to {!Attack.Recover}: the
+    whole trace, except for masked traces where it is the first 16
+    samples (the attacker assumes the unprotected layout). *)
+
+val trace :
+  defense -> Leakage.model -> Stats.Rng.t -> known:Fpr.t -> secret:Fpr.t -> float array
+
+val random_operand : Stats.Rng.t -> Fpr.t
+(** Uniform operand in the attack's working range: random sign, biased
+    exponent in [1015, 1031), uniform 52-bit mantissa. *)
+
+val secret_operand : Stats.Rng.t -> Fpr.t
+(** Like {!random_operand} but rejecting the (probability 2^-25)
+    degenerate case of an all-zero low mantissa half, which the
+    mantissa attack cannot rank. *)
+
+type cls = Fixed | Random
+type entry = { cls : cls; known : Fpr.t; samples : float array }
+
+val iter :
+  ?p_fixed:float ->
+  defense ->
+  noise:float ->
+  secret:Fpr.t ->
+  count:int ->
+  seed:int ->
+  (entry -> unit) ->
+  unit
+(** Generate [count] traces one at a time (memory stays flat), calling
+    the consumer in acquisition order.  Each trace is fixed-class with
+    probability [p_fixed] (default 0.5; 1.0 yields an all-fixed attack
+    campaign).  Raises [Invalid_argument] if [noise <= 0] or
+    [count < 0]. *)
+
+val generate :
+  ?p_fixed:float ->
+  defense ->
+  noise:float ->
+  secret:Fpr.t ->
+  count:int ->
+  seed:int ->
+  entry array
+(** {!iter} collected in order. *)
+
+(** {1 Store form} *)
+
+val to_record : entry -> Tracestore.record
+val of_record : Tracestore.record -> entry
+(** Raises [Failure] naming the offending field on records that are not
+    campaign entries (bad class tag, wrong salt length). *)
+
+val sidecar_name : string
+(** ["assess.fda"] — the campaign sidecar stored next to the manifest,
+    carrying defense name, fixed secret and seed. *)
+
+val record_store :
+  ?p_fixed:float ->
+  dir:string ->
+  defense ->
+  noise:float ->
+  secret:Fpr.t ->
+  count:int ->
+  seed:int ->
+  shard_traces:int ->
+  unit ->
+  unit
+(** Generate and record a campaign as a trace store plus sidecar.
+    Raises like {!iter} and [Tracestore.Writer]. *)
+
+val open_store : string -> defense * Fpr.t * int * Tracestore.Reader.t
+(** [(defense, secret, seed, reader)] of a recorded campaign.  Raises
+    [Failure] on a missing/malformed sidecar or if the store width does
+    not match the declared defense. *)
+
+val seq_of_store : Tracestore.Reader.t -> entry Seq.t
+(** Lazy entry stream in acquisition order (one decoded shard live). *)

@@ -1,0 +1,36 @@
+(** Minimal self-contained JSON tree: just enough to emit, re-read and
+    validate the assessment reports without external dependencies (the
+    environment has no yojson).  The emitter writes floats in the
+    shortest representation that round-trips to the same binary64 and
+    renders non-finite numbers as [null] (JSON has no encoding for
+    them); the parser is a strict recursive-descent reader whose
+    failures are [Failure] messages naming the byte offset, matching
+    the [Tracestore] validation style. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default; [~pretty:true] adds 2-space indentation. *)
+
+val of_string : string -> t
+(** Raises [Failure "Json: ... at offset ..."] on malformed input,
+    including trailing garbage. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing key or non-object. *)
+
+val to_bool_opt : t -> bool option
+val to_int_opt : t -> int option
+
+val to_number_opt : t -> float option
+(** [Int] or [Float], as a float. *)
+
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

@@ -1,0 +1,248 @@
+type cell = {
+  defense : Campaign.defense;
+  sigma : float;
+  budget : int;
+  outcome : Metrics.outcome;
+  max_t1 : float;
+  max_t1_sample : int;
+  max_t2 : float;
+  rvr_max_t1 : float;
+  first_order_leak : bool;
+  overhead : float;
+  dilution : int;
+}
+
+type report = {
+  seed : int;
+  experiments : int;
+  decoys : int;
+  defenses : Campaign.defense list;
+  sigmas : float list;
+  budgets : int list;
+  cells : cell list;
+}
+
+let schema = "falcon-down/assess-matrix/v1"
+
+let assess_cell ?jobs defense ~sigma ~budget ~seed =
+  let secret = Campaign.secret_operand (Stats.Rng.create ~seed:(seed lxor 0x7e57)) in
+  let entries =
+    Campaign.generate defense ~noise:sigma ~secret ~count:(2 * budget) ~seed
+  in
+  let r = Tvla.of_entries ?jobs ~classify:Tvla.fixed_vs_random entries in
+  let lo, hi = Campaign.assessed_region defense in
+  let max_t1_sample, max_t1 = Tvla.max_abs ~lo ~hi r.Tvla.t1 in
+  let _, max_t2_uni = Tvla.max_abs ~lo ~hi r.Tvla.t2 in
+  let max_t2 =
+    let pairs = Campaign.share_pairs defense in
+    if Array.length pairs = 0 then max_t2_uni
+    else
+      Array.fold_left
+        (fun acc t -> Float.max acc (Float.abs t))
+        max_t2_uni
+        (Tvla.pairs_of_entries ?jobs ~pairs ~mean_a:r.Tvla.mean_a
+           ~mean_b:r.Tvla.mean_b ~classify:Tvla.fixed_vs_random entries)
+  in
+  let rvr = Tvla.of_entries ?jobs ~classify:Tvla.random_vs_random entries in
+  let _, rvr_max_t1 = Tvla.max_abs ~lo ~hi rvr.Tvla.t1 in
+  (max_t1, max_t1_sample, max_t2, rvr_max_t1)
+
+let run ?jobs ?(defenses = Campaign.all) ?(progress = fun _ -> ()) ~sigmas ~budgets
+    ~experiments ~decoys ~seed () =
+  if defenses = [] then invalid_arg "Assess.Matrix: empty defense list";
+  if sigmas = [] then invalid_arg "Assess.Matrix: empty sigma grid";
+  if budgets = [] then invalid_arg "Assess.Matrix: empty budget grid";
+  List.iter
+    (fun s -> if s <= 0. then invalid_arg "Assess.Matrix: sigma must be positive")
+    sigmas;
+  List.iter
+    (fun b -> if b < 8 then invalid_arg "Assess.Matrix: budget must be at least 8")
+    budgets;
+  let idx = ref 0 in
+  let cells =
+    List.concat_map
+      (fun defense ->
+        List.concat_map
+          (fun sigma ->
+            List.map
+              (fun budget ->
+                let cell_seed = seed + (1009 * !idx) in
+                incr idx;
+                let outcome =
+                  Metrics.run ?jobs
+                    { Metrics.defense; noise = sigma; budget; experiments; decoys;
+                      seed = cell_seed }
+                in
+                let max_t1, max_t1_sample, max_t2, rvr_max_t1 =
+                  assess_cell ?jobs defense ~sigma ~budget ~seed:(cell_seed + 17)
+                in
+                let cell =
+                  {
+                    defense;
+                    sigma;
+                    budget;
+                    outcome;
+                    max_t1;
+                    max_t1_sample;
+                    max_t2;
+                    rvr_max_t1;
+                    first_order_leak = max_t1 > Tvla.threshold;
+                    overhead = Campaign.overhead_factor defense;
+                    dilution = Campaign.dilution defense;
+                  }
+                in
+                progress cell;
+                cell)
+              budgets)
+          sigmas)
+      defenses
+  in
+  { seed; experiments; decoys; defenses; sigmas; budgets; cells }
+
+let tiny ?jobs ?progress ~seed () =
+  run ?jobs ?progress ~sigmas:[ 0.5 ] ~budgets:[ 200 ] ~experiments:2 ~decoys:24
+    ~seed ()
+
+(* {2 Serialisation} *)
+
+let json_of_cell c =
+  Json.Obj
+    [
+      ("defense", Json.String (Campaign.name c.defense));
+      ("sigma", Json.Float c.sigma);
+      ("budget", Json.Int c.budget);
+      ("experiments", Json.Int c.outcome.Metrics.experiments);
+      ("success_rate", Json.Float c.outcome.Metrics.success_rate);
+      ("guessing_entropy", Json.Float c.outcome.Metrics.guessing_entropy);
+      ("ge_bits", Json.Float c.outcome.Metrics.ge_bits);
+      ( "mtd",
+        match c.outcome.Metrics.mtd with Some d -> Json.Int d | None -> Json.Null );
+      ("mtd_found", Json.Int c.outcome.Metrics.mtd_found);
+      ("max_t1", Json.Float c.max_t1);
+      ("max_t1_sample", Json.Int c.max_t1_sample);
+      ("max_t2", Json.Float c.max_t2);
+      ("rvr_max_t1", Json.Float c.rvr_max_t1);
+      ("first_order_leak", Json.Bool c.first_order_leak);
+      ("overhead", Json.Float c.overhead);
+      ("dilution", Json.Int c.dilution);
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("seed", Json.Int r.seed);
+      ("experiments", Json.Int r.experiments);
+      ("decoys", Json.Int r.decoys);
+      ("defenses", Json.List (List.map (fun d -> Json.String (Campaign.name d)) r.defenses));
+      ("sigmas", Json.List (List.map (fun s -> Json.Float s) r.sigmas));
+      ("budgets", Json.List (List.map (fun b -> Json.Int b) r.budgets));
+      ("cells", Json.List (List.map json_of_cell r.cells));
+    ]
+
+let csv_header =
+  "defense,sigma,budget,experiments,success_rate,guessing_entropy,ge_bits,mtd,\
+   mtd_found,max_t1,max_t1_sample,max_t2,rvr_max_t1,first_order_leak,overhead,\
+   dilution"
+
+let to_csv r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf csv_header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun c ->
+      Printf.bprintf buf "%s,%g,%d,%d,%g,%g,%g,%s,%d,%g,%d,%g,%g,%b,%g,%d\n"
+        (Campaign.name c.defense) c.sigma c.budget c.outcome.Metrics.experiments
+        c.outcome.Metrics.success_rate c.outcome.Metrics.guessing_entropy
+        c.outcome.Metrics.ge_bits
+        (match c.outcome.Metrics.mtd with Some d -> string_of_int d | None -> "")
+        c.outcome.Metrics.mtd_found c.max_t1 c.max_t1_sample c.max_t2 c.rvr_max_t1
+        c.first_order_leak c.overhead c.dilution)
+    r.cells;
+  Buffer.contents buf
+
+(* {2 Schema validation} *)
+
+let ( let* ) = Result.bind
+
+let field what conv j key =
+  match Json.member key j with
+  | None -> Error (Printf.sprintf "%s: missing field %S" what key)
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "%s: field %S has the wrong type" what key))
+
+let check cond msg = if cond then Ok () else Error msg
+
+let finite_number j = Option.bind (Json.to_number_opt j) (fun f ->
+    if Float.is_finite f then Some f else None)
+
+let validate_cell i j =
+  let what = Printf.sprintf "cell %d" i in
+  let* d = field what Json.to_string_opt j "defense" in
+  let* () =
+    check
+      (List.exists (fun v -> Campaign.name v = d) Campaign.all)
+      (Printf.sprintf "%s: unknown defense %S" what d)
+  in
+  let* sigma = field what finite_number j "sigma" in
+  let* () = check (sigma > 0.) (what ^ ": sigma must be positive") in
+  let* budget = field what Json.to_int_opt j "budget" in
+  let* () = check (budget > 0) (what ^ ": budget must be positive") in
+  let* experiments = field what Json.to_int_opt j "experiments" in
+  let* () = check (experiments > 0) (what ^ ": experiments must be positive") in
+  let* sr = field what finite_number j "success_rate" in
+  let* () = check (sr >= 0. && sr <= 1.) (what ^ ": success_rate outside [0,1]") in
+  let* ge = field what finite_number j "guessing_entropy" in
+  let* () = check (ge >= 1.) (what ^ ": guessing_entropy below 1") in
+  let* _ = field what finite_number j "ge_bits" in
+  let* () =
+    match Json.member "mtd" j with
+    | None -> Error (what ^ ": missing field \"mtd\"")
+    | Some Json.Null -> Ok ()
+    | Some (Json.Int d) ->
+        check (d >= 1 && d <= budget) (what ^ ": mtd outside [1, budget]")
+    | Some _ -> Error (what ^ ": field \"mtd\" must be null or an integer")
+  in
+  let* mtd_found = field what Json.to_int_opt j "mtd_found" in
+  let* () =
+    check
+      (mtd_found >= 0 && mtd_found <= experiments)
+      (what ^ ": mtd_found outside [0, experiments]")
+  in
+  let* _ = field what finite_number j "max_t1" in
+  let* _ = field what Json.to_int_opt j "max_t1_sample" in
+  let* _ = field what finite_number j "max_t2" in
+  let* _ = field what finite_number j "rvr_max_t1" in
+  let* _ = field what Json.to_bool_opt j "first_order_leak" in
+  let* ov = field what finite_number j "overhead" in
+  let* () = check (ov >= 1.) (what ^ ": overhead below 1") in
+  let* dil = field what Json.to_int_opt j "dilution" in
+  check (dil >= 1) (what ^ ": dilution below 1")
+
+let validate j =
+  let* s = field "report" Json.to_string_opt j "schema" in
+  let* () = check (s = schema) (Printf.sprintf "report: schema %S, expected %S" s schema) in
+  let* _ = field "report" Json.to_int_opt j "seed" in
+  let* _ = field "report" Json.to_int_opt j "experiments" in
+  let* _ = field "report" Json.to_int_opt j "decoys" in
+  let* defenses = field "report" Json.to_list_opt j "defenses" in
+  let* () = check (defenses <> []) "report: empty defense axis" in
+  let* sigmas = field "report" Json.to_list_opt j "sigmas" in
+  let* () = check (sigmas <> []) "report: empty sigma axis" in
+  let* budgets = field "report" Json.to_list_opt j "budgets" in
+  let* () = check (budgets <> []) "report: empty budget axis" in
+  let* cells = field "report" Json.to_list_opt j "cells" in
+  let expected = List.length defenses * List.length sigmas * List.length budgets in
+  let* () =
+    check
+      (List.length cells = expected)
+      (Printf.sprintf "report: %d cells, grid is %d" (List.length cells) expected)
+  in
+  List.fold_left
+    (fun acc (i, c) ->
+      let* () = acc in
+      validate_cell i c)
+    (Ok ())
+    (List.mapi (fun i c -> (i, c)) cells)

@@ -1,0 +1,68 @@
+(** The countermeasure evaluation matrix: {defense} x {noise sigma} x
+    {trace budget}, one {!cell} per combination, each carrying the
+    attack metrics ({!Metrics.outcome}), the TVLA detection summary
+    over the defense's assessed region (max first- and second-order
+    |t|, plus the random-vs-random null statistic), and the
+    countermeasure cost columns (event-count overhead, shuffle
+    dilution).  Serialises to a machine-readable JSON report (schema
+    {!schema}) and a flat CSV; {!validate} checks a parsed report
+    against the schema so emitted files can be verified end to end. *)
+
+type cell = {
+  defense : Campaign.defense;
+  sigma : float;
+  budget : int;
+  outcome : Metrics.outcome;
+  max_t1 : float;  (** max first-order |t| over the assessed region *)
+  max_t1_sample : int;
+  max_t2 : float;
+      (** max second-order statistic: centered-second-order per sample,
+          and for masking also the bivariate share-pair test *)
+  rvr_max_t1 : float;  (** random-vs-random null check (expect < 4.5) *)
+  first_order_leak : bool;  (** [max_t1 > Tvla.threshold] *)
+  overhead : float;
+  dilution : int;
+}
+
+type report = {
+  seed : int;
+  experiments : int;
+  decoys : int;
+  defenses : Campaign.defense list;
+  sigmas : float list;
+  budgets : int list;
+  cells : cell list;  (** row-major: defense, then sigma, then budget *)
+}
+
+val schema : string
+(** ["falcon-down/assess-matrix/v1"]. *)
+
+val run :
+  ?jobs:int ->
+  ?defenses:Campaign.defense list ->
+  ?progress:(cell -> unit) ->
+  sigmas:float list ->
+  budgets:int list ->
+  experiments:int ->
+  decoys:int ->
+  seed:int ->
+  unit ->
+  report
+(** Evaluate the full grid (defenses default to {!Campaign.all}).
+    Each cell derives its own deterministic seed from [seed] and its
+    grid position; [progress] fires after each finished cell.  Raises
+    [Invalid_argument] on an empty axis, non-positive sigma or a budget
+    below 8. *)
+
+val tiny : ?jobs:int -> ?progress:(cell -> unit) -> seed:int -> unit -> report
+(** The smoke-test preset: full defense axis, one sigma (0.5), one
+    budget (200), 2 experiments, 24 decoys — seconds, not minutes. *)
+
+val to_json : report -> Json.t
+val to_csv : report -> string
+
+val validate : Json.t -> (unit, string) result
+(** Structural schema check of a parsed report: schema tag, non-empty
+    axes, cell count = grid size, per-cell field presence, types and
+    ranges (SR in [0,1], GE >= 1, mtd null or in [1, budget], finite t
+    statistics, overhead/dilution >= 1). *)

@@ -1,0 +1,125 @@
+type config = {
+  defense : Campaign.defense;
+  noise : float;
+  budget : int;
+  experiments : int;
+  decoys : int;
+  seed : int;
+}
+
+type outcome = {
+  experiments : int;
+  success : int;
+  success_rate : float;
+  guessing_entropy : float;
+  ge_bits : float;
+  mtd : int option;
+  mtd_found : int;
+  ranks : int array;
+  mtds : int option array;
+}
+
+let m25 = (1 lsl 25) - 1
+let derived_seed seed = seed + 31337
+
+let aggregate ranks mtds =
+  let experiments = Array.length ranks in
+  let success = Array.fold_left (fun acc r -> if r = 1 then acc + 1 else acc) 0 ranks in
+  let ge =
+    Array.fold_left (fun acc r -> acc +. float_of_int r) 0. ranks
+    /. float_of_int experiments
+  in
+  let mtd_found =
+    Array.fold_left (fun acc m -> if m <> None then acc + 1 else acc) 0 mtds
+  in
+  (* lower median with None ordered as +infinity: the median experiment
+     must itself have disclosed for the cell to report a finite MTD *)
+  let keyed = Array.map (function Some d -> d | None -> max_int) mtds in
+  Array.sort compare keyed;
+  let mid = keyed.((experiments - 1) / 2) in
+  {
+    experiments;
+    success;
+    success_rate = float_of_int success /. float_of_int experiments;
+    guessing_entropy = ge;
+    ge_bits = (log ge /. log 2.);
+    mtd = (if mid = max_int then None else Some mid);
+    mtd_found;
+    ranks;
+    mtds;
+  }
+
+let of_entries ?jobs ~defense ~truth ~experiments ~decoys ~seed entries =
+  if experiments < 1 then invalid_arg "Assess.Metrics: experiments must be positive";
+  if decoys < 0 then invalid_arg "Assess.Metrics: negative decoy count";
+  let fixed =
+    Array.of_seq
+      (Seq.filter (fun e -> e.Campaign.cls = Campaign.Fixed) (Array.to_seq entries))
+  in
+  let per = Array.length fixed / experiments in
+  if per < 8 then
+    failwith
+      (Printf.sprintf
+         "Assess.Metrics: %d fixed-class traces cannot support %d experiments \
+          (at least 8 traces each)"
+         (Array.length fixed) experiments);
+  let d_true = Fpr.mantissa truth land m25 in
+  if d_true = 0 then
+    invalid_arg "Assess.Metrics: degenerate secret (zero low mantissa half)";
+  let w00 = Attack.Recover.sample Fpr.Mant_w00 in
+  let step = max 1 (per / 16) in
+  let run_one i =
+    let slice = Array.sub fixed (i * per) per in
+    let traces =
+      Array.map (fun e -> Campaign.attack_window defense e.Campaign.samples) slice
+    in
+    let known = Array.map (fun e -> e.Campaign.known) slice in
+    let view = { Attack.Recover.traces; known } in
+    let candidates =
+      Attack.Hypothesis.sampled
+        (Stats.Rng.create ~seed:(seed + (7919 * i)))
+        ~width:25 ~truth:d_true ~decoys ()
+    in
+    (* top = the whole candidate set, so the truth always appears in the
+       ranking and its 1-based position is the partial guessing entropy
+       sample; the inner sweep stays sequential — parallelism fans out
+       over experiments, not inside them *)
+    let res =
+      Attack.Recover.attack_mantissa_low ~jobs:1 ~top:(Array.length candidates)
+        ~candidates:(Array.to_seq candidates) view
+    in
+    let rank =
+      let rec find k = function
+        | [] -> Array.length candidates + 1
+        | (s : Attack.Dema.scored) :: tl -> if s.Attack.Dema.guess = d_true then k else find (k + 1) tl
+      in
+      find 1 res.Attack.Recover.pruned
+    in
+    let series =
+      Attack.Dema.evolution ~traces ~sample:w00 ~model:Attack.Recover.m_w00 ~known ~guess:d_true
+        ~step
+    in
+    (rank, Stats.Signif.traces_to_significance series)
+  in
+  let results =
+    Parallel.map_array ~jobs:(Parallel.resolve jobs) run_one
+      (Array.init experiments Fun.id)
+  in
+  aggregate (Array.map fst results) (Array.map snd results)
+
+let run ?jobs config =
+  if config.budget < 8 then invalid_arg "Assess.Metrics: budget must be at least 8";
+  let secret = Campaign.secret_operand (Stats.Rng.create ~seed:(config.seed lxor 0x5eed)) in
+  let entries =
+    Campaign.generate ~p_fixed:1.0 config.defense ~noise:config.noise ~secret
+      ~count:(config.budget * config.experiments) ~seed:config.seed
+  in
+  of_entries ?jobs ~defense:config.defense ~truth:secret
+    ~experiments:config.experiments ~decoys:config.decoys
+    ~seed:(derived_seed config.seed) entries
+
+let of_store ?jobs ?seed ~experiments ~decoys dir =
+  let defense, secret, campaign_seed, reader = Campaign.open_store dir in
+  let entries = Array.of_seq (Campaign.seq_of_store reader) in
+  let seed = match seed with Some s -> s | None -> derived_seed campaign_seed in
+  of_entries ?jobs ~defense ~truth:secret ~experiments ~decoys ~seed entries

@@ -1,0 +1,76 @@
+(** Attack-success metrics: success rate, partial guessing entropy and
+    minimum traces to disclosure, estimated over N independently seeded
+    attack experiments.
+
+    Each experiment attacks the low mantissa half of the fixed secret
+    with {!Attack.Recover.attack_mantissa_low} over a disjoint slice of
+    the campaign's fixed-class traces, ranking the full evaluation
+    candidate set ({!Attack.Hypothesis.sampled}: truth + its alias
+    class + decoys) so the truth's 1-based rank is always defined:
+
+    - {b SR}: fraction of experiments ranking the truth first;
+    - {b GE}: mean rank of the truth ({e partial} guessing entropy —
+      over the sampled candidate set, not the full 2^25 space; also
+      reported in bits);
+    - {b MTD}: the paper's "measurements needed" — the smallest trace
+      count from which the truth's |correlation| at the DxB partial
+      product stays above the 99.99 % significance threshold
+      ({!Stats.Signif.traces_to_significance} over a
+      {!Attack.Dema.evolution} series), reported per cell as the lower
+      median over experiments ([None] = the median experiment never
+      disclosed within budget).
+
+    Experiments fan out on the {!Parallel} pool ({!of_entries} is a pure
+    function of its arguments per experiment index, so results are
+    bit-identical at every [jobs]); the candidate sweep inside each
+    experiment stays sequential. *)
+
+type config = {
+  defense : Campaign.defense;
+  noise : float;  (** noise sigma of the simulated probe *)
+  budget : int;  (** traces per experiment *)
+  experiments : int;
+  decoys : int;  (** random decoy hypotheses per candidate set *)
+  seed : int;
+}
+
+type outcome = {
+  experiments : int;
+  success : int;
+  success_rate : float;
+  guessing_entropy : float;  (** mean 1-based rank of the truth *)
+  ge_bits : float;  (** log2 of the above *)
+  mtd : int option;  (** median traces-to-disclosure *)
+  mtd_found : int;  (** experiments that disclosed within budget *)
+  ranks : int array;  (** per-experiment truth ranks *)
+  mtds : int option array;  (** per-experiment traces-to-disclosure *)
+}
+
+val derived_seed : int -> int
+(** Candidate-set seed derived from a campaign seed — the convention
+    {!run} and {!of_store} share so the two paths agree. *)
+
+val of_entries :
+  ?jobs:int ->
+  defense:Campaign.defense ->
+  truth:Fpr.t ->
+  experiments:int ->
+  decoys:int ->
+  seed:int ->
+  Campaign.entry array ->
+  outcome
+(** Slice the campaign's fixed-class entries into [experiments]
+    consecutive blocks and attack each.  Raises [Invalid_argument] on a
+    degenerate secret or nonsensical parameters, [Failure] when the
+    fixed class is too small for the requested experiment count. *)
+
+val run : ?jobs:int -> config -> outcome
+(** Generate an all-fixed campaign of [budget * experiments] traces
+    (secret drawn from the config seed) and evaluate it. *)
+
+val of_store :
+  ?jobs:int -> ?seed:int -> experiments:int -> decoys:int -> string -> outcome
+(** Evaluate a recorded campaign directory ({!Campaign.record_store});
+    uses the sidecar's defense/secret/seed, with [?seed] overriding the
+    derived candidate seed.  Bit-identical to {!of_entries} on the
+    in-memory form of the same campaign. *)

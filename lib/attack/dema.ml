@@ -151,6 +151,8 @@ module Stream = struct
     rank ?jobs ~traces ~parts:narrow_parts ~known:ks ~top candidates
 
   let evolution ?jobs reader ~sample ~model ~known ~guess =
+    if Tracestore.Reader.total_traces reader = 0 then
+      failwith "Dema.Stream.evolution: store holds no traces (empty campaign)";
     let per_shard =
       map_shards ?jobs reader (fun _ traces ->
           let acc = Stats.Welford.Cov.create () in

@@ -116,7 +116,8 @@ module Stream : sig
     (int * float) list
   (** Correlation-vs-trace-count checkpoints, one per shard boundary
       (Fig. 4 e-h at campaign scale): running accumulators instead of
-      prefix rescans. *)
+      prefix rescans.  Raises [Failure] on a store holding no traces —
+      an empty campaign is a data error, not an empty evolution. *)
 end
 
 val corr_time :

@@ -61,6 +61,19 @@ let threshold ?(confidence = 0.9999) d =
     tanh (z /. sqrt (float_of_int (d - 3)))
   end
 
+let welch_t ~mean_a ~var_a ~n_a ~mean_b ~var_b ~n_b =
+  if n_a < 2 || n_b < 2 then 0.
+  else begin
+    let se2 =
+      (var_a /. float_of_int n_a) +. (var_b /. float_of_int n_b)
+    in
+    let d = mean_a -. mean_b in
+    if se2 > 0. then d /. sqrt se2
+    else if d = 0. then 0.
+    else if d > 0. then infinity
+    else neg_infinity
+  end
+
 let traces_to_significance ?confidence series =
   let rec scan = function
     | [] -> None

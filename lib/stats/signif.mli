@@ -18,6 +18,20 @@ val threshold : ?confidence:float -> int -> float
     with probability [1 - confidence] (default 0.9999) given [d] traces:
     [tanh (z / sqrt (d - 3))].  Returns 1.0 when [d <= 3]. *)
 
+val welch_t :
+  mean_a:float ->
+  var_a:float ->
+  n_a:int ->
+  mean_b:float ->
+  var_b:float ->
+  n_b:int ->
+  float
+(** Welch's two-sample t statistic
+    [(mean_a - mean_b) / sqrt (var_a/n_a + var_b/n_b)].  Returns 0 when
+    either sample has fewer than two observations, and 0 / ±infinity
+    when both variances vanish (equal / unequal means) — degenerate
+    noiseless populations, flagged rather than NaN. *)
+
 val traces_to_significance : ?confidence:float -> (int * float) list -> int option
 (** Given a correlation-evolution series [(d, r)], the smallest [d] from
     which |r| stays above {!threshold} for the remainder of the series —

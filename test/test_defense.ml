@@ -207,9 +207,17 @@ let test_template_rank_orders_truth_first () =
   Alcotest.(check int) "likelihood puts truth first" d_true
     (List.hd ranked).Attack.Dema.guess
 
+(* cost-model pins consumed by the assessment matrix: 21 masked events
+   over 16 unprotected ones, and a 4-slot shuffling pool *)
+let test_countermeasure_cost_pins () =
+  Alcotest.(check (float 0.)) "masking overhead 21/16" 1.3125
+    Defense.Masking.overhead_factor;
+  Alcotest.(check int) "shuffle dilution" 4 Defense.Shuffle.dilution
+
 let suite =
   [
     Alcotest.test_case "masked multiply is correct" `Quick test_masked_mul_correct;
+    Alcotest.test_case "countermeasure cost pins" `Quick test_countermeasure_cost_pins;
     Alcotest.test_case "masked event count/overhead" `Quick test_masked_event_count;
     Alcotest.test_case "recombination equals true product" `Quick
       test_masked_recombination_is_true_product;

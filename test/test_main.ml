@@ -21,6 +21,7 @@ let () =
       ("more", Test_more.suite);
       ("multicore", Test_multicore.suite);
       ("defense", Test_defense.suite);
+      ("assess", Test_assess.suite);
       ("keycodec", Test_keycodec.suite);
       ("scheme_more", Test_scheme_more.suite);
     ]

@@ -155,6 +155,120 @@ let prop_int_below_range =
       let v = Stats.Rng.int_below rng n in
       v >= 0 && v < n)
 
+(* ---- one-pass central moments (TVLA backbone) ---- *)
+
+let direct_central k xs =
+  let n = float_of_int (Array.length xs) in
+  let mu = Array.fold_left ( +. ) 0. xs /. n in
+  Array.fold_left (fun acc x -> acc +. ((x -. mu) ** float_of_int k)) 0. xs /. n
+
+let test_moments_vs_direct () =
+  let rng = Stats.Rng.create ~seed:31 in
+  let xs = Array.init 400 (fun _ -> Stats.Rng.gaussian rng ~mu:2. ~sigma:1.5) in
+  let m = Stats.Welford.Moments.create () in
+  Array.iter (Stats.Welford.Moments.add m) xs;
+  Alcotest.(check int) "count" 400 (Stats.Welford.Moments.count m);
+  List.iter
+    (fun (name, got, want) ->
+      if not (feq ~eps:1e-9 got want) then Alcotest.failf "%s: %f <> %f" name got want)
+    [
+      ("mean", Stats.Welford.Moments.mean m,
+       Array.fold_left ( +. ) 0. xs /. 400.);
+      ("central2", Stats.Welford.Moments.central2 m, direct_central 2 xs);
+      ("central3", Stats.Welford.Moments.central3 m, direct_central 3 xs);
+      ("central4", Stats.Welford.Moments.central4 m, direct_central 4 xs);
+    ]
+
+let test_moments_merge () =
+  let rng = Stats.Rng.create ~seed:32 in
+  let whole = Stats.Welford.Moments.create () in
+  let a = Stats.Welford.Moments.create () and b = Stats.Welford.Moments.create () in
+  for i = 0 to 299 do
+    let x = Stats.Rng.gaussian rng ~mu:(-1.) ~sigma:2. in
+    Stats.Welford.Moments.add whole x;
+    Stats.Welford.Moments.add (if i < 113 then a else b) x
+  done;
+  let m = Stats.Welford.Moments.merge a b in
+  Alcotest.(check int) "count" 300 (Stats.Welford.Moments.count m);
+  List.iter
+    (fun (name, f) ->
+      let got = f m and want = f whole in
+      if not (feq ~eps:1e-9 got want) then Alcotest.failf "%s: %f <> %f" name got want)
+    [
+      ("mean", Stats.Welford.Moments.mean);
+      ("variance", Stats.Welford.Moments.variance);
+      ("central3", Stats.Welford.Moments.central3);
+      ("central4", Stats.Welford.Moments.central4);
+    ]
+
+(* merging with an empty accumulator must be the exact identity in both
+   directions — the TVLA chunk fold relies on it when a chunk holds no
+   traces of one class *)
+let prop_moments_empty_identity =
+  QCheck.Test.make ~count:100 ~name:"Moments: merge with empty is identity"
+    QCheck.(pair small_int (int_range 1 50))
+    (fun (seed, n) ->
+      let rng = Stats.Rng.create ~seed in
+      let m = Stats.Welford.Moments.create () in
+      for _ = 1 to n do
+        Stats.Welford.Moments.add m (Stats.Rng.gaussian rng ~mu:0. ~sigma:1.)
+      done;
+      let probe x =
+        Stats.Welford.Moments.(
+          (count x, mean x, central2 x, central3 x, central4 x))
+      in
+      let left = Stats.Welford.Moments.merge (Stats.Welford.Moments.create ()) m in
+      let right = Stats.Welford.Moments.merge m (Stats.Welford.Moments.create ()) in
+      probe left = probe m && probe right = probe m)
+
+let prop_cov_empty_identity =
+  QCheck.Test.make ~count:100 ~name:"Cov: merge with empty is identity"
+    QCheck.(pair small_int (int_range 1 50))
+    (fun (seed, n) ->
+      let rng = Stats.Rng.create ~seed in
+      let c = Stats.Welford.Cov.create () in
+      for _ = 1 to n do
+        let x = Stats.Rng.gaussian rng ~mu:0. ~sigma:1. in
+        Stats.Welford.Cov.add c x (x +. Stats.Rng.gaussian rng ~mu:0. ~sigma:1.)
+      done;
+      let probe x =
+        Stats.Welford.Cov.(
+          (count x, mean_x x, mean_y x, variance_x x, variance_y x, covariance x))
+      in
+      let left = Stats.Welford.Cov.merge (Stats.Welford.Cov.create ()) c in
+      let right = Stats.Welford.Cov.merge c (Stats.Welford.Cov.create ()) in
+      probe left = probe c && probe right = probe c)
+
+let test_welch_t () =
+  (* hand-checked: n=4 each, means 1 vs 0, variances 1 and 4 ->
+     t = 1 / sqrt(1/4 + 4/4) = 1/sqrt(1.25) *)
+  let t =
+    Stats.Signif.welch_t ~mean_a:1. ~var_a:1. ~n_a:4 ~mean_b:0. ~var_b:4. ~n_b:4
+  in
+  Alcotest.(check bool) "hand value" true (feq t (1. /. sqrt 1.25));
+  Alcotest.(check bool) "antisymmetric" true
+    (feq
+       (Stats.Signif.welch_t ~mean_a:0. ~var_a:4. ~n_a:4 ~mean_b:1. ~var_b:1. ~n_b:4)
+       (-.t));
+  Alcotest.(check bool) "tiny populations give 0" true
+    (Stats.Signif.welch_t ~mean_a:9. ~var_a:1. ~n_a:1 ~mean_b:0. ~var_b:1. ~n_b:50 = 0.);
+  Alcotest.(check bool) "equal degenerate classes give 0" true
+    (Stats.Signif.welch_t ~mean_a:2. ~var_a:0. ~n_a:10 ~mean_b:2. ~var_b:0. ~n_b:10 = 0.);
+  Alcotest.(check bool) "separated degenerate classes diverge" true
+    (Stats.Signif.welch_t ~mean_a:3. ~var_a:0. ~n_a:10 ~mean_b:2. ~var_b:0. ~n_b:10
+    = infinity)
+
+let test_significance_edges () =
+  Alcotest.(check (option int)) "empty series" None
+    (Stats.Signif.traces_to_significance []);
+  (* crossing that does not hold to the end of the series is not a
+     detection: the estimate wandered back under the threshold *)
+  Alcotest.(check (option int)) "cross then dip at the end" None
+    (Stats.Signif.traces_to_significance [ (100, 0.9); (200, 0.9); (300, 0.0001) ]);
+  (* negative correlations count through the absolute value *)
+  Alcotest.(check (option int)) "negative crossing" (Some 100)
+    (Stats.Signif.traces_to_significance [ (100, -0.9); (200, -0.9) ])
+
 let test_gaussian_moments () =
   let rng = Stats.Rng.create ~seed:99 in
   let w = Stats.Welford.create () in
@@ -179,6 +293,12 @@ let suite =
     Alcotest.test_case "probit" `Quick test_probit;
     Alcotest.test_case "threshold" `Quick test_threshold;
     Alcotest.test_case "traces_to_significance" `Quick test_traces_to_significance;
+    Alcotest.test_case "significance edge cases" `Quick test_significance_edges;
+    Alcotest.test_case "moments vs direct" `Quick test_moments_vs_direct;
+    Alcotest.test_case "moments merge" `Quick test_moments_merge;
+    Alcotest.test_case "welch t" `Quick test_welch_t;
+    QCheck_alcotest.to_alcotest prop_moments_empty_identity;
+    QCheck_alcotest.to_alcotest prop_cov_empty_identity;
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
     Alcotest.test_case "gaussian moments" `Slow test_gaussian_moments;
     QCheck_alcotest.to_alcotest prop_int_below_range;

@@ -209,6 +209,77 @@ let test_fullkey_store_matches_memory () =
         (st.Fft.re = mem.Fft.re && st.Fft.im = mem.Fft.im))
     [ 1; 2 ]
 
+let contains_frag msg frag =
+  let fl = String.length frag and ml = String.length msg in
+  let rec scan i = i + fl <= ml && (String.sub msg i fl = frag || scan (i + 1)) in
+  scan 0
+
+let test_stream_evolution_single_shard () =
+  (* a shard wide enough to swallow the whole campaign: exactly one
+     checkpoint, equal to the full in-memory batch correlation *)
+  let sk = Lazy.force sk16 in
+  let traces = Leakage.capture model ~seed:78 sk ~count:24 in
+  let dir = Filename.temp_dir "fd_stream_one" "" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let w =
+        Tracestore.Writer.create ~dir ~n:16
+          ~width:(16 * Leakage.events_per_coeff)
+          ~shard_traces:64
+          ~model:
+            {
+              Tracestore.alpha = model.alpha;
+              noise_sigma = model.noise_sigma;
+              baseline = model.baseline;
+            }
+      in
+      Array.iter (fun t -> Tracestore.Writer.append w (Leakage.to_record t)) traces;
+      Tracestore.Writer.close w;
+      let reader = Tracestore.Reader.open_store dir in
+      let d_true = (Fpr.mantissa sk.f_fft.Fft.re.(0) lor (1 lsl 52)) land 0x1FFFFFF in
+      let known (t : Leakage.trace) = t.c_fft.Fft.re.(0) in
+      match
+        Attack.Dema.Stream.evolution reader
+          ~sample:(Attack.Recover.sample Fpr.Mant_w00)
+          ~model:Attack.Recover.m_w00 ~known ~guess:d_true
+      with
+      | [ (d, r) ] ->
+          Alcotest.(check int) "checkpoint at full campaign" 24 d;
+          let acc = Stats.Welford.Cov.create () in
+          Array.iter
+            (fun (t : Leakage.trace) ->
+              Stats.Welford.Cov.add acc
+                (float_of_int (Bitops.popcount (Attack.Recover.m_w00 d_true (known t))))
+                t.samples.(Attack.Recover.sample Fpr.Mant_w00))
+            traces;
+          Alcotest.(check bool) "equals full batch correlation" true
+            (feq r (Stats.Welford.Cov.correlation acc))
+      | cps -> Alcotest.failf "expected one checkpoint, got %d" (List.length cps))
+
+let test_stream_evolution_empty_store () =
+  (* a store holding zero traces is a data error, not an empty series *)
+  let dir = Filename.temp_dir "fd_stream_empty" "" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let w =
+        Tracestore.Writer.create ~dir ~n:16
+          ~width:(16 * Leakage.events_per_coeff)
+          ~shard_traces:8
+          ~model:{ Tracestore.alpha = 1.; noise_sigma = 0.; baseline = 0. }
+      in
+      Tracestore.Writer.close w;
+      let reader = Tracestore.Reader.open_store dir in
+      match
+        Attack.Dema.Stream.evolution reader ~sample:0 ~model:(fun _ _ -> 0)
+          ~known:(fun _ -> 0) ~guess:0
+      with
+      | _ -> Alcotest.fail "empty store accepted"
+      | exception Failure msg ->
+          Alcotest.(check bool) "message says the store is empty" true
+            (contains_frag msg "no traces"))
+
 let test_stream_rejects_width_mismatch () =
   (* a store whose sample width does not match 70n must be refused by
      the streaming engine up front *)
@@ -252,4 +323,8 @@ let suite =
       test_fullkey_store_matches_memory;
     Alcotest.test_case "stream rejects width mismatch" `Quick
       test_stream_rejects_width_mismatch;
+    Alcotest.test_case "evolution on a single-shard store" `Quick
+      test_stream_evolution_single_shard;
+    Alcotest.test_case "evolution rejects an empty store" `Quick
+      test_stream_evolution_empty_store;
   ]
