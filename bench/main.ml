@@ -7,7 +7,7 @@
 
      FD_ONLY    run a single section (fig3, fig4, headline, ntt_vs_fft,
                 ablation_snr, ablation_prune, countermeasures, profiled,
-                stream, assess, micro)
+                stream, assess, pearson, micro)
      FD_TRACES  trace budget for the per-coefficient experiments (10000)
      FD_N       ring size of the full-key attack (32)
      FD_NOISE   leakage noise sigma (2.0)
@@ -15,7 +15,10 @@
      FD_JOBS    worker domains for the key-recovery analysis (1); results
                 are bit-identical at every value
      FD_FULL    1 = exhaustive 2^25 / 2^27 mantissa enumeration in the
-                fig4 section (paper scale; hours on one core) *)
+                fig4 section (paper scale; hours on one core)
+     FD_PEARSON scalar = force the per-guess Pearson kernel everywhere
+                (default: the batched hypothesis-block kernel; both are
+                bit-identical — see Stats.Pearson.Batch) *)
 
 let getenv_int name default =
   match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
@@ -140,7 +143,7 @@ let fig4 () =
   let sign_guesses = [| 0; 1 |] in
   let m =
     Attack.Dema.corr_time ~traces:v.traces ~model:Attack.Recover.m_sign ~known:v.known
-      ~guesses:sign_guesses
+      ~guesses:sign_guesses ()
   in
   print_corr_time "(a) sign bit" sign_guesses [| "s=0"; "s=1 (correct)" |] m;
   let s_rec, s_corr = Attack.Recover.attack_sign v in
@@ -151,7 +154,7 @@ let fig4 () =
   let e_guesses = [| e_true; e_true - 1; e_true + 1; e_true - 7; e_true + 16 |] in
   let m =
     Attack.Dema.corr_time ~traces:v.traces ~model:Attack.Recover.m_exp ~known:v.known
-      ~guesses:e_guesses
+      ~guesses:e_guesses ()
   in
   print_corr_time "(b) exponent (e = ex + ey - 2100 register)" e_guesses
     [| "0x406 (correct)"; "0x405"; "0x407"; "0x3ff"; "0x416" |]
@@ -659,6 +662,164 @@ let assess () =
   Printf.printf "wrote BENCH_assess.json\n"
 
 (* ---------------------------------------------------------------- *)
+(* Batched Pearson kernel: scalar corr_with rows versus Batch.corr_block
+   over block shapes (kernel-level, prebuilt hypotheses so only the
+   correlation arithmetic is timed), plus the end-to-end Dema.rank sweep
+   under both backends.  Every comparison also asserts bit-identity.
+   Emits one JSON row (BENCH_pearson.json). *)
+
+let pearson () =
+  section "Pearson — scalar vs batched distinguisher kernel";
+  let v = Lazy.force paper_view in
+  let traces = v.Attack.Recover.traces and known = v.Attack.Recover.known in
+  let d = Array.length traces in
+  let c = Stats.Pearson.column_stats traces (Attack.Recover.sample Fpr.Mant_w00) in
+  let guesses =
+    Attack.Hypothesis.sampled
+      (Stats.Rng.create ~seed:(seed + 77))
+      ~width:25 ~truth:d_true ~decoys:2048 ()
+  in
+  let g = Array.length guesses in
+  Printf.printf "%d guesses x %d traces, %d jobs\n%!" g d jobs;
+  (* hypothesis rows prebuilt once: the timings below compare only the
+     correlation kernels, not the shared model-evaluation cost *)
+  let rows =
+    Array.map (Attack.Dema.hyp_vector ~model:Attack.Recover.m_w00 ~known) guesses
+  in
+  (* two scalar baselines: [corr] is Eq. (1) exactly as written (both
+     sides' moments recomputed per guess — the textbook distinguisher
+     loop), [corr_with] additionally hoists the column statistics (the
+     tightest scalar kernel in this repo) *)
+  let naive () = Array.map (fun h -> Stats.Pearson.corr c.Stats.Pearson.col h) rows in
+  let scalar () = Array.map (Stats.Pearson.corr_with c) rows in
+  let scalar_ref = scalar () in
+  let naive_identical = naive () = scalar_ref in
+  let block_rows = List.filter (fun r -> r <= g) [ 16; 64; 128; 512 ] in
+  (* pack the slices outside the timed region: one block per slice,
+     reused across the repetitions *)
+  let configs =
+    List.concat_map
+      (fun r ->
+        let slices =
+          let out = ref [] and lo = ref 0 in
+          while !lo < g do
+            let len = min r (g - !lo) in
+            out := Stats.Pearson.Batch.of_rows (Array.sub rows !lo len) :: !out;
+            lo := !lo + len
+          done;
+          List.rev !out
+        in
+        List.map (fun dblock -> (r, dblock, slices))
+          (List.sort_uniq compare [ 512; 2048; d ]))
+      block_rows
+  in
+  let run (_, dblock, slices) =
+    Array.concat
+      (List.map (fun b -> Stats.Pearson.Batch.corr_block ~dblock c b) slices)
+  in
+  let identical_all = ref naive_identical in
+  List.iter (fun cfg -> if run cfg <> scalar_ref then identical_all := false) configs;
+  (* interleaved min-of-rounds timing: scalar and every block shape are
+     measured once per round, so slow phases of a shared machine hit all
+     contestants alike instead of whichever ran last *)
+  let rounds = 7 in
+  let naive_s = ref infinity in
+  let scalar_s = ref infinity in
+  let cfg_s = Array.make (List.length configs) infinity in
+  for _ = 1 to rounds do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (naive ()));
+    naive_s := Float.min !naive_s (Unix.gettimeofday () -. t0);
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (scalar ()));
+    scalar_s := Float.min !scalar_s (Unix.gettimeofday () -. t0);
+    List.iteri
+      (fun k cfg ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Sys.opaque_identity (run cfg));
+        cfg_s.(k) <- Float.min cfg_s.(k) (Unix.gettimeofday () -. t0))
+      configs
+  done;
+  let naive_s = !naive_s and scalar_s = !scalar_s in
+  Printf.printf "scalar corr (Eq. 1 per guess) sweep: %.4f s (%.1f Mcorr-traces/s)\n%!"
+    naive_s
+    (float_of_int (g * d) /. naive_s /. 1e6);
+  Printf.printf "scalar corr_with (hoisted stats) sweep: %.4f s (%.1f Mcorr-traces/s)\n%!"
+    scalar_s
+    (float_of_int (g * d) /. scalar_s /. 1e6);
+  Printf.printf "block rows | dblock | time (s) | vs corr | vs corr_with | bit-identical\n";
+  Printf.printf "-----------+--------+----------+---------+--------------+--------------\n";
+  let results =
+    List.mapi
+      (fun k (r, dblock, _) ->
+        let s = cfg_s.(k) in
+        let speedup = naive_s /. s in
+        let speedup_hoisted = scalar_s /. s in
+        Printf.printf "%10d | %6d | %8.4f | %6.2fx | %11.2fx | %b\n%!" r dblock s
+          speedup speedup_hoisted !identical_all;
+        (r, dblock, s, speedup, speedup_hoisted))
+      configs
+  in
+  let best_speedup =
+    List.fold_left (fun a (_, _, _, s, _) -> Float.max a s) 0. results
+  in
+  let best_speedup_hoisted =
+    List.fold_left (fun a (_, _, _, _, s) -> Float.max a s) 0. results
+  in
+  let time_best f =
+    let t0 = Unix.gettimeofday () in
+    let r = ref (f ()) in
+    let best = ref (Unix.gettimeofday () -. t0) in
+    for _ = 1 to 2 do
+      let t0 = Unix.gettimeofday () in
+      r := f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    (!r, !best)
+  in
+  (* end-to-end: the full two-part ranking sweep under both backends
+     (model evaluation included — the honest attack-level comparison) *)
+  let parts =
+    [
+      (Attack.Recover.sample Fpr.Mant_w00, Attack.Recover.m_w00);
+      (Attack.Recover.sample Fpr.Mant_w10, Attack.Recover.m_w10);
+    ]
+  in
+  let rank backend () =
+    Attack.Dema.rank ~jobs ~backend ~traces ~parts ~known ~top:32
+      (Array.to_seq guesses)
+  in
+  let scalar_rank, rank_scalar_s = time_best (rank Stats.Pearson.Batch.Scalar) in
+  let batched_rank, rank_batched_s = time_best (rank Stats.Pearson.Batch.Batched) in
+  let rank_identical = scalar_rank = batched_rank in
+  identical_all := !identical_all && rank_identical;
+  Printf.printf
+    "end-to-end rank (2 parts, top 32): scalar %.4f s, batched %.4f s (%.2fx), \
+     identical top-k %b\n%!"
+    rank_scalar_s rank_batched_s (rank_scalar_s /. rank_batched_s) rank_identical;
+  let oc = open_out "BENCH_pearson.json" in
+  Printf.fprintf oc
+    "{\"section\":\"pearson\",\"traces\":%d,\"guesses\":%d,\"jobs\":%d,\
+     \"scalar_corr_s\":%.5f,\"scalar_corr_with_s\":%.5f,\"blocks\":[%s],\
+     \"best_speedup\":%.2f,\"best_speedup_hoisted\":%.2f,\
+     \"rank_scalar_s\":%.5f,\"rank_batched_s\":%.5f,\"rank_speedup\":%.2f,\
+     \"bit_identical\":%b}\n"
+    d g jobs naive_s scalar_s
+    (String.concat ","
+       (List.map
+          (fun (r, dblock, s, speedup, speedup_hoisted) ->
+            Printf.sprintf
+              "{\"rows\":%d,\"dblock\":%d,\"s\":%.5f,\"speedup\":%.2f,\
+               \"speedup_hoisted\":%.2f}"
+              r dblock s speedup speedup_hoisted)
+          results))
+    best_speedup best_speedup_hoisted rank_scalar_s rank_batched_s
+    (rank_scalar_s /. rank_batched_s)
+    !identical_all;
+  close_out oc;
+  Printf.printf "wrote BENCH_pearson.json\n"
+
+(* ---------------------------------------------------------------- *)
 (* Micro-benchmarks (Bechamel). *)
 
 let micro () =
@@ -815,5 +976,6 @@ let () =
   if want "profiled" then profiled ();
   if want "stream" then stream ();
   if want "assess" then assess ();
+  if want "pearson" then pearson ();
   if want "micro" then micro ();
   Printf.printf "\ndone.\n"

@@ -23,7 +23,11 @@
     Experiments fan out on the {!Parallel} pool ({!of_entries} is a pure
     function of its arguments per experiment index, so results are
     bit-identical at every [jobs]); the candidate sweep inside each
-    experiment stays sequential. *)
+    experiment stays sequential.  The per-experiment attack goes through
+    {!Attack.Recover.attack_mantissa_low} and therefore inherits the
+    blocked {!Stats.Pearson.Batch} distinguisher kernel; because that
+    kernel is bit-identical to the scalar path, every SR/GE/MTD figure
+    is unchanged by the backend (or by [FD_PEARSON=scalar]). *)
 
 type config = {
   defense : Campaign.defense;

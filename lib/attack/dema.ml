@@ -58,22 +58,70 @@ let rank_scores ?jobs ~score ~top candidates =
          t)
        ~reduce:Topk.merge ~init:(Topk.create top) candidates)
 
+let rank_block_scores ?jobs ~score_block ~top candidates =
+  let jobs = Parallel.resolve jobs in
+  Topk.to_list
+    (Parallel.map_reduce_chunks ~jobs ~chunk:sweep_chunk
+       ~map:(fun guesses ->
+         let scores = score_block guesses in
+         let t = Topk.create top in
+         Array.iteri (fun i g -> Topk.add t { guess = g; corr = scores.(i) }) guesses;
+         t)
+       ~reduce:Topk.merge ~init:(Topk.create top) candidates)
+
 let hyp_vector ~model ~known guess =
   Array.map (fun y -> float_of_int (Bitops.popcount (model guess y))) known
 
-let rank ?jobs ~traces ~parts ~known ~top candidates =
+(* Rows per hypothesis block in the batched sweep: a 512-candidate work
+   chunk is scored as four 128-row blocks, keeping the per-domain
+   scratch buffer at 128 x D doubles (10 MB at the paper's 10k traces)
+   while still amortising the column pass over many guesses. *)
+let batch_rows = 128
+
+let rank ?jobs ?backend ~traces ~parts ~known ~top candidates =
   (* column statistics are a per-sweep invariant: computed once here,
      shared read-only by every guess on every domain *)
   let cols =
     List.map (fun (s, model) -> (Stats.Pearson.column_stats traces s, model)) parts
   in
-  let score guess =
-    List.fold_left
-      (fun acc (c, model) ->
-        acc +. Float.abs (Stats.Pearson.corr_with c (hyp_vector ~model ~known guess)))
-      0. cols
-  in
-  rank_scores ?jobs ~score ~top candidates
+  match Stats.Pearson.Batch.resolve backend with
+  | Stats.Pearson.Batch.Scalar ->
+      let score guess =
+        List.fold_left
+          (fun acc (c, model) ->
+            acc
+            +. Float.abs (Stats.Pearson.corr_with c (hyp_vector ~model ~known guess)))
+          0. cols
+      in
+      rank_scores ?jobs ~score ~top candidates
+  | Stats.Pearson.Batch.Batched ->
+      let d = Array.length traces in
+      (* Per chunk: slice the candidates into row blocks, fill the
+         domain's scratch block once per (slice, part) and score the
+         whole slice in one fused kernel pass.  Scores accumulate per
+         guess in part order, exactly like the scalar fold, so every
+         total is bit-identical. *)
+      let score_block guesses =
+        let g = Array.length guesses in
+        let scores = Array.make g 0. in
+        let lo = ref 0 in
+        while !lo < g do
+          let len = min batch_rows (g - !lo) in
+          let slice = Array.sub guesses !lo len in
+          let blk = Hypothesis.Block.scratch ~rows:batch_rows ~cols:d in
+          List.iter
+            (fun (c, model) ->
+              let hb = Hypothesis.Block.fill blk ~model ~known slice in
+              let rs = Stats.Pearson.Batch.corr_block c hb in
+              for i = 0 to len - 1 do
+                scores.(!lo + i) <- scores.(!lo + i) +. Float.abs rs.(i)
+              done)
+            cols;
+          lo := !lo + len
+        done;
+        scores
+      in
+      rank_block_scores ?jobs ~score_block ~top candidates
 
 let rank_absolute ?jobs ~traces ~parts ~known ~top ~alpha ~baseline candidates =
   let cols =
@@ -145,10 +193,10 @@ module Stream = struct
     ( Array.concat (List.map fst pieces),
       Array.concat (List.map snd pieces) )
 
-  let rank ?jobs reader ~parts ~known ~top candidates =
+  let rank ?jobs ?backend reader ~parts ~known ~top candidates =
     let traces, ks = extract ?jobs reader ~samples:(List.map fst parts) ~known in
     let narrow_parts = List.mapi (fun i (_, model) -> (i, model)) parts in
-    rank ?jobs ~traces ~parts:narrow_parts ~known:ks ~top candidates
+    rank ?jobs ?backend ~traces ~parts:narrow_parts ~known:ks ~top candidates
 
   let evolution ?jobs reader ~sample ~model ~known ~guess =
     if Tracestore.Reader.total_traces reader = 0 then
@@ -176,9 +224,18 @@ module Stream = struct
     List.rev checkpoints
 end
 
-let corr_time ~traces ~model ~known ~guesses =
-  let hyps = Array.map (hyp_vector ~model ~known) guesses in
-  Stats.Pearson.corr_matrix ~traces ~hyps
+let corr_time ?backend ~traces ~model ~known ~guesses () =
+  match Stats.Pearson.Batch.resolve backend with
+  | Stats.Pearson.Batch.Scalar ->
+      let hyps = Array.map (hyp_vector ~model ~known) guesses in
+      Stats.Pearson.corr_matrix ~traces ~hyps
+  | Stats.Pearson.Batch.Batched ->
+      let blk =
+        Hypothesis.Block.create ~rows:(Array.length guesses)
+          ~cols:(Array.length known)
+      in
+      let hb = Hypothesis.Block.fill blk ~model ~known guesses in
+      Stats.Pearson.Batch.corr_matrix_blocked ~traces hb
 
 let evolution ~traces ~sample ~model ~known ~guess ~step =
   let hyp = hyp_vector ~model ~known guess in

@@ -26,8 +26,17 @@ val rank_scores :
     any domain).  The building block of {!rank}, {!rank_absolute} and
     {!Template.rank}. *)
 
+val rank_block_scores :
+  ?jobs:int -> score_block:(int array -> float array) -> top:int -> int Seq.t -> scored list
+(** Like {!rank_scores} but the scoring function receives a whole work
+    chunk of candidates at once and returns their scores positionally —
+    the entry point for batched (hypothesis-block) distinguishers.
+    Candidates enter the top-k in chunk order, so the selection is
+    bit-identical to [rank_scores] over the pointwise scores. *)
+
 val rank :
   ?jobs:int ->
+  ?backend:Stats.Pearson.Batch.backend ->
   traces:float array array ->
   parts:(int * (int -> 'k -> int)) list ->
   known:'k array ->
@@ -40,7 +49,14 @@ val rank :
     the part's sample index, streaming the candidate sequence with
     O(top) memory per domain.  Returns the [top] best, sorted by
     {!compare_scored}.  [model guess y] is the predicted intermediate of
-    a trace whose known operand is [y]. *)
+    a trace whose known operand is [y].
+
+    [backend] (default {!Stats.Pearson.Batch.default_backend}, i.e. the
+    batched kernel unless [FD_PEARSON=scalar]) selects between the
+    historical per-guess [hyp_vector]/[corr_with] loop and the
+    hypothesis-block kernel that scores {!batch_rows}-guess blocks from
+    a per-domain reusable Bigarray.  Both produce bit-identical scores,
+    hence bit-identical rankings, at every [jobs]. *)
 
 val rank_absolute :
   ?jobs:int ->
@@ -96,6 +112,7 @@ module Stream : sig
 
   val rank :
     ?jobs:int ->
+    ?backend:Stats.Pearson.Batch.backend ->
     Tracestore.Reader.t ->
     parts:(int * (int -> 'k -> int)) list ->
     known:(Leakage.trace -> 'k) ->
@@ -104,7 +121,9 @@ module Stream : sig
     scored list
   (** Store-backed {!rank}: part sample indices are {e absolute} trace
       sample positions (e.g. from [Leakage.sample_of]); [known] maps a
-      trace to the operand fed to the part models. *)
+      trace to the operand fed to the part models.  [backend] is passed
+      through to the in-memory {!rank} — both backends are bit-identical
+      here too. *)
 
   val evolution :
     ?jobs:int ->
@@ -121,12 +140,17 @@ module Stream : sig
 end
 
 val corr_time :
+  ?backend:Stats.Pearson.Batch.backend ->
   traces:float array array ->
   model:(int -> 'k -> int) ->
   known:'k array ->
   guesses:int array ->
+  unit ->
   float array array
-(** Correlation-versus-time matrix (one row per guess) — Fig. 4 (a-d). *)
+(** Correlation-versus-time matrix (one row per guess) — Fig. 4 (a-d).
+    [backend] selects the per-guess {!Stats.Pearson.corr_matrix} path or
+    the blocked {!Stats.Pearson.Batch.corr_matrix_blocked} kernel; the
+    matrices are bit-identical. *)
 
 val evolution :
   traces:float array array ->

@@ -24,6 +24,32 @@ val sampled :
     +/-1 neighbours, and [decoys] uniform values in [\[lo, 2^width)];
     deduplicated and shuffled. *)
 
+(** Reusable [G x D] hypothesis-block builder feeding the batched
+    Pearson kernel ({!Stats.Pearson.Batch}).  One {!fill} replaces [G]
+    per-guess [Dema.hyp_vector] allocations with writes into a single
+    flat buffer; row [r] holds exactly the floats of
+    [hyp_vector ~model ~known guesses.(r)], so batched scoring is
+    bit-identical to the scalar sweep. *)
+module Block : sig
+  type t = Stats.Pearson.Batch.hyp_block
+
+  val create : rows:int -> cols:int -> t
+  (** Fresh block with capacity for [rows] guesses of [cols] traces. *)
+
+  val scratch : rows:int -> cols:int -> t
+  (** The calling domain's reusable block of that shape — allocated on
+      first use, then returned again on every later call from the same
+      domain.  Never shared across domains; the caller must overwrite it
+      (via {!fill}) before reading. *)
+
+  val fill : t -> model:(int -> 'k -> int) -> known:'k array -> int array -> t
+  (** [fill blk ~model ~known guesses] writes the modelled leakage of
+      every guess (Hamming weights as floats, one row per guess),
+      declares [Array.length guesses] valid rows, and returns [blk].
+      Raises [Invalid_argument] if [known] does not match the block's
+      columns or there are more guesses than the block's capacity. *)
+end
+
 val exhaustive : width:int -> ?lo:int -> unit -> int Seq.t
 (** All values of [\[lo, 2^width)], lazily. *)
 

@@ -177,16 +177,18 @@ type mantissa_result = {
   pruned : Dema.scored list;
 }
 
-let extend_prune_multi ?jobs ~top ~candidates ~extend_stage ~prune_stage views =
+let extend_prune_multi ?jobs ?backend ~top ~candidates ~extend_stage ~prune_stage views =
   let traces, idx = combine views in
   let extend_parts = spread_parts views extend_stage in
-  let extend = Dema.rank ?jobs ~traces ~parts:extend_parts ~known:idx ~top candidates in
+  let extend =
+    Dema.rank ?jobs ?backend ~traces ~parts:extend_parts ~known:idx ~top candidates
+  in
   let survivors = List.to_seq (List.map (fun (s : Dema.scored) -> s.guess) extend) in
   (* The addition sample breaks the multiplication's shift-alias ties; the
      multiplication samples still separate low-bit neighbours, so the
      survivors are re-ranked on the combined evidence. *)
   let pruned =
-    Dema.rank ?jobs ~traces
+    Dema.rank ?jobs ?backend ~traces
       ~parts:(extend_parts @ spread_parts views prune_stage)
       ~known:idx ~top survivors
   in
@@ -198,21 +200,21 @@ let extend_prune_multi ?jobs ~top ~candidates ~extend_stage ~prune_stage views =
    (D x B at the w00 sample, D x A at the w10 sample) — Section III-C. *)
 let low_extend_stage = [ (Fpr.Mant_w00, m_w00); (Fpr.Mant_w10, m_w10) ]
 
-let mantissa_low_multi ?jobs ?(top = 16) ~candidates views =
-  extend_prune_multi ?jobs ~top ~candidates ~extend_stage:low_extend_stage
+let mantissa_low_multi ?jobs ?backend ?(top = 16) ~candidates views =
+  extend_prune_multi ?jobs ?backend ~top ~candidates ~extend_stage:low_extend_stage
     ~prune_stage:[ (Fpr.Mant_z1a, m_z1a) ]
     views
 
-let attack_mantissa_low ?jobs ?top ~candidates v =
-  mantissa_low_multi ?jobs ?top ~candidates [ v ]
+let attack_mantissa_low ?jobs ?backend ?top ~candidates v =
+  mantissa_low_multi ?jobs ?backend ?top ~candidates [ v ]
 
-let attack_mantissa_low_naive ?jobs ?(top = 16) ~candidates v =
-  Dema.rank ?jobs ~traces:v.traces
+let attack_mantissa_low_naive ?jobs ?backend ?(top = 16) ~candidates v =
+  Dema.rank ?jobs ?backend ~traces:v.traces
     ~parts:[ (sample Fpr.Mant_w00, m_w00); (sample Fpr.Mant_w10, m_w10) ]
     ~known:v.known ~top candidates
 
-let mantissa_high_multi ?jobs ?(top = 16) ~candidates ~d views =
-  extend_prune_multi ?jobs ~top ~candidates
+let mantissa_high_multi ?jobs ?backend ?(top = 16) ~candidates ~d views =
+  extend_prune_multi ?jobs ?backend ~top ~candidates
     ~extend_stage:[ (Fpr.Mant_w01, m_w01); (Fpr.Mant_w11, m_w11) ]
     ~prune_stage:
       [
@@ -221,14 +223,14 @@ let mantissa_high_multi ?jobs ?(top = 16) ~candidates ~d views =
       ]
     views
 
-let attack_mantissa_high ?jobs ?top ~candidates ~d v =
-  mantissa_high_multi ?jobs ?top ~candidates ~d [ v ]
+let attack_mantissa_high ?jobs ?backend ?top ~candidates ~d v =
+  mantissa_high_multi ?jobs ?backend ?top ~candidates ~d [ v ]
 
 type strategy =
   | Exhaustive
   | Eval_sampled of { rng : Stats.Rng.t; decoys : int; truth : Fpr.t }
 
-let coefficient ?jobs ~strategy views =
+let coefficient ?jobs ?backend ~strategy views =
   let low_cands, high_cands =
     match strategy with
     | Exhaustive ->
@@ -244,9 +246,10 @@ let coefficient ?jobs ~strategy views =
   in
   (* keep enough extend survivors that the truth cannot be displaced by
      its own alias class (up to ~25 exact ties for small D) plus noise *)
-  let low = mantissa_low_multi ?jobs ~top:32 ~candidates:low_cands views in
+  let low = mantissa_low_multi ?jobs ?backend ~top:32 ~candidates:low_cands views in
   let high =
-    mantissa_high_multi ?jobs ~top:32 ~candidates:high_cands ~d:low.winner views
+    mantissa_high_multi ?jobs ?backend ~top:32 ~candidates:high_cands ~d:low.winner
+      views
   in
   let xu = (high.winner lsl 25) lor low.winner in
   let mant = xu land ((1 lsl 52) - 1) in

@@ -102,23 +102,50 @@ type mantissa_result = {
 }
 
 val mantissa_low_multi :
-  ?jobs:int -> ?top:int -> candidates:int Seq.t -> view list -> mantissa_result
+  ?jobs:int ->
+  ?backend:Stats.Pearson.Batch.backend ->
+  ?top:int ->
+  candidates:int Seq.t ->
+  view list ->
+  mantissa_result
 
 val attack_mantissa_low :
-  ?jobs:int -> ?top:int -> candidates:int Seq.t -> view -> mantissa_result
+  ?jobs:int ->
+  ?backend:Stats.Pearson.Batch.backend ->
+  ?top:int ->
+  candidates:int Seq.t ->
+  view ->
+  mantissa_result
 (** Extend on the partial products D x B and D x A, prune on the
     intermediate addition z1a.  Candidates are 25-bit values. *)
 
 val attack_mantissa_low_naive :
-  ?jobs:int -> ?top:int -> candidates:int Seq.t -> view -> Dema.scored list
+  ?jobs:int ->
+  ?backend:Stats.Pearson.Batch.backend ->
+  ?top:int ->
+  candidates:int Seq.t ->
+  view ->
+  Dema.scored list
 (** The straight differential attack on the multiplication only — the
     baseline whose exact-tie false positives motivate the paper. *)
 
 val mantissa_high_multi :
-  ?jobs:int -> ?top:int -> candidates:int Seq.t -> d:int -> view list -> mantissa_result
+  ?jobs:int ->
+  ?backend:Stats.Pearson.Batch.backend ->
+  ?top:int ->
+  candidates:int Seq.t ->
+  d:int ->
+  view list ->
+  mantissa_result
 
 val attack_mantissa_high :
-  ?jobs:int -> ?top:int -> candidates:int Seq.t -> d:int -> view -> mantissa_result
+  ?jobs:int ->
+  ?backend:Stats.Pearson.Batch.backend ->
+  ?top:int ->
+  candidates:int Seq.t ->
+  d:int ->
+  view ->
+  mantissa_result
 (** Same for the high 28 bits (top bit fixed to 1), pruning on the
     high-word accumulation, with the already-recovered low half [d]. *)
 
@@ -130,9 +157,16 @@ type strategy =
   | Eval_sampled of { rng : Stats.Rng.t; decoys : int; truth : Fpr.t }
       (** evaluation mode: truth + alias class + decoys (see DESIGN.md) *)
 
-val coefficient : ?jobs:int -> strategy:strategy -> view list -> Fpr.t
+val coefficient :
+  ?jobs:int ->
+  ?backend:Stats.Pearson.Batch.backend ->
+  strategy:strategy ->
+  view list ->
+  Fpr.t
 (** Run all component attacks jointly over the given windows (typically
     {!views_for}) and reassemble the 64-bit value.  [?jobs] (here and on
     every ranking entry point above) sets the worker-domain count of the
     underlying candidate sweeps — see {!Dema}; the output is
-    bit-identical at every [jobs]. *)
+    bit-identical at every [jobs].  [?backend] (on the mantissa rankings)
+    selects the scalar or batched Pearson kernel — also bit-identical,
+    see {!Stats.Pearson.Batch}. *)

@@ -10,9 +10,23 @@ let popcount64 (x : int64) : int =
   let x = logand (add x (shift_right_logical x 4)) m4 in
   to_int (shift_right_logical (mul x h01) 56)
 
+(* Native-int SWAR popcount: the distinguisher evaluates this once per
+   (guess, trace) pair, so it must not round-trip through boxed [Int64]
+   (each Int64 operation allocates without flambda).  All masks fit in a
+   63-bit int because the argument is non-negative (bits 0..61 only). *)
+let m1 = 0x1555555555555555 (* 01 repeated over bits 0..60 *)
+let m2 = 0x3333333333333333
+let m4 = 0x0f0f0f0f0f0f0f0f
+let h01 = 0x0101010101010101
+
 let popcount (x : int) : int =
   assert (x >= 0);
-  popcount64 (Int64.of_int x)
+  let x = x - ((x lsr 1) land m1) in
+  let x = (x land m2) + ((x lsr 2) land m2) in
+  let x = (x + (x lsr 4)) land m4 in
+  (* byte sums aggregate into bits 56..62 of the product: at most 62 set
+     bits, so the top byte never overflows into the sign bit *)
+  (x * h01) lsr 56
 
 let hamming_distance a b = popcount (a lxor b)
 

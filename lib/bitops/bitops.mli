@@ -6,7 +6,9 @@
 
 val popcount : int -> int
 (** [popcount x] is the number of set bits in the 63-bit value [x].
-    [x] must be non-negative. *)
+    [x] must be non-negative.  Allocation-free native-int SWAR — this is
+    the per-(guess, trace) primitive of the Pearson sweeps, so it never
+    touches boxed [Int64] arithmetic. *)
 
 val popcount64 : int64 -> int
 (** Hamming weight of a full 64-bit word. *)

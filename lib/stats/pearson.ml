@@ -67,9 +67,18 @@ let trace_moments traces =
   done;
   (d, t, st, stt)
 
+(* Per-sample column variances, hoisted out of the guess loop: in the
+   G x T sweep they are a function of the traces alone, so computing
+   them inside the per-guess closure repeated the same subtraction
+   G times per sample. *)
+let column_variances ~d ~st ~stt =
+  let nf = float_of_int d in
+  Array.init (Array.length st) (fun j -> stt.(j) -. (st.(j) *. st.(j) /. nf))
+
 let corr_matrix ~traces ~hyps =
   let d, t, st, stt = trace_moments traces in
   let nf = float_of_int d in
+  let vt = column_variances ~d ~st ~stt in
   Array.map
     (fun h ->
       assert (Array.length h = d);
@@ -89,8 +98,7 @@ let corr_matrix ~traces ~hyps =
       let vh = !shh -. (!sh *. !sh /. nf) in
       Array.init t (fun j ->
           let cov = sht.(j) -. (!sh *. st.(j) /. nf) in
-          let vt = stt.(j) -. (st.(j) *. st.(j) /. nf) in
-          if vh <= 0. || vt <= 0. then 0. else cov /. sqrt (vh *. vt)))
+          if vh <= 0. || vt.(j) <= 0. then 0. else cov /. sqrt (vh *. vt.(j))))
     hyps
 
 let corr_at_sample ~traces ~hyps ~sample =
@@ -153,6 +161,204 @@ module Streaming = struct
       n = a.n + b.n;
       cols = Array.init a.width (fun j -> Welford.Cov.merge a.cols.(j) b.cols.(j));
     }
+end
+
+(* ---- batched hypothesis-block kernel ----
+
+   One column, G hypotheses: instead of one [hyp_vector] allocation and
+   one [corr_with] pass per guess, a whole block of guesses lives in a
+   flat Bigarray (row r = guess r's modelled leakage) and is scored in a
+   single fused pass.  Determinism contract: for every row, the three
+   accumulators (sum, sum of squares, cross term) receive exactly the
+   additions of [corr_with], in the same trace order — the row-quad
+   register blocking and the D-blocking only re-interleave updates of
+   *distinct* accumulators, so every correlation is bit-identical to the
+   scalar path at every block size. *)
+module Batch = struct
+  type backend = Scalar | Batched
+
+  let default =
+    Atomic.make
+      (match Sys.getenv_opt "FD_PEARSON" with
+      | Some v when String.lowercase_ascii v = "scalar" -> Scalar
+      | _ -> Batched)
+
+  let default_backend () = Atomic.get default
+  let set_default_backend b = Atomic.set default b
+  let resolve = function Some b -> b | None -> default_backend ()
+
+  type hyp_block = {
+    data : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+    capacity : int;
+    cols : int;
+    mutable rows : int;
+  }
+
+  let create ~rows ~cols =
+    if rows < 0 || cols < 0 then
+      invalid_arg "Pearson.Batch.create: negative dimension";
+    let data =
+      Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout (rows * cols)
+    in
+    Bigarray.Array1.fill data 0.;
+    { data; capacity = rows; cols; rows }
+
+  let rows b = b.rows
+  let cols b = b.cols
+  let capacity b = b.capacity
+
+  let set_rows b r =
+    if r < 0 || r > b.capacity then
+      invalid_arg
+        (Printf.sprintf "Pearson.Batch.set_rows: %d rows, capacity %d" r b.capacity);
+    b.rows <- r
+
+  let check b r i =
+    if r < 0 || r >= b.rows || i < 0 || i >= b.cols then
+      invalid_arg
+        (Printf.sprintf "Pearson.Batch: index (%d, %d) outside %d x %d block" r i
+           b.rows b.cols)
+
+  let set b r i v =
+    check b r i;
+    Bigarray.Array1.unsafe_set b.data ((r * b.cols) + i) v
+
+  let get b r i =
+    check b r i;
+    Bigarray.Array1.unsafe_get b.data ((r * b.cols) + i)
+
+  let unsafe_set b r i v = Bigarray.Array1.unsafe_set b.data ((r * b.cols) + i) v
+
+  let of_rows ?cols rows_arr =
+    let g = Array.length rows_arr in
+    let d =
+      match cols with
+      | Some c -> c
+      | None -> if g = 0 then 0 else Array.length rows_arr.(0)
+    in
+    let b = create ~rows:g ~cols:d in
+    Array.iteri
+      (fun r row ->
+        if Array.length row <> d then
+          invalid_arg "Pearson.Batch.of_rows: ragged hypothesis rows";
+        for i = 0 to d - 1 do
+          unsafe_set b r i row.(i)
+        done)
+      rows_arr;
+    b
+
+  let row b r =
+    if r < 0 || r >= b.rows then invalid_arg "Pearson.Batch.row: row out of range";
+    Array.init b.cols (fun i -> Bigarray.Array1.unsafe_get b.data ((r * b.cols) + i))
+
+  (* Column tile kept small enough for L1 while every row of the block
+     streams over it; 2048 samples = 16 kB of column data. *)
+  let default_dblock = 2048
+
+  let corr_block ?(dblock = default_dblock) { col; sum = sum_t; var_n = var_t } blk =
+    if dblock < 1 then invalid_arg "Pearson.Batch.corr_block: dblock must be >= 1";
+    let d = blk.cols and g = blk.rows in
+    if Array.length col <> d then
+      invalid_arg
+        (Printf.sprintf "Pearson.Batch.corr_block: column has %d traces, block %d"
+           (Array.length col) d);
+    let nf = float_of_int d in
+    let data = blk.data in
+    let sh = Array.make g 0. and shh = Array.make g 0. and sht = Array.make g 0. in
+    (* Four rows per register tile: each column load is amortised over
+       four guesses and the twelve accumulators are local float refs —
+       unboxed by the native compiler (no flambda needed), so the hot
+       loop allocates nothing.  Each accumulator receives exactly its
+       corr_with additions in trace order, so the result is bit-identical
+       for every tiling. *)
+    let d0 = ref 0 in
+    while !d0 < d do
+      let lo = !d0 in
+      let hi = min d (lo + dblock) in
+      let r = ref 0 in
+      while !r + 4 <= g do
+        let r0 = !r in
+        let b0 = r0 * d and b1 = (r0 + 1) * d and b2 = (r0 + 2) * d
+        and b3 = (r0 + 3) * d in
+        let a0 = ref sh.(r0) and q0 = ref shh.(r0) and c0 = ref sht.(r0) in
+        let a1 = ref sh.(r0 + 1) and q1 = ref shh.(r0 + 1) and c1 = ref sht.(r0 + 1) in
+        let a2 = ref sh.(r0 + 2) and q2 = ref shh.(r0 + 2) and c2 = ref sht.(r0 + 2) in
+        let a3 = ref sh.(r0 + 3) and q3 = ref shh.(r0 + 3) and c3 = ref sht.(r0 + 3) in
+        for i = lo to hi - 1 do
+          let t = Array.unsafe_get col i in
+          let x0 = Bigarray.Array1.unsafe_get data (b0 + i) in
+          let x1 = Bigarray.Array1.unsafe_get data (b1 + i) in
+          let x2 = Bigarray.Array1.unsafe_get data (b2 + i) in
+          let x3 = Bigarray.Array1.unsafe_get data (b3 + i) in
+          a0 := !a0 +. x0; q0 := !q0 +. (x0 *. x0); c0 := !c0 +. (x0 *. t);
+          a1 := !a1 +. x1; q1 := !q1 +. (x1 *. x1); c1 := !c1 +. (x1 *. t);
+          a2 := !a2 +. x2; q2 := !q2 +. (x2 *. x2); c2 := !c2 +. (x2 *. t);
+          a3 := !a3 +. x3; q3 := !q3 +. (x3 *. x3); c3 := !c3 +. (x3 *. t)
+        done;
+        sh.(r0) <- !a0; shh.(r0) <- !q0; sht.(r0) <- !c0;
+        sh.(r0 + 1) <- !a1; shh.(r0 + 1) <- !q1; sht.(r0 + 1) <- !c1;
+        sh.(r0 + 2) <- !a2; shh.(r0 + 2) <- !q2; sht.(r0 + 2) <- !c2;
+        sh.(r0 + 3) <- !a3; shh.(r0 + 3) <- !q3; sht.(r0 + 3) <- !c3;
+        r := r0 + 4
+      done;
+      while !r < g do
+        let r0 = !r in
+        let base = r0 * d in
+        let a = ref sh.(r0) and q = ref shh.(r0) and c = ref sht.(r0) in
+        for i = lo to hi - 1 do
+          let x = Bigarray.Array1.unsafe_get data (base + i) in
+          a := !a +. x;
+          q := !q +. (x *. x);
+          c := !c +. (x *. Array.unsafe_get col i)
+        done;
+        sh.(r0) <- !a;
+        shh.(r0) <- !q;
+        sht.(r0) <- !c;
+        incr r
+      done;
+      d0 := hi
+    done;
+    Array.init g (fun r ->
+        let vh = shh.(r) -. (sh.(r) *. sh.(r) /. nf) in
+        let cov = sht.(r) -. (sh.(r) *. sum_t /. nf) in
+        if vh <= 0. || var_t <= 0. then 0. else cov /. sqrt (vh *. var_t))
+
+  let corr_matrix_blocked ~traces blk =
+    let d = Array.length traces in
+    if d <> blk.cols then
+      invalid_arg
+        (Printf.sprintf
+           "Pearson.Batch.corr_matrix_blocked: %d traces, block has %d columns" d
+           blk.cols);
+    if d = 0 then Array.make blk.rows [||]
+    else begin
+      let d, t, st, stt = trace_moments traces in
+      let nf = float_of_int d in
+      let vt = column_variances ~d ~st ~stt in
+      let data = blk.data in
+      Array.init blk.rows (fun r ->
+          let base = r * blk.cols in
+          let sh = ref 0. and shh = ref 0. in
+          for i = 0 to d - 1 do
+            let hv = Bigarray.Array1.unsafe_get data (base + i) in
+            sh := !sh +. hv;
+            shh := !shh +. (hv *. hv)
+          done;
+          let sht = Array.make t 0. in
+          for i = 0 to d - 1 do
+            let hv = Bigarray.Array1.unsafe_get data (base + i) in
+            if hv <> 0. then begin
+              let tr = traces.(i) in
+              for j = 0 to t - 1 do
+                sht.(j) <- sht.(j) +. (hv *. Array.unsafe_get tr j)
+              done
+            end
+          done;
+          let vh = !shh -. (!sh *. !sh /. nf) in
+          Array.init t (fun j ->
+              let cov = sht.(j) -. (!sh *. st.(j) /. nf) in
+              if vh <= 0. || vt.(j) <= 0. then 0. else cov /. sqrt (vh *. vt.(j))))
+    end
 end
 
 let best_sample r =

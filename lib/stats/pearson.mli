@@ -75,6 +75,84 @@ module Streaming : sig
   (** Combine disjoint partial trackers; neither input is mutated. *)
 end
 
+(** Batched hypothesis-block distinguisher kernel.
+
+    A [hyp_block] is a [G x D] block of modelled leakage vectors (row r =
+    guess r) backed by one flat [Bigarray], so a sweep fills a single
+    reusable buffer instead of allocating one [hyp_vector] per guess.
+    {!corr_block} scores the whole block against one precomputed trace
+    column in a fused pass: per-row hypothesis moments and block-of-rows
+    dot products, register-blocked four rows at a time and cache-blocked
+    over the trace dimension.
+
+    {b Determinism contract.}  Each row's three accumulators receive
+    exactly the floating-point additions of {!corr_with}, in the same
+    trace order; blocking only interleaves updates of distinct
+    accumulators.  Hence [corr_block c b] is {e bit-identical} to
+    [Array.map (corr_with c) rows] for every block size, and
+    {!corr_matrix_blocked} is bit-identical to {!corr_matrix} — enforced
+    by [test/test_pearson_batch.ml]. *)
+module Batch : sig
+  type backend = Scalar | Batched
+
+  val default_backend : unit -> backend
+  (** Process-wide kernel choice used when a [?backend] argument is
+      omitted.  Initialised from the [FD_PEARSON] environment variable
+      ([scalar] selects the historical per-guess path; anything else,
+      including unset, selects the batched kernel). *)
+
+  val set_default_backend : backend -> unit
+
+  val resolve : backend option -> backend
+  (** [resolve b] is the idiom for optional [?backend] parameters. *)
+
+  type hyp_block
+
+  val create : rows:int -> cols:int -> hyp_block
+  (** Fresh block with room for [rows] guesses of [cols] traces each;
+      all [rows] rows are initially declared valid (contents zero). *)
+
+  val rows : hyp_block -> int
+  (** Number of valid rows (see {!set_rows}); kernels score only these. *)
+
+  val cols : hyp_block -> int
+  val capacity : hyp_block -> int
+
+  val set_rows : hyp_block -> int -> unit
+  (** Declare how many leading rows hold live hypotheses — the idiom for
+      a reusable scratch block whose final chunk is short.  Raises
+      [Invalid_argument] outside [0 .. capacity]. *)
+
+  val set : hyp_block -> int -> int -> float -> unit
+  val get : hyp_block -> int -> int -> float
+
+  val unsafe_set : hyp_block -> int -> int -> float -> unit
+  (** Unchecked {!set} for hot fill loops ({!Attack.Hypothesis.Block});
+      the caller must have validated the shape once up front. *)
+
+  val of_rows : ?cols:int -> float array array -> hyp_block
+  (** Pack scalar hypothesis vectors into a block (testing / bench).
+      [cols] defaults to the first row's length and must be given for an
+      empty pack whose column count matters. *)
+
+  val row : hyp_block -> int -> float array
+  (** Copy row [r] back out as a scalar hypothesis vector. *)
+
+  val corr_block : ?dblock:int -> col_stats -> hyp_block -> float array
+  (** [corr_block c b] is the per-row Pearson correlation against the
+      precomputed column, bit-identical to [corr_with c] on each row.
+      [dblock] is the trace-dimension cache tile (default 2048 samples =
+      16 kB of column data); it affects performance only, never the
+      result.  Raises [Invalid_argument] if the column length differs
+      from the block's columns or [dblock < 1]. *)
+
+  val corr_matrix_blocked : traces:float array array -> hyp_block -> float array array
+  (** [G x T] correlation matrix of every block row against every time
+      sample — the blocked {!corr_matrix} for the Fig. 4 sweeps, with
+      per-sample column statistics hoisted across the guess loop.
+      Bit-identical to {!corr_matrix} on the same hypotheses. *)
+end
+
 val best_sample : float array -> int * float
 (** Index and value of the entry with the largest absolute value. *)
 

@@ -3,6 +3,7 @@ let () =
     [
       ("bitops", Test_bitops.suite);
       ("stats", Test_stats.suite);
+      ("pearson_batch", Test_pearson_batch.suite);
       ("parallel", Test_parallel.suite);
       ("fpr", Test_fpr.suite);
       ("fpr_more", Test_fpr_more.suite);

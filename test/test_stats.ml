@@ -104,6 +104,38 @@ let test_corr_matrix_agrees () =
     done
   done
 
+(* Bit-exactness pin: corr_matrix hoists column statistics across the
+   guess loop and skips zero hypothesis values in the cross-term pass —
+   neither may perturb a single output bit relative to the reference
+   [corr] on the extracted column.  Zero-heavy rows make the skip
+   actually fire. *)
+let test_corr_matrix_bit_exact () =
+  let rng = Stats.Rng.create ~seed:43 in
+  let d = 64 and t = 5 in
+  let traces =
+    Array.init d (fun _ ->
+        Array.init t (fun _ -> Stats.Rng.gaussian rng ~mu:0. ~sigma:1.))
+  in
+  let hyps =
+    [|
+      Array.init d (fun i ->
+          if i mod 3 = 0 then float_of_int (Stats.Rng.int_below rng 20) else 0.);
+      Array.init d (fun _ -> float_of_int (Stats.Rng.int_below rng 50));
+      Array.make d 0.;
+      Array.make d 4.;
+    |]
+  in
+  let m = Stats.Pearson.corr_matrix ~traces ~hyps in
+  Array.iteri
+    (fun i h ->
+      for j = 0 to t - 1 do
+        let col = Array.map (fun tr -> tr.(j)) traces in
+        let expect = Stats.Pearson.corr h col in
+        if Int64.bits_of_float m.(i).(j) <> Int64.bits_of_float expect then
+          Alcotest.failf "corr_matrix(%d,%d) = %h, corr = %h" i j m.(i).(j) expect
+      done)
+    hyps
+
 let test_evolution_tail () =
   let rng = Stats.Rng.create ~seed:5 in
   let d = 64 in
@@ -289,6 +321,8 @@ let suite =
     Alcotest.test_case "cov merge" `Quick test_cov_merge;
     Alcotest.test_case "pearson exact" `Quick test_corr_exact;
     Alcotest.test_case "corr_matrix agrees with corr" `Quick test_corr_matrix_agrees;
+    Alcotest.test_case "corr_matrix bit-exact vs corr" `Quick
+      test_corr_matrix_bit_exact;
     Alcotest.test_case "evolution tail" `Quick test_evolution_tail;
     Alcotest.test_case "probit" `Quick test_probit;
     Alcotest.test_case "threshold" `Quick test_threshold;
