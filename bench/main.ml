@@ -7,7 +7,7 @@
 
      FD_ONLY    run a single section (fig3, fig4, headline, ntt_vs_fft,
                 ablation_snr, ablation_prune, countermeasures, profiled,
-                stream, assess, pearson, micro)
+                stream, assess, pearson, obs, micro)
      FD_TRACES  trace budget for the per-coefficient experiments (10000)
      FD_N       ring size of the full-key attack (32)
      FD_NOISE   leakage noise sigma (2.0)
@@ -820,6 +820,87 @@ let pearson () =
   Printf.printf "wrote BENCH_pearson.json\n"
 
 (* ---------------------------------------------------------------- *)
+(* Observability overhead: the same end-to-end ranking sweep with no
+   context (the legacy call), a Null-sink context and a JSONL-sink
+   context.  Instrumentation must be observationally transparent — all
+   three rankings are asserted bit-identical — and the Null sink is
+   required to cost nothing measurable (the acceptance bar is 2%).
+   Emits one JSON row (BENCH_obs.json). *)
+
+let obs_bench () =
+  section "Obs — instrumentation overhead on the end-to-end ranking sweep";
+  let v = Lazy.force paper_view in
+  let traces = v.Attack.Recover.traces and known = v.Attack.Recover.known in
+  let guesses =
+    Attack.Hypothesis.sampled
+      (Stats.Rng.create ~seed:(seed + 88))
+      ~width:25 ~truth:d_true ~decoys:2048 ()
+  in
+  let parts =
+    [
+      (Attack.Recover.sample Fpr.Mant_w00, Attack.Recover.m_w00);
+      (Attack.Recover.sample Fpr.Mant_w10, Attack.Recover.m_w10);
+    ]
+  in
+  Printf.printf "%d guesses x %d traces, %d jobs\n%!" (Array.length guesses)
+    (Array.length traces) jobs;
+  let legacy () =
+    Attack.Dema.rank ~jobs ~traces ~parts ~known ~top:32 (Array.to_seq guesses)
+  in
+  let null_ctx = Attack.Ctx.with_jobs jobs (Attack.Ctx.default ()) in
+  let null () =
+    Attack.Dema.rank ~ctx:null_ctx ~traces ~parts ~known ~top:32
+      (Array.to_seq guesses)
+  in
+  let buf = Buffer.create (1 lsl 16) in
+  let jsonl () =
+    Buffer.clear buf;
+    let ctx = Attack.Ctx.with_obs (Obs.make (Obs.Jsonl.to_buffer buf)) null_ctx in
+    Attack.Dema.rank ~ctx ~traces ~parts ~known ~top:32 (Array.to_seq guesses)
+  in
+  let r_legacy = legacy () in
+  let identical = r_legacy = null () && r_legacy = jsonl () in
+  let events =
+    List.length (String.split_on_char '\n' (String.trim (Buffer.contents buf)))
+  in
+  (* interleaved min-of-rounds timing, same idiom as the pearson section:
+     every contestant is measured once per round so shared-machine noise
+     hits all three alike.  The measurement order rotates each round —
+     with a fixed order, GC and allocator state left by contestant k
+     systematically lands on contestant k+1 and masquerades as sink
+     overhead. *)
+  let rounds = 12 in
+  let contestants = [| legacy; null; jsonl |] in
+  let best = Array.make 3 infinity in
+  for round = 0 to rounds - 1 do
+    for k = 0 to 2 do
+      let i = (round + k) mod 3 in
+      let t0 = Unix.gettimeofday () in
+      ignore (Sys.opaque_identity (contestants.(i) ()));
+      best.(i) <- Float.min best.(i) (Unix.gettimeofday () -. t0)
+    done
+  done;
+  let legacy_s = best.(0) and null_s = best.(1) and jsonl_s = best.(2) in
+  let pct base s = (s -. base) /. base *. 100. in
+  Printf.printf "sink      | time (s) | overhead vs legacy\n";
+  Printf.printf "----------+----------+-------------------\n";
+  Printf.printf "legacy    | %8.4f | --\n" legacy_s;
+  Printf.printf "null      | %8.4f | %+.2f%%\n" null_s (pct legacy_s null_s);
+  Printf.printf "jsonl     | %8.4f | %+.2f%% (%d events per run)\n%!" jsonl_s
+    (pct legacy_s jsonl_s) events;
+  Printf.printf "rankings bit-identical across sinks: %b\n" identical;
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc
+    "{\"section\":\"obs\",\"traces\":%d,\"guesses\":%d,\"jobs\":%d,\
+     \"legacy_s\":%.5f,\"null_s\":%.5f,\"jsonl_s\":%.5f,\
+     \"null_overhead_pct\":%.3f,\"jsonl_overhead_pct\":%.3f,\
+     \"jsonl_events\":%d,\"bit_identical\":%b}\n"
+    (Array.length traces) (Array.length guesses) jobs legacy_s null_s jsonl_s
+    (pct legacy_s null_s) (pct legacy_s jsonl_s) events identical;
+  close_out oc;
+  Printf.printf "wrote BENCH_obs.json\n"
+
+(* ---------------------------------------------------------------- *)
 (* Micro-benchmarks (Bechamel). *)
 
 let micro () =
@@ -977,5 +1058,6 @@ let () =
   if want "stream" then stream ();
   if want "assess" then assess ();
   if want "pearson" then pearson ();
+  if want "obs" then obs_bench ();
   if want "micro" then micro ();
   Printf.printf "\ndone.\n"

@@ -6,6 +6,7 @@
      dune exec bin/assess_cli.exe -- metrics --defense shuffle -t 500 --experiments 8
      dune exec bin/assess_cli.exe -- matrix -o report -j 4
      dune exec bin/assess_cli.exe -- check --json report.json
+     dune exec bin/assess_cli.exe -- check-log --json run.jsonl
 
    Exit statuses follow the repository-wide convention in Cli_common. *)
 
@@ -59,8 +60,8 @@ let print_tvla defense (r : Assess.Tvla.result) pair_t rvr_max =
   Printf.printf "random-vs-random null: max |t1| = %.2f (expect < %.1f)\n" rvr_max
     Assess.Tvla.threshold
 
-let cmd_tvla store defense traces noise seed jobs =
-  with_errors @@ fun () ->
+let cmd_tvla store defense traces noise seed flags =
+  Cli_common.run flags @@ fun ctx ->
   let defense, entries =
     match store with
     | Some dir ->
@@ -84,17 +85,17 @@ let cmd_tvla store defense traces noise seed jobs =
           traces noise seed;
         (defense, entries)
   in
-  let r = Assess.Tvla.of_entries ~jobs ~classify:Assess.Tvla.fixed_vs_random entries in
+  let r = Assess.Tvla.of_entries ~ctx ~classify:Assess.Tvla.fixed_vs_random entries in
   Printf.printf "populations: %d fixed, %d random\n" r.Assess.Tvla.n_a r.Assess.Tvla.n_b;
   let pairs = Assess.Campaign.share_pairs defense in
   let pair_t =
     if Array.length pairs = 0 then [||]
     else
-      Assess.Tvla.pairs_of_entries ~jobs ~pairs ~mean_a:r.Assess.Tvla.mean_a
+      Assess.Tvla.pairs_of_entries ~ctx ~pairs ~mean_a:r.Assess.Tvla.mean_a
         ~mean_b:r.Assess.Tvla.mean_b ~classify:Assess.Tvla.fixed_vs_random entries
   in
   let rvr =
-    Assess.Tvla.of_entries ~jobs ~classify:Assess.Tvla.random_vs_random entries
+    Assess.Tvla.of_entries ~ctx ~classify:Assess.Tvla.random_vs_random entries
   in
   let lo, hi = Assess.Campaign.assessed_region defense in
   let _, rvr_max = Assess.Tvla.max_abs ~lo ~hi rvr.Assess.Tvla.t1 in
@@ -124,21 +125,21 @@ let print_outcome (o : Assess.Metrics.outcome) =
              (function Some d -> string_of_int d | None -> "-")
              o.Assess.Metrics.mtds)))
 
-let cmd_metrics store defense noise budget experiments decoys seed jobs =
-  with_errors @@ fun () ->
+let cmd_metrics store defense noise budget experiments decoys seed flags =
+  Cli_common.run flags @@ fun ctx ->
   let outcome =
     match store with
     | Some dir ->
         Printf.printf "evaluating recorded campaign %s (%d experiments, %d decoys)\n%!"
           dir experiments decoys;
-        Assess.Metrics.of_store ~jobs ~experiments ~decoys dir
+        Assess.Metrics.of_store ~ctx ~experiments ~decoys dir
     | None ->
         Printf.printf
           "defense %s, noise sigma %.2f, %d traces x %d experiments, %d decoys, \
            seed %d\n%!"
           (Assess.Campaign.name defense)
           noise budget experiments decoys seed;
-        Assess.Metrics.run ~jobs
+        Assess.Metrics.run ~ctx
           { Assess.Metrics.defense; noise; budget; experiments; decoys; seed }
   in
   print_outcome outcome;
@@ -159,12 +160,12 @@ let print_cell (c : Assess.Matrix.cell) =
     c.Assess.Matrix.max_t1 c.Assess.Matrix.max_t2
     (if c.Assess.Matrix.first_order_leak then "LEAK" else "quiet")
 
-let cmd_matrix tiny sigmas budgets experiments decoys seed jobs out =
-  with_errors @@ fun () ->
+let cmd_matrix tiny sigmas budgets experiments decoys seed out flags =
+  Cli_common.run flags @@ fun ctx ->
   let report =
-    if tiny then Assess.Matrix.tiny ~jobs ~progress:print_cell ~seed ()
+    if tiny then Assess.Matrix.tiny ~ctx ~progress:print_cell ~seed ()
     else
-      Assess.Matrix.run ~jobs ~progress:print_cell ~sigmas ~budgets ~experiments
+      Assess.Matrix.run ~ctx ~progress:print_cell ~sigmas ~budgets ~experiments
         ~decoys ~seed ()
   in
   let json = Assess.Matrix.to_json report in
@@ -202,6 +203,20 @@ let cmd_check json_path =
       Printf.eprintf "%s: %s\n" json_path msg;
       Cli_common.data_error
 
+(* {2 check-log} *)
+
+let cmd_check_log log_path =
+  with_errors @@ fun () ->
+  let records = Obs.Jsonl.read_file log_path in
+  match Obs.Jsonl.validate records with
+  | Ok () ->
+      Printf.printf "%s: valid %s log (%d records)\n" log_path Obs.Jsonl.schema
+        (List.length records);
+      Cli_common.ok
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" log_path msg;
+      Cli_common.data_error
+
 open Cmdliner
 
 let defense_arg =
@@ -213,28 +228,15 @@ let defense_arg =
               $(b,shuffle).")
 
 let store_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "store" ] ~docv:"DIR"
-        ~doc:
-          "Assess a recorded campaign (trace_cli record-tvla) instead of generating \
-           one; defense, secret and seed come from the store's sidecar.")
+  Cli_common.store_opt_arg
+    ~doc:
+      "Assess a recorded campaign (trace_cli record-tvla) instead of generating \
+       one; defense, secret and seed come from the store's sidecar."
 
-let traces_arg =
-  Arg.(value & opt int 2000 & info [ "t"; "traces" ] ~doc:"Campaign trace count.")
-
-let noise_arg = Arg.(value & opt float 2.0 & info [ "noise" ] ~doc:"Noise sigma.")
-let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Experiment seed.")
-
-let jobs_arg =
-  Arg.(
-    value
-    & opt int 1
-    & info [ "j"; "jobs" ] ~docv:"JOBS"
-        ~doc:
-          "Worker domains.  Every statistic is bit-identical at every value; 1 (the \
-           default) runs sequentially.")
+let traces_arg = Cli_common.traces_arg ~default:2000 ~doc:"Campaign trace count." ()
+let noise_arg = Cli_common.noise_arg
+let seed_arg = Cli_common.seed_arg ()
+let flags = Cli_common.flags_term
 
 let experiments_arg =
   Arg.(
@@ -262,7 +264,7 @@ let tvla_cmd =
           test for masked traces)")
     Term.(
       const cmd_tvla $ store_arg $ defense_arg $ traces_arg $ noise_arg $ seed_arg
-      $ jobs_arg)
+      $ flags)
 
 let metrics_cmd =
   Cmd.v
@@ -272,7 +274,7 @@ let metrics_cmd =
           over N independently seeded attack experiments")
     Term.(
       const cmd_metrics $ store_arg $ defense_arg $ noise_arg $ budget_arg
-      $ experiments_arg $ decoys_arg $ seed_arg $ jobs_arg)
+      $ experiments_arg $ decoys_arg $ seed_arg $ flags)
 
 let sigmas_arg =
   Arg.(
@@ -307,7 +309,7 @@ let matrix_cmd =
           JSON/CSV report (validated against the schema after writing)")
     Term.(
       const cmd_matrix $ tiny_arg $ sigmas_arg $ budgets_arg $ experiments_arg
-      $ decoys_arg $ seed_arg $ jobs_arg $ out_arg)
+      $ decoys_arg $ seed_arg $ out_arg $ flags)
 
 let json_arg =
   Arg.(
@@ -321,10 +323,24 @@ let check_cmd =
        ~doc:"Parse and schema-validate an emitted matrix report; exit 1 if invalid")
     Term.(const cmd_check $ json_arg)
 
+let log_json_arg =
+  Arg.(
+    value
+    & opt string "run.jsonl"
+    & info [ "json" ] ~docv:"FILE" ~doc:"Observability event log to validate.")
+
+let check_log_cmd =
+  Cmd.v
+    (Cmd.info "check-log"
+       ~doc:
+         "Parse and schema-validate an observability event log emitted with --log \
+          jsonl:PATH; exit 1 if invalid")
+    Term.(const cmd_check_log $ log_json_arg)
+
 let () =
   let doc = "Falcon Down leakage-assessment lab" in
   exit
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "assess_cli" ~doc)
-          [ tvla_cmd; metrics_cmd; matrix_cmd; check_cmd ]))
+          [ tvla_cmd; metrics_cmd; matrix_cmd; check_cmd; check_log_cmd ]))

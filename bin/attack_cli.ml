@@ -2,17 +2,17 @@
    the full Falcon-Down key-recovery + forgery pipeline.
 
      dune exec bin/attack_cli.exe -- run -n 32 -t 2500 --noise 2.0 -j 4
-     dune exec bin/attack_cli.exe -- coefficient --traces 4000 *)
+     dune exec bin/attack_cli.exe -- coefficient --traces 4000
+     dune exec bin/attack_cli.exe -- crack --store campaign --log jsonl:run.jsonl *)
 
 (* Exit statuses follow the repository-wide convention in Cli_common:
    expected failures (malformed or missing input files, failed key
    reconstruction) become a message on stderr and the data-error status
-   rather than an uncaught exception. *)
-let with_errors = Cli_common.with_errors
+   rather than an uncaught exception.  The shared -j/--backend/--log
+   flags are parsed once in Cli_common and arrive as an Attack.Ctx. *)
 
-let cmd_run n traces noise seed jobs =
-  with_errors @@ fun () ->
-  Parallel.set_default_jobs jobs;
+let cmd_run n traces noise seed flags =
+  Cli_common.run flags @@ fun ctx ->
   let model = { Leakage.default_model with noise_sigma = noise } in
   Printf.printf "victim: FALCON-%d, %d traces, noise sigma %.2f, seed %d\n%!" n traces
     noise seed;
@@ -23,7 +23,7 @@ let cmd_run n traces noise seed jobs =
     Attack.Recover.Eval_sampled
       { rng = Stats.Rng.create ~seed:(seed + (coeff * 7) + mul); decoys = 512; truth }
   in
-  let res = Attack.Fullkey.recover_key ~jobs ~traces:captured ~h:pk.h strategy in
+  let res = Attack.Fullkey.recover_key ~ctx ~traces:captured ~h:pk.h strategy in
   Printf.printf "bit-exact FFT(f) coefficients: %d / %d\n"
     (Attack.Fullkey.count_correct res.f_fft ~truth:sk.f_fft)
     (2 * n);
@@ -39,9 +39,8 @@ let cmd_run n traces noise seed jobs =
         (Falcon.Scheme.verify pk msg sg);
       0
 
-let cmd_coefficient traces noise seed jobs =
-  with_errors @@ fun () ->
-  Parallel.set_default_jobs jobs;
+let cmd_coefficient traces noise seed flags =
+  Cli_common.run flags @@ fun ctx ->
   let model = { Leakage.default_model with noise_sigma = noise } in
   let x = 0xC06017BC8036B580L in
   Printf.printf "attacking the paper's coefficient %Lx with %d traces\n%!" x traces;
@@ -51,7 +50,7 @@ let cmd_coefficient traces noise seed jobs =
   in
   let v = Attack.Workload.mul_views model (Stats.Rng.create ~seed) ~x ~known in
   let got =
-    Attack.Recover.coefficient ~jobs
+    Attack.Recover.coefficient ~ctx
       ~strategy:
         (Attack.Recover.Eval_sampled
            { rng = Stats.Rng.create ~seed:(seed + 1); decoys = 4096; truth = x })
@@ -61,8 +60,8 @@ let cmd_coefficient traces noise seed jobs =
     (if got = x then "bit-exact match" else "MISMATCH");
   if got = x then 0 else 1
 
-let cmd_capture n traces noise seed out =
-  with_errors @@ fun () ->
+let cmd_capture n traces noise seed out flags =
+  Cli_common.run flags @@ fun _ctx ->
   let model = { Leakage.default_model with noise_sigma = noise } in
   let sk, pk = Falcon.Scheme.keygen ~n ~seed:(Printf.sprintf "victim-%d" seed) in
   Printf.printf "capturing %d traces of a fresh FALCON-%d victim...\n%!" traces n;
@@ -108,9 +107,8 @@ let crack_report pk truth_kp (res : Attack.Fullkey.result) =
       Printf.printf "forged signature verifies: %b\n" (Falcon.Scheme.verify pk msg sg);
       0
 
-let cmd_crack input store jobs =
-  with_errors @@ fun () ->
-  Parallel.set_default_jobs jobs;
+let cmd_crack input store flags =
+  Cli_common.run flags @@ fun ctx ->
   match store with
   | Some dir -> (
       (* out-of-core path: stream shards from the store, never holding
@@ -129,7 +127,7 @@ let cmd_crack input store jobs =
             (Tracestore.Reader.shard_count reader)
             pk.params.n dir;
           let res =
-            Attack.Fullkey.recover_key_store ~jobs ~reader ~h:pk.h
+            Attack.Fullkey.recover_key_store ~ctx ~reader ~h:pk.h
               (crack_strategy truth_sk)
           in
           crack_report pk truth_kp res
@@ -147,7 +145,7 @@ let cmd_crack input store jobs =
           Printf.printf "loaded %d traces of a FALCON-%d victim\n%!"
             (Array.length traces) pk.params.n;
           let res =
-            Attack.Fullkey.recover_key ~jobs ~traces ~h:pk.h (crack_strategy truth_sk)
+            Attack.Fullkey.recover_key ~ctx ~traces ~h:pk.h (crack_strategy truth_sk)
           in
           crack_report pk truth_kp res
       | _ ->
@@ -156,29 +154,21 @@ let cmd_crack input store jobs =
 
 open Cmdliner
 
-let n_arg = Arg.(value & opt int 32 & info [ "n" ] ~doc:"Ring degree of the victim.")
-let traces_arg = Arg.(value & opt int 2500 & info [ "t"; "traces" ] ~doc:"Trace count.")
-let noise_arg = Arg.(value & opt float 2.0 & info [ "noise" ] ~doc:"Noise sigma.")
-let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Experiment seed.")
-
-let jobs_arg =
-  Arg.(
-    value
-    & opt int 1
-    & info [ "j"; "jobs" ] ~docv:"JOBS"
-        ~doc:
-          "Worker domains for the key-recovery analysis. The result is \
-           bit-identical at every value; 1 (the default) runs sequentially.")
+let n_arg = Cli_common.n_arg
+let traces_arg = Cli_common.traces_arg ()
+let noise_arg = Cli_common.noise_arg
+let seed_arg = Cli_common.seed_arg ()
+let flags = Cli_common.flags_term
 
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Full key extraction and forgery on a fresh victim")
-    Term.(const cmd_run $ n_arg $ traces_arg $ noise_arg $ seed_arg $ jobs_arg)
+    Term.(const cmd_run $ n_arg $ traces_arg $ noise_arg $ seed_arg $ flags)
 
 let coeff_cmd =
   Cmd.v
     (Cmd.info "coefficient" ~doc:"Attack the single coefficient of the paper's Fig. 4")
-    Term.(const cmd_coefficient $ traces_arg $ noise_arg $ seed_arg $ jobs_arg)
+    Term.(const cmd_coefficient $ traces_arg $ noise_arg $ seed_arg $ flags)
 
 let out_arg =
   Arg.(value & opt string "traces.bin" & info [ "o"; "out" ] ~doc:"Trace file.")
@@ -187,25 +177,22 @@ let in_arg =
   Arg.(value & opt string "traces.bin" & info [ "i"; "input" ] ~doc:"Trace file.")
 
 let store_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "store" ] ~docv:"DIR"
-        ~doc:
-          "Attack a sharded trace-store campaign (recorded with trace_cli) instead \
-           of a single trace file, streaming shards so peak memory stays bounded by \
-           one shard per worker.  Overrides --input.")
+  Cli_common.store_opt_arg
+    ~doc:
+      "Attack a sharded trace-store campaign (recorded with trace_cli) instead \
+       of a single trace file, streaming shards so peak memory stays bounded by \
+       one shard per worker.  Overrides --input."
 
 let capture_cmd =
   Cmd.v
     (Cmd.info "capture" ~doc:"Capture simulated EM traces of a fresh victim to a file")
-    Term.(const cmd_capture $ n_arg $ traces_arg $ noise_arg $ seed_arg $ out_arg)
+    Term.(const cmd_capture $ n_arg $ traces_arg $ noise_arg $ seed_arg $ out_arg $ flags)
 
 let crack_cmd =
   Cmd.v
     (Cmd.info "crack"
        ~doc:"Recover the key and forge from a stored trace file or trace store")
-    Term.(const cmd_crack $ in_arg $ store_arg $ jobs_arg)
+    Term.(const cmd_crack $ in_arg $ store_arg $ flags)
 
 let () =
   let doc = "Falcon Down side-channel attack driver" in

@@ -7,9 +7,15 @@
      124  command-line usage error (cmdliner's Cmd.eval' default)
 
    Each executable's main is  exit (Cmd.eval' (Cmd.group ...))  and each
-   subcommand body runs under [with_errors], which maps the expected
-   exception families to the data-error status with their message on
-   stderr; any other exception is a bug and escapes as a backtrace. *)
+   subcommand body runs under [with_errors] (usually via [run]), which
+   maps the expected exception families to the data-error status with
+   their message on stderr; any other exception is a bug and escapes as
+   a backtrace.
+
+   This module also hoists the flag parsing the four CLIs share: one
+   [Common_flags] record carries the worker-domain count, the Pearson
+   kernel backend and the observability sink selection, and [run] turns
+   it into an [Attack.Ctx.t] handed to the subcommand body. *)
 
 let ok = 0
 let data_error = 1
@@ -19,3 +25,150 @@ let with_errors f =
   | Failure msg | Sys_error msg | Invalid_argument msg ->
       prerr_endline msg;
       data_error
+
+open Cmdliner
+
+type log = Off | Pretty | Jsonl of string
+
+module Common_flags = struct
+  type t = {
+    jobs : int;
+    backend : Stats.Pearson.Batch.backend option;  (* None = auto *)
+    log : log;
+    log_level : Obs.level;
+  }
+end
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Worker domains for parallelisable stages.  Every result is \
+           bit-identical at every value; 1 (the default) runs sequentially.")
+
+let backend_conv =
+  Arg.enum
+    [
+      ("auto", None);
+      ("scalar", Some Stats.Pearson.Batch.Scalar);
+      ("batched", Some Stats.Pearson.Batch.Batched);
+    ]
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv None
+    & info [ "backend" ] ~docv:"KERNEL"
+        ~doc:
+          "Pearson distinguisher kernel: $(b,auto) (the process default, \
+           honouring FD_PEARSON), $(b,scalar) or $(b,batched).  All three \
+           produce bit-identical rankings.")
+
+let log_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "off" -> Ok Off
+    | "pretty" -> Ok Pretty
+    | _ ->
+        let prefix = "jsonl:" in
+        let pl = String.length prefix in
+        if
+          String.length s > pl
+          && String.lowercase_ascii (String.sub s 0 pl) = prefix
+        then Ok (Jsonl (String.sub s pl (String.length s - pl)))
+        else
+          Error
+            (`Msg
+               (Printf.sprintf "expected off, pretty or jsonl:PATH, got %S" s))
+  in
+  let print ppf = function
+    | Off -> Format.pp_print_string ppf "off"
+    | Pretty -> Format.pp_print_string ppf "pretty"
+    | Jsonl p -> Format.fprintf ppf "jsonl:%s" p
+  in
+  Arg.conv (parse, print)
+
+let log_arg =
+  Arg.(
+    value
+    & opt log_conv Off
+    & info [ "log" ] ~docv:"SINK"
+        ~doc:
+          "Observability sink: $(b,off) (default), $(b,pretty) (stderr \
+           progress lines with rate and ETA) or $(b,jsonl:PATH) (append one \
+           schema-versioned JSON record per span/metric to PATH).  \
+           Instrumentation never changes any result.")
+
+let level_conv =
+  let parse s =
+    match Obs.level_of_string s with
+    | Some l -> Ok l
+    | None -> Error (`Msg (Printf.sprintf "expected error, info or debug, got %S" s))
+  in
+  let print ppf l = Format.pp_print_string ppf (Obs.level_name l) in
+  Arg.conv (parse, print)
+
+let log_level_arg =
+  Arg.(
+    value
+    & opt level_conv Obs.Info
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:"Event verbosity: $(b,error), $(b,info) (default) or $(b,debug).")
+
+let flags_term =
+  Term.(
+    const (fun jobs backend log log_level ->
+        { Common_flags.jobs; backend; log; log_level })
+    $ jobs_arg $ backend_arg $ log_arg $ log_level_arg)
+
+(* Shared data flags (same name, same doc, every CLI). *)
+
+let seed_arg ?(doc = "Experiment seed.") () =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let noise_arg = Arg.(value & opt float 2.0 & info [ "noise" ] ~doc:"Noise sigma.")
+let n_arg = Arg.(value & opt int 32 & info [ "n" ] ~doc:"Ring degree of the victim.")
+
+let traces_arg ?(default = 2500) ?(doc = "Trace count.") () =
+  Arg.(value & opt int default & info [ "t"; "traces" ] ~doc)
+
+let store_opt_arg ~doc = Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let store_default_arg ~doc =
+  Arg.(value & opt string "campaign" & info [ "i"; "store" ] ~docv:"DIR" ~doc)
+
+(* [run flags f] is the standard subcommand body wrapper: map expected
+   exceptions to the data-error status, honour [-j] process-wide, build
+   the execution context from the flags (sink lifetime included — the
+   JSONL channel is flushed and closed even if [f] raises), and hand it
+   to [f]. *)
+let run (flags : Common_flags.t) f =
+  with_errors @@ fun () ->
+  Parallel.set_default_jobs flags.Common_flags.jobs;
+  let obs, finish =
+    match flags.Common_flags.log with
+    | Off -> (Obs.null, ignore)
+    | Pretty ->
+        let sink = Obs.Pretty.create () in
+        (Obs.make ~level:flags.Common_flags.log_level sink, fun () -> sink.Obs.flush ())
+    | Jsonl path ->
+        if path = "" then failwith "--log jsonl: needs a file path";
+        let oc = open_out_bin path in
+        let sink = Obs.Jsonl.to_channel oc in
+        ( Obs.make ~level:flags.Common_flags.log_level sink,
+          fun () ->
+            sink.Obs.flush ();
+            close_out oc )
+  in
+  let ctx =
+    let base = Attack.Ctx.default () in
+    let base =
+      match flags.Common_flags.backend with
+      | Some b -> Attack.Ctx.with_backend b base
+      | None -> base
+    in
+    Attack.Ctx.with_obs obs base
+  in
+  Fun.protect ~finally:finish (fun () -> f ctx)

@@ -72,20 +72,19 @@ let string_of_hex h =
 
 (* Exit statuses follow the repository-wide convention in Cli_common:
    malformed key/signature files and bad parameters exit with the
-   data-error status and a message, never a backtrace. *)
-let with_errors = Cli_common.with_errors
+   data-error status and a message, never a backtrace.  The shared
+   -j/--backend/--log flags are parsed once in Cli_common. *)
 
-let cmd_keygen n seed jobs out =
-  with_errors @@ fun () ->
-  Parallel.set_default_jobs jobs;
+let cmd_keygen n seed out flags =
+  Cli_common.run flags @@ fun _ctx ->
   let sk, pk = Falcon.Scheme.keygen ~n ~seed in
   save_secret (out ^ ".sk") sk.kp;
   save_public (out ^ ".pk") pk;
   Printf.printf "wrote %s.sk and %s.pk (FALCON-%d)\n" out out n;
   0
 
-let cmd_sign key msg out =
-  with_errors @@ fun () ->
+let cmd_sign key msg out flags =
+  Cli_common.run flags @@ fun _ctx ->
   let kp = load_secret key in
   let sk = Falcon.Scheme.secret_of_keypair kp in
   let rng = Prng.of_seed (Printf.sprintf "cli-sign-%f" (Sys.time ())) in
@@ -96,8 +95,8 @@ let cmd_sign key msg out =
   Printf.printf "wrote %s (%d bytes of signature body)\n" out (String.length sg.body);
   0
 
-let cmd_verify key msg input =
-  with_errors @@ fun () ->
+let cmd_verify key msg input flags =
+  Cli_common.run flags @@ fun _ctx ->
   let pk = load_public key in
   let lines = String.split_on_char '\n' (read_file input) in
   let field tag =
@@ -129,13 +128,7 @@ let n_arg =
 let seed_arg =
   Arg.(value & opt string "falcon cli seed" & info [ "s"; "seed" ] ~doc:"Keygen seed.")
 
-let jobs_arg =
-  Arg.(
-    value
-    & opt int 1
-    & info [ "j"; "jobs" ] ~docv:"JOBS"
-        ~doc:"Worker domains for parallelisable stages (default 1).")
-
+let flags = Cli_common.flags_term
 let out_arg d = Arg.(value & opt string d & info [ "o"; "out" ] ~doc:"Output path.")
 let key_arg = Arg.(required & opt (some string) None & info [ "k"; "key" ] ~doc:"Key file.")
 let msg_arg = Arg.(required & opt (some string) None & info [ "m"; "message" ] ~doc:"Message.")
@@ -143,15 +136,15 @@ let sig_arg = Arg.(value & opt string "sig.txt" & info [ "i"; "input" ] ~doc:"Si
 
 let keygen_cmd =
   Cmd.v (Cmd.info "keygen" ~doc:"Generate a FALCON key pair")
-    Term.(const cmd_keygen $ n_arg $ seed_arg $ jobs_arg $ out_arg "key")
+    Term.(const cmd_keygen $ n_arg $ seed_arg $ out_arg "key" $ flags)
 
 let sign_cmd =
   Cmd.v (Cmd.info "sign" ~doc:"Sign a message")
-    Term.(const cmd_sign $ key_arg $ msg_arg $ out_arg "sig.txt")
+    Term.(const cmd_sign $ key_arg $ msg_arg $ out_arg "sig.txt" $ flags)
 
 let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc:"Verify a signature")
-    Term.(const cmd_verify $ key_arg $ msg_arg $ sig_arg)
+    Term.(const cmd_verify $ key_arg $ msg_arg $ sig_arg $ flags)
 
 let () =
   let doc = "FALCON post-quantum signatures (Falcon Down reproduction)" in

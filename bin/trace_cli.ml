@@ -6,8 +6,6 @@
      dune exec bin/trace_cli.exe -- verify -i campaign
      dune exec bin/attack_cli.exe -- crack --store campaign -j 4 *)
 
-let with_errors = Cli_common.with_errors
-
 let write_file path s =
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
@@ -24,14 +22,17 @@ let store_model (m : Leakage.model) =
 let leakage_model (m : Tracestore.model_meta) =
   { Leakage.alpha = m.alpha; noise_sigma = m.noise_sigma; baseline = m.baseline }
 
-let record_into writer model ~seed sk count =
+let record_into ~obs writer model ~seed sk count =
   let next = Leakage.capture_stream model ~seed sk in
-  for _ = 1 to count do
-    Tracestore.Writer.append writer (Leakage.to_record (next ()))
+  Obs.span obs "tracestore.record" ~fields:[ ("traces", Obs.Int count) ]
+  @@ fun () ->
+  for i = 1 to count do
+    Tracestore.Writer.append writer (Leakage.to_record (next ()));
+    if Obs.enabled obs then Obs.progress ~total:count obs "traces" i
   done
 
-let cmd_record n traces noise seed shard out =
-  with_errors @@ fun () ->
+let cmd_record n traces noise seed shard out flags =
+  Cli_common.run flags @@ fun ctx ->
   let model = { Leakage.default_model with noise_sigma = noise } in
   let sk, pk = Falcon.Scheme.keygen ~n ~seed:(Printf.sprintf "victim-%d" seed) in
   let writer =
@@ -42,7 +43,7 @@ let cmd_record n traces noise seed shard out =
     "recording %d traces of a fresh FALCON-%d victim into %s (noise sigma %.2f, \
      shards of %d)\n%!"
     traces n out noise shard;
-  record_into writer model ~seed sk traces;
+  record_into ~obs:ctx.Attack.Ctx.obs writer model ~seed sk traces;
   Tracestore.Writer.close writer;
   (* the attacker also holds the public key; keep the ground truth for
      evaluation of the sampled-hypothesis mode *)
@@ -53,8 +54,8 @@ let cmd_record n traces noise seed shard out =
     ((traces + shard - 1) / shard);
   0
 
-let cmd_append store traces seed =
-  with_errors @@ fun () ->
+let cmd_append store traces seed flags =
+  Cli_common.run flags @@ fun ctx ->
   let writer = Tracestore.Writer.open_append store in
   let meta = Tracestore.Writer.meta writer in
   let model = leakage_model meta.Tracestore.model in
@@ -69,13 +70,13 @@ let cmd_append store traces seed =
         "appending %d traces (campaign seed %d) to %s holding %d; existing shards \
          are never rewritten\n%!"
         traces seed store before;
-      record_into writer model ~seed sk traces;
+      record_into ~obs:ctx.Attack.Ctx.obs writer model ~seed sk traces;
       Tracestore.Writer.close writer;
       Printf.printf "store now records %d traces\n" (before + traces);
       0
 
-let cmd_inspect store =
-  with_errors @@ fun () ->
+let cmd_inspect store flags =
+  Cli_common.run flags @@ fun _ctx ->
   let reader = Tracestore.Reader.open_store store in
   let m = Tracestore.Reader.meta reader in
   Printf.printf "store      %s\n" store;
@@ -96,8 +97,8 @@ let cmd_inspect store =
     (Tracestore.Reader.shard_count reader);
   0
 
-let cmd_verify store =
-  with_errors @@ fun () ->
+let cmd_verify store flags =
+  Cli_common.run flags @@ fun _ctx ->
   let meta, results = Tracestore.verify store in
   Printf.printf "verifying %s (FALCON-%d, %d samples/trace)\n%!" store
     meta.Tracestore.n meta.Tracestore.width;
@@ -122,8 +123,8 @@ let cmd_verify store =
 (* Single-multiply fixed-vs-random campaign for the leakage-assessment
    workflow (assess_cli): the class label and known operand ride in each
    record, defense/secret/seed in the assess.fda sidecar. *)
-let cmd_record_tvla defense traces noise seed p_fixed shard out =
-  with_errors @@ fun () ->
+let cmd_record_tvla defense traces noise seed p_fixed shard out flags =
+  Cli_common.run flags @@ fun _ctx ->
   let secret = Assess.Campaign.secret_operand (Stats.Rng.create ~seed:(seed lxor 0x7e57)) in
   Assess.Campaign.record_store ~p_fixed ~dir:out defense ~noise ~secret ~count:traces
     ~seed ~shard_traces:shard ();
@@ -135,8 +136,8 @@ let cmd_record_tvla defense traces noise seed p_fixed shard out =
     p_fixed noise out;
   0
 
-let cmd_import input out shard noise =
-  with_errors @@ fun () ->
+let cmd_import input out shard noise flags =
+  Cli_common.run flags @@ fun _ctx ->
   let traces = Leakage.load input in
   if Array.length traces = 0 then failwith "empty trace file";
   let n = Fft.length traces.(0).Leakage.c_fft in
@@ -161,19 +162,18 @@ let cmd_import input out shard noise =
 
 open Cmdliner
 
-let n_arg = Arg.(value & opt int 32 & info [ "n" ] ~doc:"Ring degree of the victim.")
-let traces_arg = Arg.(value & opt int 2500 & info [ "t"; "traces" ] ~doc:"Trace count.")
-let noise_arg = Arg.(value & opt float 2.0 & info [ "noise" ] ~doc:"Noise sigma.")
+let n_arg = Cli_common.n_arg
+let traces_arg = Cli_common.traces_arg ()
+let noise_arg = Cli_common.noise_arg
+let flags = Cli_common.flags_term
 
 let seed_arg =
-  Arg.(
-    value
-    & opt int 42
-    & info [ "seed" ]
-        ~doc:
-          "Campaign seed (probe noise, victim messages).  Append runs must use a \
-           seed distinct from every earlier run on the same store, or messages and \
-           noise repeat.")
+  Cli_common.seed_arg
+    ~doc:
+      "Campaign seed (probe noise, victim messages).  Append runs must use a \
+       seed distinct from every earlier run on the same store, or messages and \
+       noise repeat."
+    ()
 
 let shard_arg =
   Arg.(
@@ -185,8 +185,7 @@ let shard_arg =
 let out_arg =
   Arg.(value & opt string "campaign" & info [ "o"; "out" ] ~doc:"Store directory.")
 
-let store_arg =
-  Arg.(value & opt string "campaign" & info [ "i"; "store" ] ~doc:"Store directory.")
+let store_arg = Cli_common.store_default_arg ~doc:"Store directory."
 
 let in_file_arg =
   Arg.(value & opt string "traces.bin" & info [ "input" ] ~doc:"Single trace file.")
@@ -195,23 +194,25 @@ let record_cmd =
   Cmd.v
     (Cmd.info "record"
        ~doc:"Record a fresh victim's signing campaign into a sharded trace store")
-    Term.(const cmd_record $ n_arg $ traces_arg $ noise_arg $ seed_arg $ shard_arg $ out_arg)
+    Term.(
+      const cmd_record $ n_arg $ traces_arg $ noise_arg $ seed_arg $ shard_arg
+      $ out_arg $ flags)
 
 let append_cmd =
   Cmd.v
     (Cmd.info "append" ~doc:"Extend an existing campaign with more traces (append-only)")
-    Term.(const cmd_append $ store_arg $ traces_arg $ seed_arg)
+    Term.(const cmd_append $ store_arg $ traces_arg $ seed_arg $ flags)
 
 let inspect_cmd =
   Cmd.v
     (Cmd.info "inspect" ~doc:"Print the manifest: metadata and per-shard inventory")
-    Term.(const cmd_inspect $ store_arg)
+    Term.(const cmd_inspect $ store_arg $ flags)
 
 let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"CRC-check and fully parse every shard; exit 1 if any is corrupt")
-    Term.(const cmd_verify $ store_arg)
+    Term.(const cmd_verify $ store_arg $ flags)
 
 let defense_arg =
   Arg.(
@@ -237,7 +238,7 @@ let record_tvla_cmd =
           (analysed with assess_cli)")
     Term.(
       const cmd_record_tvla $ defense_arg $ traces_arg $ noise_arg $ seed_arg
-      $ p_fixed_arg $ shard_arg $ out_arg)
+      $ p_fixed_arg $ shard_arg $ out_arg $ flags)
 
 let import_cmd =
   Cmd.v
@@ -245,7 +246,7 @@ let import_cmd =
        ~doc:
          "Convert a single-file trace set (including legacy FDTRACE1 files) into a \
           sharded store")
-    Term.(const cmd_import $ in_file_arg $ out_arg $ shard_arg $ noise_arg)
+    Term.(const cmd_import $ in_file_arg $ out_arg $ shard_arg $ noise_arg $ flags)
 
 let () =
   let doc = "Falcon Down trace-campaign store driver" in

@@ -1,279 +1,4 @@
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
-
-(* Shortest representation that parses back to the same binary64. *)
-let float_repr f =
-  let s = Printf.sprintf "%.12g" f in
-  let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
-  (* keep a float-shaped token (".0") so the value re-parses as Float,
-     not Int — print . parse must be the identity on the tree *)
-  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s else s ^ ".0"
-
-let escape buf s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Printf.bprintf buf "\\u%04x" (Char.code c)
-      | c -> Buffer.add_char buf c)
-    s
-
-let to_string ?(pretty = false) t =
-  let buf = Buffer.create 256 in
-  let pad depth = if pretty then Buffer.add_string buf (String.make (2 * depth) ' ') in
-  let nl () = if pretty then Buffer.add_char buf '\n' in
-  let rec emit depth = function
-    | Null -> Buffer.add_string buf "null"
-    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-    | Int i -> Buffer.add_string buf (string_of_int i)
-    | Float f ->
-        (* JSON has no representation for non-finite numbers *)
-        if Float.is_finite f then Buffer.add_string buf (float_repr f)
-        else Buffer.add_string buf "null"
-    | String s ->
-        Buffer.add_char buf '"';
-        escape buf s;
-        Buffer.add_char buf '"'
-    | List [] -> Buffer.add_string buf "[]"
-    | List xs ->
-        Buffer.add_char buf '[';
-        nl ();
-        List.iteri
-          (fun i x ->
-            if i > 0 then begin
-              Buffer.add_char buf ',';
-              nl ()
-            end;
-            pad (depth + 1);
-            emit (depth + 1) x)
-          xs;
-        nl ();
-        pad depth;
-        Buffer.add_char buf ']'
-    | Obj [] -> Buffer.add_string buf "{}"
-    | Obj kvs ->
-        Buffer.add_char buf '{';
-        nl ();
-        List.iteri
-          (fun i (k, v) ->
-            if i > 0 then begin
-              Buffer.add_char buf ',';
-              nl ()
-            end;
-            pad (depth + 1);
-            Buffer.add_char buf '"';
-            escape buf k;
-            Buffer.add_string buf (if pretty then "\": " else "\":");
-            emit (depth + 1) v)
-          kvs;
-        nl ();
-        pad depth;
-        Buffer.add_char buf '}'
-  in
-  emit 0 t;
-  Buffer.contents buf
-
-let of_string s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = failwith (Printf.sprintf "Json: %s at offset %d" msg !pos) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let literal word value =
-    let l = String.length word in
-    if !pos + l <= n && String.sub s !pos l = word then begin
-      pos := !pos + l;
-      value
-    end
-    else fail (Printf.sprintf "expected %s" word)
-  in
-  let utf8 buf cp =
-    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
-    else if cp < 0x800 then begin
-      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
-      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
-    end
-    else begin
-      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
-      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
-      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
-    end
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-          advance ();
-          match peek () with
-          | None -> fail "unterminated escape"
-          | Some c ->
-              advance ();
-              (match c with
-              | '"' -> Buffer.add_char buf '"'
-              | '\\' -> Buffer.add_char buf '\\'
-              | '/' -> Buffer.add_char buf '/'
-              | 'b' -> Buffer.add_char buf '\b'
-              | 'f' -> Buffer.add_char buf '\012'
-              | 'n' -> Buffer.add_char buf '\n'
-              | 'r' -> Buffer.add_char buf '\r'
-              | 't' -> Buffer.add_char buf '\t'
-              | 'u' ->
-                  if !pos + 4 > n then fail "truncated \\u escape";
-                  let hex = String.sub s !pos 4 in
-                  let cp =
-                    try int_of_string ("0x" ^ hex)
-                    with _ -> fail "bad \\u escape"
-                  in
-                  pos := !pos + 4;
-                  utf8 buf cp
-              | _ -> fail "bad escape character");
-              go ())
-      | Some c ->
-          advance ();
-          Buffer.add_char buf c;
-          go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_float = ref false in
-    if peek () = Some '-' then advance ();
-    let rec digits () =
-      match peek () with
-      | Some '0' .. '9' ->
-          advance ();
-          digits ()
-      | _ -> ()
-    in
-    digits ();
-    if peek () = Some '.' then begin
-      is_float := true;
-      advance ();
-      digits ()
-    end;
-    (match peek () with
-    | Some ('e' | 'E') ->
-        is_float := true;
-        advance ();
-        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
-        digits ()
-    | _ -> ());
-    let text = String.sub s start (!pos - start) in
-    if text = "" || text = "-" then fail "malformed number";
-    if !is_float then Float (float_of_string text)
-    else
-      match int_of_string_opt text with
-      | Some i -> Int i
-      | None -> Float (float_of_string text)
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | None -> fail "unexpected end of input"
-    | Some 'n' -> literal "null" Null
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some '"' -> String (parse_string ())
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          List []
-        end
-        else begin
-          let rec items acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                items (v :: acc)
-            | Some ']' ->
-                advance ();
-                List.rev (v :: acc)
-            | _ -> fail "expected ',' or ']'"
-          in
-          List (items [])
-        end
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          Obj []
-        end
-        else begin
-          let pair () =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            (k, v)
-          in
-          let rec items acc =
-            let kv = pair () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                items (kv :: acc)
-            | Some '}' ->
-                advance ();
-                List.rev (kv :: acc)
-            | _ -> fail "expected ',' or '}'"
-          in
-          Obj (items [])
-        end
-    | Some ('-' | '0' .. '9') -> parse_number ()
-    | Some c -> fail (Printf.sprintf "unexpected character '%c'" c)
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
-let member key = function
-  | Obj kvs -> List.assoc_opt key kvs
-  | _ -> None
-
-let to_bool_opt = function Bool b -> Some b | _ -> None
-let to_int_opt = function Int i -> Some i | _ -> None
-
-let to_number_opt = function
-  | Int i -> Some (float_of_int i)
-  | Float f -> Some f
-  | _ -> None
-
-let to_string_opt = function String s -> Some s | _ -> None
-let to_list_opt = function List xs -> Some xs | _ -> None
+(* The JSON codec moved to [lib/obs] so the observability event log and
+   the assessment reports share one tree type; this alias keeps
+   [Assess.Json] (and unqualified [Json] inside the library) intact. *)
+include Obs.Json

@@ -24,12 +24,12 @@ type report = {
 
 let schema = "falcon-down/assess-matrix/v1"
 
-let assess_cell ?jobs defense ~sigma ~budget ~seed =
+let assess_cell ~ctx defense ~sigma ~budget ~seed =
   let secret = Campaign.secret_operand (Stats.Rng.create ~seed:(seed lxor 0x7e57)) in
   let entries =
     Campaign.generate defense ~noise:sigma ~secret ~count:(2 * budget) ~seed
   in
-  let r = Tvla.of_entries ?jobs ~classify:Tvla.fixed_vs_random entries in
+  let r = Tvla.of_entries ~ctx ~classify:Tvla.fixed_vs_random entries in
   let lo, hi = Campaign.assessed_region defense in
   let max_t1_sample, max_t1 = Tvla.max_abs ~lo ~hi r.Tvla.t1 in
   let _, max_t2_uni = Tvla.max_abs ~lo ~hi r.Tvla.t2 in
@@ -40,15 +40,17 @@ let assess_cell ?jobs defense ~sigma ~budget ~seed =
       Array.fold_left
         (fun acc t -> Float.max acc (Float.abs t))
         max_t2_uni
-        (Tvla.pairs_of_entries ?jobs ~pairs ~mean_a:r.Tvla.mean_a
+        (Tvla.pairs_of_entries ~ctx ~pairs ~mean_a:r.Tvla.mean_a
            ~mean_b:r.Tvla.mean_b ~classify:Tvla.fixed_vs_random entries)
   in
-  let rvr = Tvla.of_entries ?jobs ~classify:Tvla.random_vs_random entries in
+  let rvr = Tvla.of_entries ~ctx ~classify:Tvla.random_vs_random entries in
   let _, rvr_max_t1 = Tvla.max_abs ~lo ~hi rvr.Tvla.t1 in
   (max_t1, max_t1_sample, max_t2, rvr_max_t1)
 
-let run ?jobs ?(defenses = Campaign.all) ?(progress = fun _ -> ()) ~sigmas ~budgets
-    ~experiments ~decoys ~seed () =
+let run ?ctx ?jobs ?(defenses = Campaign.all) ?(progress = fun _ -> ()) ~sigmas
+    ~budgets ~experiments ~decoys ~seed () =
+  let c = Attack.Ctx.resolve ?ctx ?jobs () in
+  let obs = c.Attack.Ctx.obs in
   if defenses = [] then invalid_arg "Assess.Matrix: empty defense list";
   if sigmas = [] then invalid_arg "Assess.Matrix: empty sigma grid";
   if budgets = [] then invalid_arg "Assess.Matrix: empty budget grid";
@@ -68,13 +70,21 @@ let run ?jobs ?(defenses = Campaign.all) ?(progress = fun _ -> ()) ~sigmas ~budg
               (fun budget ->
                 let cell_seed = seed + (1009 * !idx) in
                 incr idx;
+                Obs.span obs "matrix.cell"
+                  ~fields:
+                    [
+                      ("defense", Obs.Str (Campaign.name defense));
+                      ("sigma", Obs.Float sigma);
+                      ("budget", Obs.Int budget);
+                    ]
+                @@ fun () ->
                 let outcome =
-                  Metrics.run ?jobs
+                  Metrics.run ~ctx:c
                     { Metrics.defense; noise = sigma; budget; experiments; decoys;
                       seed = cell_seed }
                 in
                 let max_t1, max_t1_sample, max_t2, rvr_max_t1 =
-                  assess_cell ?jobs defense ~sigma ~budget ~seed:(cell_seed + 17)
+                  assess_cell ~ctx:c defense ~sigma ~budget ~seed:(cell_seed + 17)
                 in
                 let cell =
                   {
@@ -99,9 +109,9 @@ let run ?jobs ?(defenses = Campaign.all) ?(progress = fun _ -> ()) ~sigmas ~budg
   in
   { seed; experiments; decoys; defenses; sigmas; budgets; cells }
 
-let tiny ?jobs ?progress ~seed () =
-  run ?jobs ?progress ~sigmas:[ 0.5 ] ~budgets:[ 200 ] ~experiments:2 ~decoys:24
-    ~seed ()
+let tiny ?ctx ?jobs ?progress ~seed () =
+  run ?ctx ?jobs ?progress ~sigmas:[ 0.5 ] ~budgets:[ 200 ] ~experiments:2
+    ~decoys:24 ~seed ()
 
 (* {2 Serialisation} *)
 

@@ -38,6 +38,7 @@ val schema : string
 (** ["falcon-down/assess-matrix/v1"]. *)
 
 val run :
+  ?ctx:Attack.Ctx.t ->
   ?jobs:int ->
   ?defenses:Campaign.defense list ->
   ?progress:(cell -> unit) ->
@@ -54,7 +55,13 @@ val run :
     [Invalid_argument] on an empty axis, non-positive sigma or a budget
     below 8. *)
 
-val tiny : ?jobs:int -> ?progress:(cell -> unit) -> seed:int -> unit -> report
+val tiny :
+  ?ctx:Attack.Ctx.t ->
+  ?jobs:int ->
+  ?progress:(cell -> unit) ->
+  seed:int ->
+  unit ->
+  report
 (** The smoke-test preset: full defense axis, one sigma (0.5), one
     budget (200), 2 experiments, 24 decoys — seconds, not minutes. *)
 

@@ -49,7 +49,12 @@ let aggregate ranks mtds =
     mtds;
   }
 
-let of_entries ?jobs ~defense ~truth ~experiments ~decoys ~seed entries =
+let of_entries ?ctx ?jobs ~defense ~truth ~experiments ~decoys ~seed entries =
+  let c = Attack.Ctx.resolve ?ctx ?jobs () in
+  let obs = c.Attack.Ctx.obs in
+  Obs.span obs "metrics.of_entries"
+    ~fields:[ ("experiments", Obs.Int experiments); ("decoys", Obs.Int decoys) ]
+  @@ fun () ->
   if experiments < 1 then invalid_arg "Assess.Metrics: experiments must be positive";
   if decoys < 0 then invalid_arg "Assess.Metrics: negative decoy count";
   let fixed =
@@ -83,10 +88,17 @@ let of_entries ?jobs ~defense ~truth ~experiments ~decoys ~seed entries =
     (* top = the whole candidate set, so the truth always appears in the
        ranking and its 1-based position is the partial guessing entropy
        sample; the inner sweep stays sequential — parallelism fans out
-       over experiments, not inside them *)
+       over experiments, not inside them.  Each experiment runs under a
+       buffered child context, drained in experiment order after the
+       join. *)
+    let child = Obs.buffered obs in
+    let ectx = Attack.Ctx.with_obs child (Attack.Ctx.sequential c) in
     let res =
-      Attack.Recover.attack_mantissa_low ~jobs:1 ~top:(Array.length candidates)
-        ~candidates:(Array.to_seq candidates) view
+      Obs.span child "metrics.experiment" ~fields:[ ("experiment", Obs.Int i) ]
+        (fun () ->
+          Attack.Recover.attack_mantissa_low ~ctx:ectx
+            ~top:(Array.length candidates) ~candidates:(Array.to_seq candidates)
+            view)
     in
     let rank =
       let rec find k = function
@@ -99,27 +111,30 @@ let of_entries ?jobs ~defense ~truth ~experiments ~decoys ~seed entries =
       Attack.Dema.evolution ~traces ~sample:w00 ~model:Attack.Recover.m_w00 ~known ~guess:d_true
         ~step
     in
-    (rank, Stats.Signif.traces_to_significance series)
+    (rank, Stats.Signif.traces_to_significance series, child)
   in
   let results =
-    Parallel.map_array ~jobs:(Parallel.resolve jobs) run_one
+    Parallel.map_array ~jobs:c.Attack.Ctx.jobs run_one
       (Array.init experiments Fun.id)
   in
-  aggregate (Array.map fst results) (Array.map snd results)
+  Array.iter (fun (_, _, child) -> Obs.drain ~into:obs child) results;
+  aggregate
+    (Array.map (fun (r, _, _) -> r) results)
+    (Array.map (fun (_, m, _) -> m) results)
 
-let run ?jobs config =
+let run ?ctx ?jobs config =
   if config.budget < 8 then invalid_arg "Assess.Metrics: budget must be at least 8";
   let secret = Campaign.secret_operand (Stats.Rng.create ~seed:(config.seed lxor 0x5eed)) in
   let entries =
     Campaign.generate ~p_fixed:1.0 config.defense ~noise:config.noise ~secret
       ~count:(config.budget * config.experiments) ~seed:config.seed
   in
-  of_entries ?jobs ~defense:config.defense ~truth:secret
+  of_entries ?ctx ?jobs ~defense:config.defense ~truth:secret
     ~experiments:config.experiments ~decoys:config.decoys
     ~seed:(derived_seed config.seed) entries
 
-let of_store ?jobs ?seed ~experiments ~decoys dir =
+let of_store ?ctx ?jobs ?seed ~experiments ~decoys dir =
   let defense, secret, campaign_seed, reader = Campaign.open_store dir in
   let entries = Array.of_seq (Campaign.seq_of_store reader) in
   let seed = match seed with Some s -> s | None -> derived_seed campaign_seed in
-  of_entries ?jobs ~defense ~truth:secret ~experiments ~decoys ~seed entries
+  of_entries ?ctx ?jobs ~defense ~truth:secret ~experiments ~decoys ~seed entries

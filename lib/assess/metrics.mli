@@ -27,7 +27,13 @@
     {!Attack.Recover.attack_mantissa_low} and therefore inherits the
     blocked {!Stats.Pearson.Batch} distinguisher kernel; because that
     kernel is bit-identical to the scalar path, every SR/GE/MTD figure
-    is unchanged by the backend (or by [FD_PEARSON=scalar]). *)
+    is unchanged by the backend (or by [FD_PEARSON=scalar]).
+
+    [?ctx] ({!Attack.Ctx.t}) bundles [jobs], the backend and an
+    observability context; each experiment runs under a buffered child
+    context ("metrics.experiment" spans) drained in experiment order, so
+    the event stream is deterministic and every figure bit-identical
+    with any sink. *)
 
 type config = {
   defense : Campaign.defense;
@@ -55,6 +61,7 @@ val derived_seed : int -> int
     {!run} and {!of_store} share so the two paths agree. *)
 
 val of_entries :
+  ?ctx:Attack.Ctx.t ->
   ?jobs:int ->
   defense:Campaign.defense ->
   truth:Fpr.t ->
@@ -68,12 +75,18 @@ val of_entries :
     degenerate secret or nonsensical parameters, [Failure] when the
     fixed class is too small for the requested experiment count. *)
 
-val run : ?jobs:int -> config -> outcome
+val run : ?ctx:Attack.Ctx.t -> ?jobs:int -> config -> outcome
 (** Generate an all-fixed campaign of [budget * experiments] traces
     (secret drawn from the config seed) and evaluate it. *)
 
 val of_store :
-  ?jobs:int -> ?seed:int -> experiments:int -> decoys:int -> string -> outcome
+  ?ctx:Attack.Ctx.t ->
+  ?jobs:int ->
+  ?seed:int ->
+  experiments:int ->
+  decoys:int ->
+  string ->
+  outcome
 (** Evaluate a recorded campaign directory ({!Campaign.record_store});
     uses the sidecar's defense/secret/seed, with [?seed] overriding the
     derived candidate seed.  Bit-identical to {!of_entries} on the

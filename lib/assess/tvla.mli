@@ -16,7 +16,11 @@
     ({!of_entries}) and store-backed ({!of_store}) forms of the same
     campaign — floats survive the store round-trip exactly (IEEE-754
     bit patterns), so both paths fold the same numbers through the same
-    tree. *)
+    tree.
+
+    Every entry point also takes [?ctx] ({!Attack.Ctx.t}); an explicit
+    [?jobs] overrides its [jobs] field, and the t statistics are
+    bit-identical with any observability sink attached. *)
 
 type side = A | B
 
@@ -40,6 +44,7 @@ val default_chunk : int
 (** 256 — entries per accumulator chunk on every path. *)
 
 val assess :
+  ?ctx:Attack.Ctx.t ->
   ?jobs:int ->
   ?chunk:int ->
   width:int ->
@@ -60,6 +65,7 @@ val random_vs_random : int -> Campaign.entry -> side option
     whose detections are false positives of the procedure itself. *)
 
 val of_entries :
+  ?ctx:Attack.Ctx.t ->
   ?jobs:int ->
   ?chunk:int ->
   classify:(int -> Campaign.entry -> side option) ->
@@ -67,6 +73,7 @@ val of_entries :
   result
 
 val of_store :
+  ?ctx:Attack.Ctx.t ->
   ?jobs:int ->
   ?chunk:int ->
   classify:(int -> Campaign.entry -> side option) ->
@@ -83,6 +90,7 @@ val of_store :
     means from a first {!assess} pass. *)
 
 val pair_stats :
+  ?ctx:Attack.Ctx.t ->
   ?jobs:int ->
   ?chunk:int ->
   pairs:(int * int) array ->
@@ -95,6 +103,7 @@ val pair_stats :
 (** Welch t of the centered cross-product per pair, one t per pair. *)
 
 val pairs_of_entries :
+  ?ctx:Attack.Ctx.t ->
   ?jobs:int ->
   ?chunk:int ->
   pairs:(int * int) array ->
@@ -105,6 +114,7 @@ val pairs_of_entries :
   float array
 
 val pairs_of_store :
+  ?ctx:Attack.Ctx.t ->
   ?jobs:int ->
   ?chunk:int ->
   pairs:(int * int) array ->

@@ -1,0 +1,55 @@
+type t = {
+  jobs : int;
+  backend : Stats.Pearson.Batch.backend;
+  obs : Obs.t;
+}
+
+let default () =
+  {
+    jobs = Parallel.default_jobs ();
+    backend = Stats.Pearson.Batch.default_backend ();
+    obs = Obs.null;
+  }
+
+let make ?jobs ?backend ?obs () =
+  let d = default () in
+  {
+    jobs = Parallel.resolve jobs;
+    backend = Stats.Pearson.Batch.resolve backend;
+    obs = Option.value obs ~default:d.obs;
+  }
+
+let of_env () =
+  let d = default () in
+  let jobs =
+    match Sys.getenv_opt "FD_JOBS" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some j when j >= 1 -> j
+        | _ -> d.jobs)
+    | None -> d.jobs
+  in
+  let backend =
+    match Sys.getenv_opt "FD_PEARSON" with
+    | Some s -> (
+        match String.lowercase_ascii (String.trim s) with
+        | "scalar" -> Stats.Pearson.Batch.Scalar
+        | "batched" | "blocked" -> Stats.Pearson.Batch.Batched
+        | _ -> d.backend)
+    | None -> d.backend
+  in
+  { d with jobs; backend }
+
+let with_jobs jobs t =
+  if jobs < 1 then invalid_arg "Ctx.with_jobs: jobs must be >= 1";
+  { t with jobs }
+
+let with_backend backend t = { t with backend }
+let with_obs obs t = { t with obs }
+let sequential t = { t with jobs = 1 }
+
+let resolve ?ctx ?jobs ?backend () =
+  let base = match ctx with Some c -> c | None -> default () in
+  let jobs = match jobs with Some j -> Parallel.resolve (Some j) | None -> base.jobs in
+  let backend = match backend with Some b -> b | None -> base.backend in
+  { base with jobs; backend }

@@ -1,0 +1,47 @@
+(** Unified execution context for the attack pipeline.
+
+    Every tunable that used to ride along as a separately threaded
+    optional argument — worker count, Pearson kernel backend, and now
+    the observability context — lives in one record that entry points
+    accept as [?ctx].  The scattered [?jobs]/[?backend] parameters are
+    kept as pass-throughs (an explicit value overrides the
+    corresponding [ctx] field), so existing callers compile unchanged
+    while new code builds a context once and hands it down the whole
+    pipeline. *)
+
+type t = {
+  jobs : int;  (** worker domains for [Parallel] sweeps (>= 1) *)
+  backend : Stats.Pearson.Batch.backend;  (** Pearson kernel choice *)
+  obs : Obs.t;  (** observability context; [Obs.null] by default *)
+}
+
+val default : unit -> t
+(** The process-wide defaults as of the call: [Parallel.default_jobs]
+    (so a CLI's [Parallel.set_default_jobs] is honoured),
+    [Stats.Pearson.Batch.default_backend], and [Obs.null].  A function,
+    not a constant, because those defaults are mutable. *)
+
+val make :
+  ?jobs:int -> ?backend:Stats.Pearson.Batch.backend -> ?obs:Obs.t -> unit -> t
+(** {!default} with the given fields overridden.  Raises
+    [Invalid_argument] if [jobs < 1]. *)
+
+val of_env : unit -> t
+(** {!default}, then override from the environment: [FD_JOBS] (positive
+    integer) sets [jobs] and [FD_PEARSON] ([scalar]/[batched]) sets
+    [backend].  Malformed values are ignored. *)
+
+val with_jobs : int -> t -> t
+val with_backend : Stats.Pearson.Batch.backend -> t -> t
+val with_obs : Obs.t -> t -> t
+
+val sequential : t -> t
+(** [with_jobs 1], for handing a context to per-task inner work that
+    must not nest parallelism. *)
+
+val resolve :
+  ?ctx:t -> ?jobs:int -> ?backend:Stats.Pearson.Batch.backend -> unit -> t
+(** The idiom for entry points: start from [ctx] (or {!default} when
+    omitted) and let an explicit [?jobs]/[?backend] argument override
+    the corresponding field.  This is what makes the legacy optional
+    parameters and the new context API coexist on one signature. *)

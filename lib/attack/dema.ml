@@ -48,20 +48,20 @@ end
    2^25-candidate enumerations of Section III-C. *)
 let sweep_chunk = 512
 
-let rank_scores ?jobs ~score ~top candidates =
-  let jobs = Parallel.resolve jobs in
+let rank_scores ?ctx ?jobs ~score ~top candidates =
+  let c = Ctx.resolve ?ctx ?jobs () in
   Topk.to_list
-    (Parallel.map_reduce_chunks ~jobs ~chunk:sweep_chunk
+    (Parallel.map_reduce_chunks ~jobs:c.Ctx.jobs ~chunk:sweep_chunk
        ~map:(fun guesses ->
          let t = Topk.create top in
          Array.iter (fun g -> Topk.add t { guess = g; corr = score g }) guesses;
          t)
        ~reduce:Topk.merge ~init:(Topk.create top) candidates)
 
-let rank_block_scores ?jobs ~score_block ~top candidates =
-  let jobs = Parallel.resolve jobs in
+let rank_block_scores ?ctx ?jobs ~score_block ~top candidates =
+  let c = Ctx.resolve ?ctx ?jobs () in
   Topk.to_list
-    (Parallel.map_reduce_chunks ~jobs ~chunk:sweep_chunk
+    (Parallel.map_reduce_chunks ~jobs:c.Ctx.jobs ~chunk:sweep_chunk
        ~map:(fun guesses ->
          let scores = score_block guesses in
          let t = Topk.create top in
@@ -78,52 +78,94 @@ let hyp_vector ~model ~known guess =
    while still amortising the column pass over many guesses. *)
 let batch_rows = 128
 
-let rank ?jobs ?backend ~traces ~parts ~known ~top candidates =
-  (* column statistics are a per-sweep invariant: computed once here,
-     shared read-only by every guess on every domain *)
-  let cols =
-    List.map (fun (s, model) -> (Stats.Pearson.column_stats traces s, model)) parts
-  in
-  match Stats.Pearson.Batch.resolve backend with
-  | Stats.Pearson.Batch.Scalar ->
-      let score guess =
-        List.fold_left
-          (fun acc (c, model) ->
-            acc
-            +. Float.abs (Stats.Pearson.corr_with c (hyp_vector ~model ~known guess)))
-          0. cols
-      in
-      rank_scores ?jobs ~score ~top candidates
-  | Stats.Pearson.Batch.Batched ->
-      let d = Array.length traces in
-      (* Per chunk: slice the candidates into row blocks, fill the
-         domain's scratch block once per (slice, part) and score the
-         whole slice in one fused kernel pass.  Scores accumulate per
-         guess in part order, exactly like the scalar fold, so every
-         total is bit-identical. *)
-      let score_block guesses =
-        let g = Array.length guesses in
-        let scores = Array.make g 0. in
-        let lo = ref 0 in
-        while !lo < g do
-          let len = min batch_rows (g - !lo) in
-          let slice = Array.sub guesses !lo len in
-          let blk = Hypothesis.Block.scratch ~rows:batch_rows ~cols:d in
-          List.iter
-            (fun (c, model) ->
-              let hb = Hypothesis.Block.fill blk ~model ~known slice in
-              let rs = Stats.Pearson.Batch.corr_block c hb in
-              for i = 0 to len - 1 do
-                scores.(!lo + i) <- scores.(!lo + i) +. Float.abs rs.(i)
-              done)
-            cols;
-          lo := !lo + len
-        done;
-        scores
-      in
-      rank_block_scores ?jobs ~score_block ~top candidates
+let backend_name = function
+  | Stats.Pearson.Batch.Scalar -> "scalar"
+  | Stats.Pearson.Batch.Batched -> "batched"
 
-let rank_absolute ?jobs ~traces ~parts ~known ~top ~alpha ~baseline candidates =
+let rank ?ctx ?jobs ?backend ~traces ~parts ~known ~top candidates =
+  let c = Ctx.resolve ?ctx ?jobs ?backend () in
+  let obs = c.Ctx.obs in
+  let d = Array.length traces in
+  let nparts = List.length parts in
+  let run () =
+    (* Guesses are scored on worker domains; the count accumulates in a
+       private Atomic and is emitted once, after the join, from the
+       owning domain (the Obs determinism contract). *)
+    let scored = if Obs.enabled obs then Some (Atomic.make 0) else None in
+    let tick n = match scored with Some a -> ignore (Atomic.fetch_and_add a n) | None -> () in
+    (* column statistics are a per-sweep invariant: computed once here,
+       shared read-only by every guess on every domain *)
+    let cols =
+      List.map (fun (s, model) -> (Stats.Pearson.column_stats traces s, model)) parts
+    in
+    let result =
+      match c.Ctx.backend with
+      | Stats.Pearson.Batch.Scalar ->
+          let score guess =
+            tick 1;
+            List.fold_left
+              (fun acc (col, model) ->
+                acc
+                +. Float.abs
+                     (Stats.Pearson.corr_with col (hyp_vector ~model ~known guess)))
+              0. cols
+          in
+          rank_scores ~ctx:c ~score ~top candidates
+      | Stats.Pearson.Batch.Batched ->
+          (* Per chunk: slice the candidates into row blocks, fill the
+             domain's scratch block once per (slice, part) and score the
+             whole slice in one fused kernel pass.  Scores accumulate per
+             guess in part order, exactly like the scalar fold, so every
+             total is bit-identical. *)
+          let score_block guesses =
+            let g = Array.length guesses in
+            tick g;
+            let scores = Array.make g 0. in
+            let lo = ref 0 in
+            while !lo < g do
+              let len = min batch_rows (g - !lo) in
+              let slice = Array.sub guesses !lo len in
+              let blk = Hypothesis.Block.scratch ~rows:batch_rows ~cols:d in
+              List.iter
+                (fun (col, model) ->
+                  let hb = Hypothesis.Block.fill blk ~model ~known slice in
+                  let rs = Stats.Pearson.Batch.corr_block col hb in
+                  for i = 0 to len - 1 do
+                    scores.(!lo + i) <- scores.(!lo + i) +. Float.abs rs.(i)
+                  done)
+                cols;
+              lo := !lo + len
+            done;
+            scores
+          in
+          rank_block_scores ~ctx:c ~score_block ~top candidates
+    in
+    (match scored with
+    | Some a ->
+        let n = Atomic.get a in
+        Obs.count obs "dema.guesses" n;
+        (* one correlation = ~6 flops/trace (centre, multiply-accumulate,
+           normalise amortised); a per-sweep order-of-magnitude estimate *)
+        Obs.gauge obs "dema.flops_est"
+          (float_of_int n *. float_of_int nparts *. 6. *. float_of_int d)
+    | None -> ());
+    result
+  in
+  if Obs.enabled obs then
+    Obs.span obs "dema.rank"
+      ~fields:
+        [
+          ("traces", Obs.Int d);
+          ("parts", Obs.Int nparts);
+          ("top", Obs.Int top);
+          ("backend", Obs.Str (backend_name c.Ctx.backend));
+          ("jobs", Obs.Int c.Ctx.jobs);
+        ]
+      run
+  else run ()
+
+let rank_absolute ?ctx ?jobs ~traces ~parts ~known ~top ~alpha ~baseline candidates =
+  let c = Ctx.resolve ?ctx ?jobs () in
   let cols =
     List.map (fun (s, model) -> (Array.map (fun t -> t.(s)) traces, model)) parts
   in
@@ -142,7 +184,9 @@ let rank_absolute ?jobs ~traces ~parts ~known ~top ~alpha ~baseline candidates =
       cols;
     -. !err /. float_of_int d
   in
-  rank_scores ?jobs ~score ~top candidates
+  Obs.span c.Ctx.obs "dema.rank_absolute"
+    ~fields:[ ("traces", Obs.Int d); ("top", Obs.Int top) ]
+    (fun () -> rank_scores ~ctx:c ~score ~top candidates)
 
 (* ---- streaming engine over an on-disk trace store ----
 
@@ -167,24 +211,50 @@ module Stream = struct
            (m.Tracestore.n * Leakage.events_per_coeff));
     m
 
-  let map_shards ?jobs reader f =
+  let map_shards ?ctx ?jobs reader f =
+    let c = Ctx.resolve ?ctx ?jobs () in
+    let obs = c.Ctx.obs in
     let m = check_meta reader in
-    let jobs = Parallel.resolve jobs in
-    let idx = Seq.init (Tracestore.Reader.shard_count reader) Fun.id in
-    List.filter_map Fun.id
-      (Parallel.map_chunks ~jobs ~chunk:1
-         ~map:(fun _ chunk ->
-           let i = chunk.(0) in
-           match Tracestore.Reader.read_shard reader i with
-           | None -> None
-           | Some records ->
-               Some (f i (Array.map (Leakage.of_record ~n:m.Tracestore.n) records)))
-         idx)
+    let shards = Tracestore.Reader.shard_count reader in
+    let idx = Seq.init shards Fun.id in
+    (* [done_] is a private worker-side Atomic feeding only the lossy
+       progress channel; the deterministic shard/byte/trace counters are
+       emitted below, after the join, from the owning domain. *)
+    let done_ = Atomic.make 0 in
+    let results =
+      List.filter_map Fun.id
+        (Parallel.map_chunks ~jobs:c.Ctx.jobs ~chunk:1
+           ~map:(fun _ chunk ->
+             let i = chunk.(0) in
+             let r =
+               match Tracestore.Reader.read_shard reader i with
+               | None -> None
+               | Some records ->
+                   Some (f i (Array.map (Leakage.of_record ~n:m.Tracestore.n) records))
+             in
+             if Obs.enabled obs then
+               Obs.progress ~total:shards obs "shards" (1 + Atomic.fetch_and_add done_ 1);
+             r)
+           idx)
+    in
+    if Obs.enabled obs then begin
+      let bytes = ref 0 and traces = ref 0 in
+      for i = 0 to shards - 1 do
+        let e = Tracestore.Reader.entry reader i in
+        bytes := !bytes + e.Tracestore.bytes;
+        traces := !traces + e.Tracestore.count
+      done;
+      Obs.count obs "tracestore.shards" shards;
+      Obs.count obs "tracestore.bytes" !bytes;
+      Obs.count obs "tracestore.traces" !traces
+    end;
+    results
 
-  let extract ?jobs reader ~samples ~known =
+  let extract ?ctx ?jobs reader ~samples ~known =
+    let c = Ctx.resolve ?ctx ?jobs () in
     let samples = Array.of_list samples in
     let pieces =
-      map_shards ?jobs reader (fun _ traces ->
+      map_shards ~ctx:c reader (fun _ traces ->
           ( Array.map
               (fun (t : Leakage.trace) -> Array.map (fun s -> t.samples.(s)) samples)
               traces,
@@ -193,16 +263,23 @@ module Stream = struct
     ( Array.concat (List.map fst pieces),
       Array.concat (List.map snd pieces) )
 
-  let rank ?jobs ?backend reader ~parts ~known ~top candidates =
-    let traces, ks = extract ?jobs reader ~samples:(List.map fst parts) ~known in
-    let narrow_parts = List.mapi (fun i (_, model) -> (i, model)) parts in
-    rank ?jobs ?backend ~traces ~parts:narrow_parts ~known:ks ~top candidates
+  let rank ?ctx ?jobs ?backend reader ~parts ~known ~top candidates =
+    let c = Ctx.resolve ?ctx ?jobs ?backend () in
+    Obs.span c.Ctx.obs "dema.stream.rank"
+      ~fields:[ ("shards", Obs.Int (Tracestore.Reader.shard_count reader)) ]
+      (fun () ->
+        let traces, ks =
+          extract ~ctx:c reader ~samples:(List.map fst parts) ~known
+        in
+        let narrow_parts = List.mapi (fun i (_, model) -> (i, model)) parts in
+        rank ~ctx:c ~traces ~parts:narrow_parts ~known:ks ~top candidates)
 
-  let evolution ?jobs reader ~sample ~model ~known ~guess =
+  let evolution ?ctx ?jobs reader ~sample ~model ~known ~guess =
+    let c = Ctx.resolve ?ctx ?jobs () in
     if Tracestore.Reader.total_traces reader = 0 then
       failwith "Dema.Stream.evolution: store holds no traces (empty campaign)";
     let per_shard =
-      map_shards ?jobs reader (fun _ traces ->
+      map_shards ~ctx:c reader (fun _ traces ->
           let acc = Stats.Welford.Cov.create () in
           Array.iter
             (fun (t : Leakage.trace) ->
@@ -224,18 +301,26 @@ module Stream = struct
     List.rev checkpoints
 end
 
-let corr_time ?backend ~traces ~model ~known ~guesses () =
-  match Stats.Pearson.Batch.resolve backend with
-  | Stats.Pearson.Batch.Scalar ->
-      let hyps = Array.map (hyp_vector ~model ~known) guesses in
-      Stats.Pearson.corr_matrix ~traces ~hyps
-  | Stats.Pearson.Batch.Batched ->
-      let blk =
-        Hypothesis.Block.create ~rows:(Array.length guesses)
-          ~cols:(Array.length known)
-      in
-      let hb = Hypothesis.Block.fill blk ~model ~known guesses in
-      Stats.Pearson.Batch.corr_matrix_blocked ~traces hb
+let corr_time ?ctx ?backend ~traces ~model ~known ~guesses () =
+  let c = Ctx.resolve ?ctx ?backend () in
+  Obs.span c.Ctx.obs "dema.corr_time"
+    ~fields:
+      [
+        ("guesses", Obs.Int (Array.length guesses));
+        ("backend", Obs.Str (backend_name c.Ctx.backend));
+      ]
+    (fun () ->
+      match c.Ctx.backend with
+      | Stats.Pearson.Batch.Scalar ->
+          let hyps = Array.map (hyp_vector ~model ~known) guesses in
+          Stats.Pearson.corr_matrix ~traces ~hyps
+      | Stats.Pearson.Batch.Batched ->
+          let blk =
+            Hypothesis.Block.create ~rows:(Array.length guesses)
+              ~cols:(Array.length known)
+          in
+          let hb = Hypothesis.Block.fill blk ~model ~known guesses in
+          Stats.Pearson.Batch.corr_matrix_blocked ~traces hb)
 
 let evolution ~traces ~sample ~model ~known ~guess ~step =
   let hyp = hyp_vector ~model ~known guess in

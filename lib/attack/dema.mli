@@ -12,7 +12,15 @@
     {!Parallel.default_jobs}, i.e. 1): candidates are chunked across a
     fixed-size domain pool, each domain keeps a local top-k, and the
     partial top-ks are merged in chunk order.  Per-column trace
-    statistics are computed once per sweep and shared read-only. *)
+    statistics are computed once per sweep and shared read-only.
+
+    {b Execution context.}  Every entry point also accepts [?ctx]
+    ({!Ctx.t}), which bundles [jobs], the Pearson [backend] and an
+    observability context; an explicit [?jobs]/[?backend] argument
+    overrides the corresponding [ctx] field.  Instrumentation is
+    observationally transparent: with any sink attached the returned
+    rankings are bit-identical to the uninstrumented path at every
+    [jobs]. *)
 
 type scored = { guess : int; corr : float }
 
@@ -20,14 +28,24 @@ val compare_scored : scored -> scored -> int
 (** Strict total order: descending score, ties by ascending guess. *)
 
 val rank_scores :
-  ?jobs:int -> score:(int -> float) -> top:int -> int Seq.t -> scored list
+  ?ctx:Ctx.t ->
+  ?jobs:int ->
+  score:(int -> float) ->
+  top:int ->
+  int Seq.t ->
+  scored list
 (** Generic deterministic top-[top] selection of [candidates] under an
     arbitrary scoring function (which must be pure and safe to call from
     any domain).  The building block of {!rank}, {!rank_absolute} and
     {!Template.rank}. *)
 
 val rank_block_scores :
-  ?jobs:int -> score_block:(int array -> float array) -> top:int -> int Seq.t -> scored list
+  ?ctx:Ctx.t ->
+  ?jobs:int ->
+  score_block:(int array -> float array) ->
+  top:int ->
+  int Seq.t ->
+  scored list
 (** Like {!rank_scores} but the scoring function receives a whole work
     chunk of candidates at once and returns their scores positionally —
     the entry point for batched (hypothesis-block) distinguishers.
@@ -35,6 +53,7 @@ val rank_block_scores :
     bit-identical to [rank_scores] over the pointwise scores. *)
 
 val rank :
+  ?ctx:Ctx.t ->
   ?jobs:int ->
   ?backend:Stats.Pearson.Batch.backend ->
   traces:float array array ->
@@ -59,6 +78,7 @@ val rank :
     hence bit-identical rankings, at every [jobs]. *)
 
 val rank_absolute :
+  ?ctx:Ctx.t ->
   ?jobs:int ->
   traces:float array array ->
   parts:(int * (int -> 'k -> int)) list ->
@@ -97,11 +117,16 @@ val rank_absolute :
     the analysis and recorded on the reader. *)
 module Stream : sig
   val map_shards :
-    ?jobs:int -> Tracestore.Reader.t -> (int -> Leakage.trace array -> 'a) -> 'a list
+    ?ctx:Ctx.t ->
+    ?jobs:int ->
+    Tracestore.Reader.t ->
+    (int -> Leakage.trace array -> 'a) ->
+    'a list
   (** Decode every (readable) shard into full traces on the domain pool
       and return per-shard results in shard order. *)
 
   val extract :
+    ?ctx:Ctx.t ->
     ?jobs:int ->
     Tracestore.Reader.t ->
     samples:int list ->
@@ -111,6 +136,7 @@ module Stream : sig
       matrix and the known-operand array, in global trace order. *)
 
   val rank :
+    ?ctx:Ctx.t ->
     ?jobs:int ->
     ?backend:Stats.Pearson.Batch.backend ->
     Tracestore.Reader.t ->
@@ -126,6 +152,7 @@ module Stream : sig
       here too. *)
 
   val evolution :
+    ?ctx:Ctx.t ->
     ?jobs:int ->
     Tracestore.Reader.t ->
     sample:int ->
@@ -140,6 +167,7 @@ module Stream : sig
 end
 
 val corr_time :
+  ?ctx:Ctx.t ->
   ?backend:Stats.Pearson.Batch.backend ->
   traces:float array array ->
   model:(int -> 'k -> int) ->

@@ -4,36 +4,61 @@ type result = {
   keypair : Ntru.Ntrugen.keypair option;
 }
 
-let recover_f_fft ?jobs ~traces ~n strategy =
-  let jobs = Parallel.resolve jobs in
-  (* Each (coefficient, component) attack is independent given the shared
-     read-only trace array: fan the 2n of them out across the pool, and
-     give any leftover parallelism to the candidate sweeps inside. *)
+(* Fan the 2n independent (coefficient, component) attacks across the
+   pool; leftover parallelism goes to the candidate sweeps inside.  Each
+   task runs under a [Obs.buffered] child context (single-owner, one per
+   task) and returns it with its result; the children are drained in
+   task order after the join, so the merged event stream is
+   deterministic at every [jobs] — the Obs ownership contract. *)
+let fan_tasks ~ctx ~n task =
+  let obs = ctx.Ctx.obs in
   let tasks = 2 * n in
-  let outer = min jobs tasks in
-  let inner = max 1 (jobs / max outer 1) in
-  let recovered =
+  let outer = min ctx.Ctx.jobs tasks in
+  let inner = max 1 (ctx.Ctx.jobs / max outer 1) in
+  let done_ = Atomic.make 0 in
+  let results =
     Parallel.map_array ~jobs:outer
       (fun t ->
+        let child = Obs.buffered obs in
+        let tctx = Ctx.with_obs child (Ctx.with_jobs inner ctx) in
         let k = t lsr 1 in
-        if t land 1 = 0 then
-          let v_re = Recover.views_for traces ~coeff:k ~component:`Re in
-          Recover.coefficient ~jobs:inner ~strategy:(strategy ~coeff:k ~mul:0) v_re
-        else
-          let v_im = Recover.views_for traces ~coeff:k ~component:`Im in
-          Recover.coefficient ~jobs:inner ~strategy:(strategy ~coeff:k ~mul:1) v_im)
+        let component = if t land 1 = 0 then `Re else `Im in
+        let r =
+          Obs.span child "fullkey.task"
+            ~fields:
+              [
+                ("coeff", Obs.Int k);
+                ("component", Obs.Str (match component with `Re -> "re" | `Im -> "im"));
+              ]
+            (fun () -> task ~tctx ~coeff:k ~component)
+        in
+        if Obs.enabled obs then
+          Obs.progress ~total:tasks obs "coefficients"
+            (1 + Atomic.fetch_and_add done_ 1);
+        (r, child))
       (Array.init tasks Fun.id)
   in
+  Array.iter (fun (_, child) -> Obs.drain ~into:obs child) results;
   let out = Fft.zero n in
   for k = 0 to n - 1 do
-    out.Fft.re.(k) <- recovered.(2 * k);
-    out.Fft.im.(k) <- recovered.((2 * k) + 1)
+    out.Fft.re.(k) <- fst results.(2 * k);
+    out.Fft.im.(k) <- fst results.((2 * k) + 1)
   done;
   out
 
-let recover_key ?jobs ~traces ~h strategy =
+let recover_f_fft ?ctx ?jobs ~traces ~n strategy =
+  let c = Ctx.resolve ?ctx ?jobs () in
+  Obs.span c.Ctx.obs "fullkey.recover_f_fft"
+    ~fields:[ ("n", Obs.Int n); ("jobs", Obs.Int c.Ctx.jobs) ]
+  @@ fun () ->
+  fan_tasks ~ctx:c ~n (fun ~tctx ~coeff ~component ->
+      let views = Recover.views_for traces ~coeff ~component in
+      let mul = match component with `Re -> 0 | `Im -> 1 in
+      Recover.coefficient ~ctx:tctx ~strategy:(strategy ~coeff ~mul) views)
+
+let recover_key ?ctx ?jobs ~traces ~h strategy =
   let n = Array.length h in
-  let f_fft = recover_f_fft ?jobs ~traces ~n strategy in
+  let f_fft = recover_f_fft ?ctx ?jobs ~traces ~n strategy in
   let f = Fft.round_to_int (Fft.ifft f_fft) in
   let keypair = Ntru.Ntrugen.recover_from_f ~n ~f ~h in
   { f_fft; f; keypair }
@@ -48,7 +73,7 @@ let recover_key ?jobs ~traces ~h strategy =
    recovered key is bit-identical to [recover_key] at every [jobs];
    peak memory is one decoded shard per domain plus the extracted
    windows, never the whole campaign. *)
-let store_views ~reader ~coeff ~component =
+let store_views ~ctx ~reader ~coeff ~component =
   let muls = match component with `Re -> [ 0; 3 ] | `Im -> [ 1; 2 ] in
   let samples =
     List.concat_map
@@ -60,7 +85,9 @@ let store_views ~reader ~coeff ~component =
   let known (t : Leakage.trace) =
     (t.c_fft.Fft.re.(coeff), t.c_fft.Fft.im.(coeff))
   in
-  let narrow, ks = Dema.Stream.extract ~jobs:1 reader ~samples ~known in
+  let narrow, ks =
+    Dema.Stream.extract ~ctx:(Ctx.sequential ctx) reader ~samples ~known
+  in
   List.mapi
     (fun vi m ->
       let lo = vi * Leakage.events_per_mul in
@@ -72,31 +99,18 @@ let store_views ~reader ~coeff ~component =
       })
     muls
 
-let recover_f_fft_store ?jobs ~reader strategy =
+let recover_f_fft_store ?ctx ?jobs ~reader strategy =
+  let c = Ctx.resolve ?ctx ?jobs () in
   let n = (Tracestore.Reader.meta reader).Tracestore.n in
-  let jobs = Parallel.resolve jobs in
-  let tasks = 2 * n in
-  let outer = min jobs tasks in
-  let inner = max 1 (jobs / max outer 1) in
-  let recovered =
-    Parallel.map_array ~jobs:outer
-      (fun t ->
-        let k = t lsr 1 in
-        let component = if t land 1 = 0 then `Re else `Im in
-        let views = store_views ~reader ~coeff:k ~component in
-        Recover.coefficient ~jobs:inner
-          ~strategy:(strategy ~coeff:k ~mul:(t land 1))
-          views)
-      (Array.init tasks Fun.id)
-  in
-  let out = Fft.zero n in
-  for k = 0 to n - 1 do
-    out.Fft.re.(k) <- recovered.(2 * k);
-    out.Fft.im.(k) <- recovered.((2 * k) + 1)
-  done;
-  out
+  Obs.span c.Ctx.obs "fullkey.recover_f_fft_store"
+    ~fields:[ ("n", Obs.Int n); ("jobs", Obs.Int c.Ctx.jobs) ]
+  @@ fun () ->
+  fan_tasks ~ctx:c ~n (fun ~tctx ~coeff ~component ->
+      let views = store_views ~ctx:tctx ~reader ~coeff ~component in
+      let mul = match component with `Re -> 0 | `Im -> 1 in
+      Recover.coefficient ~ctx:tctx ~strategy:(strategy ~coeff ~mul) views)
 
-let recover_key_store ?jobs ~reader ~h strategy =
+let recover_key_store ?ctx ?jobs ~reader ~h strategy =
   let n = Array.length h in
   let store_n = (Tracestore.Reader.meta reader).Tracestore.n in
   if store_n <> n then
@@ -105,7 +119,7 @@ let recover_key_store ?jobs ~reader ~h strategy =
          "Fullkey.recover_key_store: store holds FALCON-%d traces but the public key \
           is FALCON-%d"
          store_n n);
-  let f_fft = recover_f_fft_store ?jobs ~reader strategy in
+  let f_fft = recover_f_fft_store ?ctx ?jobs ~reader strategy in
   let f = Fft.round_to_int (Fft.ifft f_fft) in
   let keypair = Ntru.Ntrugen.recover_from_f ~n ~f ~h in
   { f_fft; f; keypair }

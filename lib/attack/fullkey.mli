@@ -16,6 +16,7 @@ type result = {
 }
 
 val recover_f_fft :
+  ?ctx:Ctx.t ->
   ?jobs:int ->
   traces:Leakage.trace array ->
   n:int ->
@@ -29,9 +30,17 @@ val recover_f_fft :
     domain pool (leftover parallelism flows into the candidate sweeps);
     the recovered transform is bit-identical at every [jobs] provided
     [strategy] is pure per (coeff, mul) — e.g. builds any RNG it uses
-    from a (coeff, mul)-derived seed. *)
+    from a (coeff, mul)-derived seed.
+
+    [?ctx] additionally carries the Pearson backend and an observability
+    context: each task runs under a buffered child context whose events
+    ("fullkey.task" spans labelled with coefficient and component, and
+    everything the per-coefficient attack emits) are drained in task
+    order after the join — the merged event stream is deterministic at
+    every [jobs], and all results stay bit-identical with any sink. *)
 
 val recover_key :
+  ?ctx:Ctx.t ->
   ?jobs:int ->
   traces:Leakage.trace array ->
   h:int array ->
@@ -39,6 +48,7 @@ val recover_key :
   result
 
 val recover_f_fft_store :
+  ?ctx:Ctx.t ->
   ?jobs:int ->
   reader:Tracestore.Reader.t ->
   (coeff:int -> mul:int -> Recover.strategy) ->
@@ -51,6 +61,7 @@ val recover_f_fft_store :
     the same traces, at every [jobs]. *)
 
 val recover_key_store :
+  ?ctx:Ctx.t ->
   ?jobs:int ->
   reader:Tracestore.Reader.t ->
   h:int array ->

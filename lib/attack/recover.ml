@@ -127,7 +127,12 @@ let calibrate_views views =
   ( List.fold_left (fun acc (a, _) -> acc +. a) 0. als /. nf,
     List.fold_left (fun acc (_, b) -> acc +. b) 0. als /. nf )
 
-let sign_exponent_multi ?jobs ?(exp_candidates = default_exponent_window) ~mant views =
+let sign_exponent_multi ?ctx ?jobs ?(exp_candidates = default_exponent_window) ~mant
+    views =
+  let c = Ctx.resolve ?ctx ?jobs () in
+  Obs.span c.Ctx.obs "recover.sign_exponent"
+    ~fields:[ ("views", Obs.Int (List.length views)) ]
+  @@ fun () ->
   let alpha, baseline = calibrate_views views in
   let traces, idx = combine views in
   let hi_model_pos = m_result_hi ~mant ~sign:0 in
@@ -146,23 +151,25 @@ let sign_exponent_multi ?jobs ?(exp_candidates = default_exponent_window) ~mant 
     ]
   in
   let ranked =
-    Dema.rank_absolute ?jobs ~traces ~parts:(spread_parts views stage) ~known:idx
+    Dema.rank_absolute ~ctx:c ~traces ~parts:(spread_parts views stage) ~known:idx
       ~top:8 ~alpha ~baseline candidates
   in
   match ranked with
   | best :: _ -> (best.guess lsr 11, best.guess land 0x7FF, ranked)
   | [] -> invalid_arg "Recover.sign_exponent: empty candidate set"
 
-let attack_sign_exponent ?jobs ?exp_candidates ~mant v =
-  sign_exponent_multi ?jobs ?exp_candidates ~mant [ v ]
+let attack_sign_exponent ?ctx ?jobs ?exp_candidates ~mant v =
+  sign_exponent_multi ?ctx ?jobs ?exp_candidates ~mant [ v ]
 
-let attack_exponent ?jobs ?candidates ~mant ~sign v =
+let attack_exponent ?ctx ?jobs ?candidates ~mant ~sign v =
+  let c = Ctx.resolve ?ctx ?jobs () in
   let candidates =
-    match candidates with Some c -> c | None -> default_exponent_window
+    match candidates with Some cs -> cs | None -> default_exponent_window
   in
+  Obs.span c.Ctx.obs "recover.exponent" @@ fun () ->
   let alpha, baseline = calibrate_views [ v ] in
   let ranked =
-    Dema.rank_absolute ?jobs ~traces:v.traces
+    Dema.rank_absolute ~ctx:c ~traces:v.traces
       ~parts:
         [ (sample Fpr.Exp_sum, m_exp); (sample Fpr.Result_hi, m_result_hi ~mant ~sign) ]
       ~known:v.known ~top:8 ~alpha ~baseline candidates
@@ -177,21 +184,28 @@ type mantissa_result = {
   pruned : Dema.scored list;
 }
 
-let extend_prune_multi ?jobs ?backend ~top ~candidates ~extend_stage ~prune_stage views =
+let extend_prune_multi ?ctx ?jobs ?backend ~top ~candidates ~extend_stage ~prune_stage
+    views =
+  let c = Ctx.resolve ?ctx ?jobs ?backend () in
+  let obs = c.Ctx.obs in
   let traces, idx = combine views in
   let extend_parts = spread_parts views extend_stage in
   let extend =
-    Dema.rank ?jobs ?backend ~traces ~parts:extend_parts ~known:idx ~top candidates
+    Obs.span obs "recover.extend" (fun () ->
+        Dema.rank ~ctx:c ~traces ~parts:extend_parts ~known:idx ~top candidates)
   in
+  Obs.gauge obs "recover.extend_survivors" (float_of_int (List.length extend));
   let survivors = List.to_seq (List.map (fun (s : Dema.scored) -> s.guess) extend) in
   (* The addition sample breaks the multiplication's shift-alias ties; the
      multiplication samples still separate low-bit neighbours, so the
      survivors are re-ranked on the combined evidence. *)
   let pruned =
-    Dema.rank ?jobs ?backend ~traces
-      ~parts:(extend_parts @ spread_parts views prune_stage)
-      ~known:idx ~top survivors
+    Obs.span obs "recover.prune" (fun () ->
+        Dema.rank ~ctx:c ~traces
+          ~parts:(extend_parts @ spread_parts views prune_stage)
+          ~known:idx ~top survivors)
   in
+  Obs.gauge obs "recover.prune_survivors" (float_of_int (List.length pruned));
   match pruned with
   | best :: _ -> { winner = best.guess; extend; pruned }
   | [] -> invalid_arg "Recover.extend_prune: empty candidate set"
@@ -200,37 +214,50 @@ let extend_prune_multi ?jobs ?backend ~top ~candidates ~extend_stage ~prune_stag
    (D x B at the w00 sample, D x A at the w10 sample) — Section III-C. *)
 let low_extend_stage = [ (Fpr.Mant_w00, m_w00); (Fpr.Mant_w10, m_w10) ]
 
-let mantissa_low_multi ?jobs ?backend ?(top = 16) ~candidates views =
-  extend_prune_multi ?jobs ?backend ~top ~candidates ~extend_stage:low_extend_stage
-    ~prune_stage:[ (Fpr.Mant_z1a, m_z1a) ]
-    views
+let mantissa_low_multi ?ctx ?jobs ?backend ?(top = 16) ~candidates views =
+  let c = Ctx.resolve ?ctx ?jobs ?backend () in
+  Obs.span c.Ctx.obs "recover.mantissa_low"
+    ~fields:[ ("part", Obs.Str "low25"); ("views", Obs.Int (List.length views)) ]
+    (fun () ->
+      extend_prune_multi ~ctx:c ~top ~candidates ~extend_stage:low_extend_stage
+        ~prune_stage:[ (Fpr.Mant_z1a, m_z1a) ]
+        views)
 
-let attack_mantissa_low ?jobs ?backend ?top ~candidates v =
-  mantissa_low_multi ?jobs ?backend ?top ~candidates [ v ]
+let attack_mantissa_low ?ctx ?jobs ?backend ?top ~candidates v =
+  mantissa_low_multi ?ctx ?jobs ?backend ?top ~candidates [ v ]
 
-let attack_mantissa_low_naive ?jobs ?backend ?(top = 16) ~candidates v =
-  Dema.rank ?jobs ?backend ~traces:v.traces
+let attack_mantissa_low_naive ?ctx ?jobs ?backend ?(top = 16) ~candidates v =
+  let c = Ctx.resolve ?ctx ?jobs ?backend () in
+  Dema.rank ~ctx:c ~traces:v.traces
     ~parts:[ (sample Fpr.Mant_w00, m_w00); (sample Fpr.Mant_w10, m_w10) ]
     ~known:v.known ~top candidates
 
-let mantissa_high_multi ?jobs ?backend ?(top = 16) ~candidates ~d views =
-  extend_prune_multi ?jobs ?backend ~top ~candidates
-    ~extend_stage:[ (Fpr.Mant_w01, m_w01); (Fpr.Mant_w11, m_w11) ]
-    ~prune_stage:
-      [
-        (Fpr.Mant_z1, (fun e y -> m_z1 ~d e y));
-        (Fpr.Mant_zhigh, (fun e y -> m_zhigh ~d e y));
-      ]
-    views
+let mantissa_high_multi ?ctx ?jobs ?backend ?(top = 16) ~candidates ~d views =
+  let c = Ctx.resolve ?ctx ?jobs ?backend () in
+  Obs.span c.Ctx.obs "recover.mantissa_high"
+    ~fields:[ ("part", Obs.Str "high28"); ("views", Obs.Int (List.length views)) ]
+    (fun () ->
+      extend_prune_multi ~ctx:c ~top ~candidates
+        ~extend_stage:[ (Fpr.Mant_w01, m_w01); (Fpr.Mant_w11, m_w11) ]
+        ~prune_stage:
+          [
+            (Fpr.Mant_z1, (fun e y -> m_z1 ~d e y));
+            (Fpr.Mant_zhigh, (fun e y -> m_zhigh ~d e y));
+          ]
+        views)
 
-let attack_mantissa_high ?jobs ?backend ?top ~candidates ~d v =
-  mantissa_high_multi ?jobs ?backend ?top ~candidates ~d [ v ]
+let attack_mantissa_high ?ctx ?jobs ?backend ?top ~candidates ~d v =
+  mantissa_high_multi ?ctx ?jobs ?backend ?top ~candidates ~d [ v ]
 
 type strategy =
   | Exhaustive
   | Eval_sampled of { rng : Stats.Rng.t; decoys : int; truth : Fpr.t }
 
-let coefficient ?jobs ?backend ~strategy views =
+let coefficient ?ctx ?jobs ?backend ~strategy views =
+  let c = Ctx.resolve ?ctx ?jobs ?backend () in
+  Obs.span c.Ctx.obs "recover.coefficient"
+    ~fields:[ ("views", Obs.Int (List.length views)) ]
+  @@ fun () ->
   let low_cands, high_cands =
     match strategy with
     | Exhaustive ->
@@ -246,12 +273,11 @@ let coefficient ?jobs ?backend ~strategy views =
   in
   (* keep enough extend survivors that the truth cannot be displaced by
      its own alias class (up to ~25 exact ties for small D) plus noise *)
-  let low = mantissa_low_multi ?jobs ?backend ~top:32 ~candidates:low_cands views in
+  let low = mantissa_low_multi ~ctx:c ~top:32 ~candidates:low_cands views in
   let high =
-    mantissa_high_multi ?jobs ?backend ~top:32 ~candidates:high_cands ~d:low.winner
-      views
+    mantissa_high_multi ~ctx:c ~top:32 ~candidates:high_cands ~d:low.winner views
   in
   let xu = (high.winner lsl 25) lor low.winner in
   let mant = xu land ((1 lsl 52) - 1) in
-  let s, e, _ = sign_exponent_multi ?jobs ~mant views in
+  let s, e, _ = sign_exponent_multi ~ctx:c ~mant views in
   Fpr.make ~sign:s ~exp:e ~mant

@@ -59,6 +59,7 @@ val attack_sign : view -> int * float
     correct guess correlates positively). *)
 
 val attack_sign_exponent :
+  ?ctx:Ctx.t ->
   ?jobs:int ->
   ?exp_candidates:int Seq.t ->
   mant:int ->
@@ -67,6 +68,7 @@ val attack_sign_exponent :
 (** Single-window variant of {!sign_exponent_multi}. *)
 
 val sign_exponent_multi :
+  ?ctx:Ctx.t ->
   ?jobs:int ->
   ?exp_candidates:int Seq.t ->
   mant:int ->
@@ -79,6 +81,7 @@ val sign_exponent_multi :
     {!attack_sign} (which follows the paper's Fig. 4(a) method). *)
 
 val attack_exponent :
+  ?ctx:Ctx.t ->
   ?jobs:int ->
   ?candidates:int Seq.t ->
   mant:int ->
@@ -102,6 +105,7 @@ type mantissa_result = {
 }
 
 val mantissa_low_multi :
+  ?ctx:Ctx.t ->
   ?jobs:int ->
   ?backend:Stats.Pearson.Batch.backend ->
   ?top:int ->
@@ -110,6 +114,7 @@ val mantissa_low_multi :
   mantissa_result
 
 val attack_mantissa_low :
+  ?ctx:Ctx.t ->
   ?jobs:int ->
   ?backend:Stats.Pearson.Batch.backend ->
   ?top:int ->
@@ -120,6 +125,7 @@ val attack_mantissa_low :
     intermediate addition z1a.  Candidates are 25-bit values. *)
 
 val attack_mantissa_low_naive :
+  ?ctx:Ctx.t ->
   ?jobs:int ->
   ?backend:Stats.Pearson.Batch.backend ->
   ?top:int ->
@@ -130,6 +136,7 @@ val attack_mantissa_low_naive :
     baseline whose exact-tie false positives motivate the paper. *)
 
 val mantissa_high_multi :
+  ?ctx:Ctx.t ->
   ?jobs:int ->
   ?backend:Stats.Pearson.Batch.backend ->
   ?top:int ->
@@ -139,6 +146,7 @@ val mantissa_high_multi :
   mantissa_result
 
 val attack_mantissa_high :
+  ?ctx:Ctx.t ->
   ?jobs:int ->
   ?backend:Stats.Pearson.Batch.backend ->
   ?top:int ->
@@ -158,6 +166,7 @@ type strategy =
       (** evaluation mode: truth + alias class + decoys (see DESIGN.md) *)
 
 val coefficient :
+  ?ctx:Ctx.t ->
   ?jobs:int ->
   ?backend:Stats.Pearson.Batch.backend ->
   strategy:strategy ->
@@ -169,4 +178,7 @@ val coefficient :
     underlying candidate sweeps — see {!Dema}; the output is
     bit-identical at every [jobs].  [?backend] (on the mantissa rankings)
     selects the scalar or batched Pearson kernel — also bit-identical,
-    see {!Stats.Pearson.Batch}. *)
+    see {!Stats.Pearson.Batch}.  [?ctx] ({!Ctx.t}) bundles both plus the
+    observability context; explicit [?jobs]/[?backend] override its
+    fields, and every ranking stays bit-identical with any sink
+    attached. *)

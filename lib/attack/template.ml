@@ -53,7 +53,8 @@ let profile (v : Recover.view) ~secret =
   done;
   { alpha; beta; sigma }
 
-let rank ?jobs tpl (views : Recover.view list) ~parts ~candidates ~top =
+let rank ?ctx ?jobs tpl (views : Recover.view list) ~parts ~candidates ~top =
+  let c = Ctx.resolve ?ctx ?jobs () in
   assert (views <> []);
   let d = Array.length (List.hd views).Recover.traces in
   let cols =
@@ -85,13 +86,16 @@ let rank ?jobs tpl (views : Recover.view list) ~parts ~candidates ~top =
       cols;
     !ll /. float_of_int d
   in
-  Dema.rank_scores ?jobs ~score ~top candidates
+  Obs.span c.Ctx.obs "template.rank" ~fields:[ ("top", Obs.Int top) ] (fun () ->
+      Dema.rank_scores ~ctx:c ~score ~top candidates)
 
 let winner = function
   | (best : Dema.scored) :: _ -> best.guess
   | [] -> invalid_arg "Template.winner: empty ranking"
 
-let coefficient ?jobs tpl ~strategy (views : Recover.view list) =
+let coefficient ?ctx ?jobs tpl ~strategy (views : Recover.view list) =
+  let c = Ctx.resolve ?ctx ?jobs () in
+  Obs.span c.Ctx.obs "template.coefficient" @@ fun () ->
   let m25 = (1 lsl 25) - 1 in
   let low_cands, high_cands =
     match strategy with
@@ -107,7 +111,7 @@ let coefficient ?jobs tpl ~strategy (views : Recover.view list) =
   in
   let d_low =
     winner
-      (rank ?jobs tpl views
+      (rank ~ctx:c tpl views
          ~parts:
            [ (Fpr.Mant_w00, Recover.m_w00); (Fpr.Mant_w10, Recover.m_w10);
              (Fpr.Mant_z1a, Recover.m_z1a) ]
@@ -115,7 +119,7 @@ let coefficient ?jobs tpl ~strategy (views : Recover.view list) =
   in
   let e_high =
     winner
-      (rank ?jobs tpl views
+      (rank ~ctx:c tpl views
          ~parts:
            [
              (Fpr.Mant_w01, Recover.m_w01); (Fpr.Mant_w11, Recover.m_w11);
@@ -130,7 +134,7 @@ let coefficient ?jobs tpl ~strategy (views : Recover.view list) =
   let hi_neg = Recover.m_result_hi ~mant ~sign:1 in
   let se =
     winner
-      (rank ?jobs tpl views
+      (rank ~ctx:c tpl views
          ~parts:
            [
              (Fpr.Exp_sum, fun g y -> Recover.m_exp (g land 0x7FF) y);

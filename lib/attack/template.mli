@@ -25,6 +25,7 @@ val profile : Recover.view -> secret:Fpr.t -> t
     key has D = 0) gets gain 0 and contributes nothing to the attack. *)
 
 val rank :
+  ?ctx:Ctx.t ->
   ?jobs:int ->
   t ->
   Recover.view list ->
@@ -38,6 +39,7 @@ val rank :
     template parameters shared across windows (same device). *)
 
 val coefficient :
+  ?ctx:Ctx.t ->
   ?jobs:int -> t -> strategy:Recover.strategy -> Recover.view list -> Fpr.t
 (** Template version of the full per-coefficient recovery (mantissa low,
     mantissa high, then joint sign + exponent), all stages scored by

@@ -24,5 +24,6 @@ let () =
       ("defense", Test_defense.suite);
       ("assess", Test_assess.suite);
       ("keycodec", Test_keycodec.suite);
+      ("obs", Test_obs.suite);
       ("scheme_more", Test_scheme_more.suite);
     ]
