@@ -523,8 +523,8 @@ let stream () =
   in
   let parts =
     [
-      (Attack.Recover.sample Fpr.Mant_w00, Attack.Recover.m_w00);
-      (Attack.Recover.sample Fpr.Mant_z1a, Attack.Recover.m_z1a);
+      (Attack.Recover.sample Fpr.Mant_w00, Attack.Recover.p_w00);
+      (Attack.Recover.sample Fpr.Mant_z1a, Attack.Recover.p_z1a);
     ]
   in
   let rows = Array.map (fun (t : Leakage.trace) -> t.samples) traces in
@@ -681,6 +681,70 @@ let pearson () =
   in
   let g = Array.length guesses in
   Printf.printf "%d guesses x %d traces, %d jobs\n%!" g d jobs;
+  let time_best f =
+    let t0 = Unix.gettimeofday () in
+    let r = ref (f ()) in
+    let best = ref (Unix.gettimeofday () -. t0) in
+    for _ = 1 to 2 do
+      let t0 = Unix.gettimeofday () in
+      r := f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    (!r, !best)
+  in
+  (* headline metric: the full two-part ranking sweep under both
+     backends, model evaluation included — what an attack campaign
+     actually pays per candidate enumeration *)
+  let parts =
+    [
+      (Attack.Recover.sample Fpr.Mant_w00, Attack.Recover.p_w00);
+      (Attack.Recover.sample Fpr.Mant_w10, Attack.Recover.p_w10);
+    ]
+  in
+  let rank backend () =
+    Attack.Dema.rank ~jobs ~backend ~traces ~parts ~known ~top:32
+      (Array.to_seq guesses)
+  in
+  let scalar_rank, rank_scalar_s = time_best (rank Stats.Pearson.Batch.Scalar) in
+  let batched_rank, rank_batched_s = time_best (rank Stats.Pearson.Batch.Batched) in
+  let rank_identical = scalar_rank = batched_rank in
+  let rank_speedup = rank_scalar_s /. rank_batched_s in
+  Printf.printf
+    "end-to-end rank (2 parts, top 32): scalar %.4f s, batched %.4f s (%.2fx), \
+     identical top-k %b\n%!"
+    rank_scalar_s rank_batched_s rank_speedup rank_identical;
+  (* where the batched sweep spends its time: one instrumented run at
+     Debug level, span durations parsed back out of the JSONL log *)
+  let span_buf = Buffer.create 4096 in
+  let obs_ctx =
+    Attack.Ctx.make ~jobs ~backend:Stats.Pearson.Batch.Batched
+      ~obs:(Obs.make ~level:Obs.Debug (Obs.Jsonl.to_buffer span_buf))
+      ()
+  in
+  let obs_rank =
+    Attack.Dema.rank ~ctx:obs_ctx ~traces ~parts ~known ~top:32
+      (Array.to_seq guesses)
+  in
+  let rank_identical = rank_identical && obs_rank = batched_rank in
+  let span_s name =
+    let ns =
+      List.fold_left
+        (fun acc r ->
+          let str k = Option.bind (Obs.Json.member k r) Obs.Json.to_string_opt in
+          if str "type" = Some "span" && str "name" = Some name then
+            acc
+            + Option.value ~default:0
+                (Option.bind (Obs.Json.member "elapsed_ns" r) Obs.Json.to_int_opt)
+          else acc)
+        0
+        (Obs.Jsonl.read_string (Buffer.contents span_buf))
+    in
+    float_of_int ns /. 1e9
+  in
+  let rank_prep_s = span_s "dema.prep" and rank_score_s = span_s "dema.score" in
+  Printf.printf
+    "batched rank breakdown (instrumented run): prep %.4f s, score %.4f s\n%!"
+    rank_prep_s rank_score_s;
   (* hypothesis rows prebuilt once: the timings below compare only the
      correlation kernels, not the shared model-evaluation cost *)
   let rows =
@@ -766,45 +830,18 @@ let pearson () =
   let best_speedup_hoisted =
     List.fold_left (fun a (_, _, _, _, s) -> Float.max a s) 0. results
   in
-  let time_best f =
-    let t0 = Unix.gettimeofday () in
-    let r = ref (f ()) in
-    let best = ref (Unix.gettimeofday () -. t0) in
-    for _ = 1 to 2 do
-      let t0 = Unix.gettimeofday () in
-      r := f ();
-      best := Float.min !best (Unix.gettimeofday () -. t0)
-    done;
-    (!r, !best)
-  in
-  (* end-to-end: the full two-part ranking sweep under both backends
-     (model evaluation included — the honest attack-level comparison) *)
-  let parts =
-    [
-      (Attack.Recover.sample Fpr.Mant_w00, Attack.Recover.m_w00);
-      (Attack.Recover.sample Fpr.Mant_w10, Attack.Recover.m_w10);
-    ]
-  in
-  let rank backend () =
-    Attack.Dema.rank ~jobs ~backend ~traces ~parts ~known ~top:32
-      (Array.to_seq guesses)
-  in
-  let scalar_rank, rank_scalar_s = time_best (rank Stats.Pearson.Batch.Scalar) in
-  let batched_rank, rank_batched_s = time_best (rank Stats.Pearson.Batch.Batched) in
-  let rank_identical = scalar_rank = batched_rank in
   identical_all := !identical_all && rank_identical;
-  Printf.printf
-    "end-to-end rank (2 parts, top 32): scalar %.4f s, batched %.4f s (%.2fx), \
-     identical top-k %b\n%!"
-    rank_scalar_s rank_batched_s (rank_scalar_s /. rank_batched_s) rank_identical;
   let oc = open_out "BENCH_pearson.json" in
   Printf.fprintf oc
-    "{\"section\":\"pearson\",\"traces\":%d,\"guesses\":%d,\"jobs\":%d,\
+    "{\"schema\":\"falcon-down/bench-pearson/v1\",\"section\":\"pearson\",\
+     \"traces\":%d,\"guesses\":%d,\"jobs\":%d,\
+     \"rank_scalar_s\":%.5f,\"rank_batched_s\":%.5f,\"rank_speedup\":%.2f,\
+     \"rank_prep_s\":%.5f,\"rank_score_s\":%.5f,\
      \"scalar_corr_s\":%.5f,\"scalar_corr_with_s\":%.5f,\"blocks\":[%s],\
      \"best_speedup\":%.2f,\"best_speedup_hoisted\":%.2f,\
-     \"rank_scalar_s\":%.5f,\"rank_batched_s\":%.5f,\"rank_speedup\":%.2f,\
      \"bit_identical\":%b}\n"
-    d g jobs naive_s scalar_s
+    d g jobs rank_scalar_s rank_batched_s rank_speedup rank_prep_s rank_score_s
+    naive_s scalar_s
     (String.concat ","
        (List.map
           (fun (r, dblock, s, speedup, speedup_hoisted) ->
@@ -813,9 +850,7 @@ let pearson () =
                \"speedup_hoisted\":%.2f}"
               r dblock s speedup speedup_hoisted)
           results))
-    best_speedup best_speedup_hoisted rank_scalar_s rank_batched_s
-    (rank_scalar_s /. rank_batched_s)
-    !identical_all;
+    best_speedup best_speedup_hoisted !identical_all;
   close_out oc;
   Printf.printf "wrote BENCH_pearson.json\n"
 
@@ -838,8 +873,8 @@ let obs_bench () =
   in
   let parts =
     [
-      (Attack.Recover.sample Fpr.Mant_w00, Attack.Recover.m_w00);
-      (Attack.Recover.sample Fpr.Mant_w10, Attack.Recover.m_w10);
+      (Attack.Recover.sample Fpr.Mant_w00, Attack.Hypothesis.Model.fn Attack.Recover.m_w00);
+      (Attack.Recover.sample Fpr.Mant_w10, Attack.Hypothesis.Model.fn Attack.Recover.m_w10);
     ]
   in
   Printf.printf "%d guesses x %d traces, %d jobs\n%!" (Array.length guesses)

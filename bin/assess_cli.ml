@@ -217,6 +217,65 @@ let cmd_check_log log_path =
       Printf.eprintf "%s: %s\n" log_path msg;
       Cli_common.data_error
 
+(* {2 check-bench} *)
+
+(* Validates the headline Pearson bench artifact (BENCH_pearson.json,
+   schema falcon-down/bench-pearson/v1) so CI can gate on it: the
+   batched end-to-end rank must be bit-identical to the scalar baseline
+   and at least as fast.  Shape errors, a false bit_identical and a
+   rank_speedup below 1.0 all exit with the data-error status. *)
+let cmd_check_bench json_path =
+  with_errors @@ fun () ->
+  let j = Assess.Json.of_string (read_file json_path) in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  (match Option.bind (Assess.Json.member "schema" j) Assess.Json.to_string_opt with
+  | Some "falcon-down/bench-pearson/v1" -> ()
+  | Some s -> err "schema is %S, want \"falcon-down/bench-pearson/v1\"" s
+  | None -> err "missing string field \"schema\"");
+  List.iter
+    (fun k ->
+      match Option.bind (Assess.Json.member k j) Assess.Json.to_int_opt with
+      | Some v when v > 0 -> ()
+      | Some v -> err "field %S is %d, want a positive int" k v
+      | None -> err "missing int field %S" k)
+    [ "traces"; "guesses"; "jobs" ];
+  List.iter
+    (fun k ->
+      match Option.bind (Assess.Json.member k j) Assess.Json.to_number_opt with
+      | Some v when Float.is_finite v && v >= 0. -> ()
+      | Some v -> err "field %S is %g, want a finite non-negative number" k v
+      | None -> err "missing number field %S" k)
+    [ "rank_scalar_s"; "rank_batched_s"; "rank_speedup"; "rank_prep_s"; "rank_score_s" ];
+  (match Option.bind (Assess.Json.member "bit_identical" j) Assess.Json.to_bool_opt with
+  | Some true -> ()
+  | Some false ->
+      err "bit_identical is false — the batched kernel diverged from the scalar \
+           baseline"
+  | None -> err "missing bool field \"bit_identical\"");
+  (match Option.bind (Assess.Json.member "rank_speedup" j) Assess.Json.to_number_opt with
+  | Some v when Float.is_finite v && v < 1.0 ->
+      err "rank_speedup %.2f is below 1.0 — the batched end-to-end rank regressed \
+           against the scalar baseline"
+        v
+  | _ -> ());
+  match List.rev !errors with
+  | [] ->
+      let speedup =
+        match
+          Option.bind (Assess.Json.member "rank_speedup" j) Assess.Json.to_number_opt
+        with
+        | Some v -> v
+        | None -> assert false
+      in
+      Printf.printf "%s: valid falcon-down/bench-pearson/v1 report (rank_speedup %.2fx, \
+                     bit-identical)\n"
+        json_path speedup;
+      Cli_common.ok
+  | msgs ->
+      List.iter (fun m -> Printf.eprintf "%s: %s\n" json_path m) msgs;
+      Cli_common.data_error
+
 open Cmdliner
 
 let defense_arg =
@@ -337,10 +396,25 @@ let check_log_cmd =
           jsonl:PATH; exit 1 if invalid")
     Term.(const cmd_check_log $ log_json_arg)
 
+let bench_json_arg =
+  Arg.(
+    value
+    & pos 0 string "BENCH_pearson.json"
+    & info [] ~docv:"FILE" ~doc:"Pearson bench report to validate.")
+
+let check_bench_cmd =
+  Cmd.v
+    (Cmd.info "check-bench"
+       ~doc:
+         "Validate a BENCH_pearson.json artifact: schema, required fields, \
+          bit-identical rankings and end-to-end rank_speedup >= 1.0; exit 1 \
+          otherwise")
+    Term.(const cmd_check_bench $ bench_json_arg)
+
 let () =
   let doc = "Falcon Down leakage-assessment lab" in
   exit
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "assess_cli" ~doc)
-          [ tvla_cmd; metrics_cmd; matrix_cmd; check_cmd; check_log_cmd ]))
+          [ tvla_cmd; metrics_cmd; matrix_cmd; check_cmd; check_log_cmd; check_bench_cmd ]))

@@ -113,7 +113,7 @@ let cmd_crack input store flags =
   | Some dir -> (
       (* out-of-core path: stream shards from the store, never holding
          the whole campaign in memory *)
-      let reader = Tracestore.Reader.open_store dir in
+      let reader = Cli_common.open_store flags dir in
       match
         ( Falcon.Keycodec.decode_public (read_file (Filename.concat dir "public.key")),
           Falcon.Keycodec.decode_secret (read_file (Filename.concat dir "secret.key"))
@@ -127,7 +127,9 @@ let cmd_crack input store flags =
             (Tracestore.Reader.shard_count reader)
             pk.params.n dir;
           let res =
-            Attack.Fullkey.recover_key_store ~ctx ~reader ~h:pk.h
+            Attack.Fullkey.recover_key_store ~ctx
+              ~on_corrupt:flags.Cli_common.Common_flags.on_corrupt
+              ~prefetch:flags.Cli_common.Common_flags.prefetch ~reader ~h:pk.h
               (crack_strategy truth_sk)
           in
           crack_report pk truth_kp res

@@ -36,6 +36,9 @@ module Common_flags = struct
     backend : Stats.Pearson.Batch.backend option;  (* None = auto *)
     log : log;
     log_level : Obs.level;
+    mmap : [ `Auto | `Mmap | `Read ];
+    prefetch : bool;
+    on_corrupt : [ `Fail | `Skip ];
   }
 end
 
@@ -117,11 +120,65 @@ let log_level_arg =
     & info [ "log-level" ] ~docv:"LEVEL"
         ~doc:"Event verbosity: $(b,error), $(b,info) (default) or $(b,debug).")
 
+let mmap_conv =
+  Arg.enum [ ("auto", `Auto); ("on", `Mmap); ("off", `Read) ]
+
+let mmap_arg =
+  Arg.(
+    value
+    & opt mmap_conv `Auto
+    & info [ "mmap" ] ~docv:"MODE"
+        ~doc:
+          "Shard file access: $(b,auto) (default — memory-map, falling back to \
+           buffered reads when the platform refuses), $(b,on) (require mmap) or \
+           $(b,off) (always buffered reads).  Both paths run the same CRC-checked \
+           decoder and yield byte-identical traces.")
+
+let no_prefetch_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-prefetch" ]
+        ~doc:
+          "Disable background prefetch of the next shard during sequential \
+           streaming passes.  Results are bit-identical either way; this only \
+           serialises I/O with compute.")
+
+let on_corrupt_conv = Arg.enum [ ("fail", `Fail); ("skip", `Skip) ]
+
+let on_corrupt_arg =
+  Arg.(
+    value
+    & opt on_corrupt_conv `Fail
+    & info [ "on-corrupt" ] ~docv:"POLICY"
+        ~doc:
+          "What to do when a shard fails its CRC or size checks: $(b,fail) \
+           (default — abort loudly naming the shard) or $(b,skip) (drop the \
+           shard from the campaign and count it in the dema.shards_skipped \
+           metric).")
+
 let flags_term =
   Term.(
-    const (fun jobs backend log log_level ->
-        { Common_flags.jobs; backend; log; log_level })
-    $ jobs_arg $ backend_arg $ log_arg $ log_level_arg)
+    const (fun jobs backend log log_level mmap no_prefetch on_corrupt ->
+        {
+          Common_flags.jobs;
+          backend;
+          log;
+          log_level;
+          mmap;
+          prefetch = not no_prefetch;
+          on_corrupt;
+        })
+    $ jobs_arg $ backend_arg $ log_arg $ log_level_arg $ mmap_arg $ no_prefetch_arg
+    $ on_corrupt_arg)
+
+(* Open a trace store honouring the shared --mmap / --on-corrupt flags.
+   The [policy] on the reader handle matches --on-corrupt so policy-honouring
+   iteration (Reader.fold / to_seq) behaves consistently with the streaming
+   attack passes, which additionally take the policy explicitly. *)
+let open_store (flags : Common_flags.t) dir =
+  Tracestore.Reader.open_store ~policy:flags.Common_flags.on_corrupt
+    ~access:flags.Common_flags.mmap dir
 
 (* Shared data flags (same name, same doc, every CLI). *)
 

@@ -77,7 +77,7 @@ let cmd_append store traces seed flags =
 
 let cmd_inspect store flags =
   Cli_common.run flags @@ fun _ctx ->
-  let reader = Tracestore.Reader.open_store store in
+  let reader = Cli_common.open_store flags store in
   let m = Tracestore.Reader.meta reader in
   Printf.printf "store      %s\n" store;
   Printf.printf "victim     FALCON-%d (%d samples/trace)\n" m.Tracestore.n
@@ -99,7 +99,9 @@ let cmd_inspect store flags =
 
 let cmd_verify store flags =
   Cli_common.run flags @@ fun _ctx ->
-  let meta, results = Tracestore.verify store in
+  let meta, results =
+    Tracestore.verify ~access:flags.Cli_common.Common_flags.mmap store
+  in
   Printf.printf "verifying %s (FALCON-%d, %d samples/trace)\n%!" store
     meta.Tracestore.n meta.Tracestore.width;
   let bad = ref 0 in

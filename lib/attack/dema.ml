@@ -72,15 +72,50 @@ let rank_block_scores ?ctx ?jobs ~score_block ~top candidates =
 let hyp_vector ~model ~known guess =
   Array.map (fun y -> float_of_int (Bitops.popcount (model guess y))) known
 
-(* Rows per hypothesis block in the batched sweep: a 512-candidate work
-   chunk is scored as four 128-row blocks, keeping the per-domain
-   scratch buffer at 128 x D doubles (10 MB at the paper's 10k traces)
-   while still amortising the column pass over many guesses. *)
-let batch_rows = 128
-
 let backend_name = function
   | Stats.Pearson.Batch.Scalar -> "scalar"
   | Stats.Pearson.Batch.Batched -> "batched"
+
+(* Resolved hypothesis source over one segment of known operands: a
+   split model becomes a precomputed per-trace table plus its integer
+   evaluator (built once per sweep, on the owning domain, shared
+   read-only); a plain model becomes a closure over the segment.  Both
+   feed {!Stats.Pearson.Batch.Fused} with exactly [hyp_vector]'s
+   intermediates, so the choice never changes a result. *)
+type seg_src =
+  | Tab of int array * (int -> int -> int)
+  | App of (int -> int -> int)  (* guess -> segment-local trace -> intermediate *)
+
+let seg_src model known =
+  match model with
+  | Hypothesis.Model.Split (prep, eval) -> Tab (Array.map prep known, eval)
+  | Hypothesis.Model.Fn f -> App (fun g i -> f g (Array.unsafe_get known i))
+
+let seg_fold acc src ~cols ~len guesses =
+  match src with
+  | Tab (prepped, eval) ->
+      Stats.Pearson.Batch.Fused.fold_split acc ~eval ~guesses ~prepped ~cols ~len
+  | App f ->
+      Stats.Pearson.Batch.Fused.fold acc
+        ~gen:(fun r i -> f (Array.unsafe_get guesses r) i)
+        ~cols ~len
+
+(* Consecutive parts sharing one model value (physical equality) score
+   several columns from a single generated hypothesis stream — the
+   hoisted refill.  Grouping preserves part order, so the per-guess
+   score accumulation stays the scalar fold's addition sequence. *)
+let group_parts parts =
+  let rec go = function
+    | [] -> []
+    | (s, m) :: rest ->
+        let rec take acc = function
+          | (s', m') :: tl when m' == m -> take (s' :: acc) tl
+          | tl -> (List.rev acc, tl)
+        in
+        let same, tl = take [ s ] rest in
+        (m, Array.of_list same) :: go tl
+  in
+  go parts
 
 let rank ?ctx ?jobs ?backend ~traces ~parts ~known ~top candidates =
   let c = Ctx.resolve ?ctx ?jobs ?backend () in
@@ -93,14 +128,17 @@ let rank ?ctx ?jobs ?backend ~traces ~parts ~known ~top candidates =
        owning domain (the Obs determinism contract). *)
     let scored = if Obs.enabled obs then Some (Atomic.make 0) else None in
     let tick n = match scored with Some a -> ignore (Atomic.fetch_and_add a n) | None -> () in
-    (* column statistics are a per-sweep invariant: computed once here,
-       shared read-only by every guess on every domain *)
-    let cols =
-      List.map (fun (s, model) -> (Stats.Pearson.column_stats traces s, model)) parts
-    in
     let result =
       match c.Ctx.backend with
       | Stats.Pearson.Batch.Scalar ->
+          (* column statistics are a per-sweep invariant: computed once
+             here, shared read-only by every guess on every domain *)
+          let cols =
+            List.map
+              (fun (s, model) ->
+                (Stats.Pearson.column_stats traces s, Hypothesis.Model.apply model))
+              parts
+          in
           let score guess =
             tick 1;
             List.fold_left
@@ -112,33 +150,49 @@ let rank ?ctx ?jobs ?backend ~traces ~parts ~known ~top candidates =
           in
           rank_scores ~ctx:c ~score ~top candidates
       | Stats.Pearson.Batch.Batched ->
-          (* Per chunk: slice the candidates into row blocks, fill the
-             domain's scratch block once per (slice, part) and score the
-             whole slice in one fused kernel pass.  Scores accumulate per
-             guess in part order, exactly like the scalar fold, so every
-             total is bit-identical. *)
+          (* Fused sweep: no hypothesis block is ever materialised.  The
+             per-sweep invariants — column statistics and, for split
+             models, the prep table over the known operands — are built
+             once under "dema.prep"; each work chunk then runs one fused
+             kernel pass per part group, generating intermediates on the
+             fly inside the register tiles.  Scores accumulate per guess
+             in part order, exactly like the scalar fold, so every total
+             is bit-identical. *)
+          let groups =
+            Obs.span ~level:Obs.Debug obs "dema.prep" (fun () ->
+                List.map
+                  (fun (m, samples) ->
+                    ( seg_src m known,
+                      Array.map (fun s -> Stats.Pearson.column_stats traces s) samples
+                    ))
+                  (group_parts parts))
+          in
           let score_block guesses =
             let g = Array.length guesses in
             tick g;
             let scores = Array.make g 0. in
-            let lo = ref 0 in
-            while !lo < g do
-              let len = min batch_rows (g - !lo) in
-              let slice = Array.sub guesses !lo len in
-              let blk = Hypothesis.Block.scratch ~rows:batch_rows ~cols:d in
-              List.iter
-                (fun (col, model) ->
-                  let hb = Hypothesis.Block.fill blk ~model ~known slice in
-                  let rs = Stats.Pearson.Batch.corr_block col hb in
-                  for i = 0 to len - 1 do
-                    scores.(!lo + i) <- scores.(!lo + i) +. Float.abs rs.(i)
-                  done)
-                cols;
-              lo := !lo + len
-            done;
+            List.iter
+              (fun (src, stats) ->
+                let acc =
+                  Stats.Pearson.Batch.Fused.create ~rows:g ~ncols:(Array.length stats)
+                in
+                let cols = Array.map (fun cs -> cs.Stats.Pearson.col) stats in
+                seg_fold acc src ~cols ~len:d guesses;
+                Array.iteri
+                  (fun ci cs ->
+                    let rs =
+                      Stats.Pearson.Batch.Fused.corr acc ~index:ci ~n:d
+                        ~sum_t:cs.Stats.Pearson.sum ~var_t:cs.Stats.Pearson.var_n
+                    in
+                    for i = 0 to g - 1 do
+                      scores.(i) <- scores.(i) +. Float.abs rs.(i)
+                    done)
+                  stats)
+              groups;
             scores
           in
-          rank_block_scores ~ctx:c ~score_block ~top candidates
+          Obs.span ~level:Obs.Debug obs "dema.score" (fun () ->
+              rank_block_scores ~ctx:c ~score_block ~top candidates)
     in
     (match scored with
     | Some a ->
@@ -164,29 +218,93 @@ let rank ?ctx ?jobs ?backend ~traces ~parts ~known ~top candidates =
       run
   else run ()
 
-let rank_absolute ?ctx ?jobs ~traces ~parts ~known ~top ~alpha ~baseline candidates =
-  let c = Ctx.resolve ?ctx ?jobs () in
-  let cols =
-    List.map (fun (s, model) -> (Array.map (fun t -> t.(s)) traces, model)) parts
-  in
+let rank_absolute ?ctx ?jobs ?backend ~traces ~parts ~known ~top ~alpha ~baseline
+    candidates =
+  let c = Ctx.resolve ?ctx ?jobs ?backend () in
+  let obs = c.Ctx.obs in
   let d = Array.length traces in
-  let score guess =
-    let err = ref 0. in
-    List.iter
-      (fun (col, model) ->
-        for i = 0 to d - 1 do
-          let pred =
-            baseline +. (alpha *. float_of_int (Bitops.popcount (model guess known.(i))))
+  let run () =
+    let scored = if Obs.enabled obs then Some (Atomic.make 0) else None in
+    let tick n = match scored with Some a -> ignore (Atomic.fetch_and_add a n) | None -> () in
+    let result =
+      match c.Ctx.backend with
+      | Stats.Pearson.Batch.Scalar ->
+          let cols =
+            List.map
+              (fun (s, model) ->
+                (Array.map (fun t -> t.(s)) traces, Hypothesis.Model.apply model))
+              parts
           in
-          let r = col.(i) -. pred in
-          err := !err +. (r *. r)
-        done)
-      cols;
-    -. !err /. float_of_int d
+          let score guess =
+            tick 1;
+            let err = ref 0. in
+            List.iter
+              (fun (col, model) ->
+                for i = 0 to d - 1 do
+                  let pred =
+                    baseline
+                    +. (alpha *. float_of_int (Bitops.popcount (model guess known.(i))))
+                  in
+                  let r = col.(i) -. pred in
+                  err := !err +. (r *. r)
+                done)
+              cols;
+            -. !err /. float_of_int d
+          in
+          rank_scores ~ctx:c ~score ~top candidates
+      | Stats.Pearson.Batch.Batched ->
+          (* Same additions in the same (part, trace) order as the scalar
+             arm, one running error per guess row — bit-identical scores;
+             split models additionally skip the per-guess operand digest
+             via the per-sweep prep table. *)
+          let cols =
+            List.map
+              (fun (s, model) ->
+                (Array.map (fun t -> t.(s)) traces, seg_src model known))
+              parts
+          in
+          let score_block guesses =
+            let g = Array.length guesses in
+            tick g;
+            let err = Array.make g 0. in
+            List.iter
+              (fun (col, src) ->
+                let gen =
+                  match src with
+                  | Tab (prepped, eval) ->
+                      fun gu i -> eval gu (Array.unsafe_get prepped i)
+                  | App f -> f
+                in
+                for r = 0 to g - 1 do
+                  let gu = Array.unsafe_get guesses r in
+                  let e = ref (Array.unsafe_get err r) in
+                  for i = 0 to d - 1 do
+                    let pred =
+                      baseline +. (alpha *. float_of_int (Bitops.popcount (gen gu i)))
+                    in
+                    let rr = Array.unsafe_get col i -. pred in
+                    e := !e +. (rr *. rr)
+                  done;
+                  Array.unsafe_set err r !e
+                done)
+              cols;
+            Array.map (fun e -> -. e /. float_of_int d) err
+          in
+          rank_block_scores ~ctx:c ~score_block ~top candidates
+    in
+    (match scored with
+    | Some a -> Obs.count obs "dema.guesses" (Atomic.get a)
+    | None -> ());
+    result
   in
-  Obs.span c.Ctx.obs "dema.rank_absolute"
-    ~fields:[ ("traces", Obs.Int d); ("top", Obs.Int top) ]
-    (fun () -> rank_scores ~ctx:c ~score ~top candidates)
+  Obs.span obs "dema.rank_absolute"
+    ~fields:
+      [
+        ("traces", Obs.Int d);
+        ("top", Obs.Int top);
+        ("backend", Obs.Str (backend_name c.Ctx.backend));
+      ]
+    run
 
 (* ---- streaming engine over an on-disk trace store ----
 
@@ -211,31 +329,80 @@ module Stream = struct
            (m.Tracestore.n * Leakage.events_per_coeff));
     m
 
-  let map_shards ?ctx ?jobs reader f =
+  let map_shards ?ctx ?jobs ?(on_corrupt = `Fail) ?(prefetch = true) reader f =
     let c = Ctx.resolve ?ctx ?jobs () in
     let obs = c.Ctx.obs in
     let m = check_meta reader in
     let shards = Tracestore.Reader.shard_count reader in
-    let idx = Seq.init shards Fun.id in
-    (* [done_] is a private worker-side Atomic feeding only the lossy
-       progress channel; the deterministic shard/byte/trace counters are
-       emitted below, after the join, from the owning domain. *)
+    (* [done_] and [skipped] are private worker-side Atomics; [done_]
+       feeds only the lossy progress channel and the deterministic
+       shard/byte/trace/skip counters are emitted below, after the join,
+       from the owning domain. *)
     let done_ = Atomic.make 0 in
+    let skipped = Atomic.make 0 in
+    let fetch i =
+      match Tracestore.Reader.read_shard reader i with
+      | Some records -> Some (Array.map (Leakage.of_record ~n:m.Tracestore.n) records)
+      | None -> (
+          (* the reader's [`Skip] policy swallowed a corrupt shard; a
+             silently shrunken campaign skews every downstream statistic,
+             so losing it must be loud unless the caller opted in *)
+          match on_corrupt with
+          | `Fail ->
+              failwith
+                (Printf.sprintf
+                   "Dema.Stream: shard %d is corrupt or unreadable; pass \
+                    ~on_corrupt:`Skip to drop it from the campaign"
+                   i)
+          | `Skip ->
+              Atomic.incr skipped;
+              None)
+      | exception Failure msg -> (
+          match on_corrupt with
+          | `Fail -> failwith msg
+          | `Skip ->
+              Atomic.incr skipped;
+              None)
+    in
+    let progress () =
+      if Obs.enabled obs then
+        Obs.progress ~total:shards obs "shards" (1 + Atomic.fetch_and_add done_ 1)
+    in
     let results =
-      List.filter_map Fun.id
-        (Parallel.map_chunks ~jobs:c.Ctx.jobs ~chunk:1
-           ~map:(fun _ chunk ->
-             let i = chunk.(0) in
-             let r =
-               match Tracestore.Reader.read_shard reader i with
-               | None -> None
-               | Some records ->
-                   Some (f i (Array.map (Leakage.of_record ~n:m.Tracestore.n) records))
-             in
-             if Obs.enabled obs then
-               Obs.progress ~total:shards obs "shards" (1 + Atomic.fetch_and_add done_ 1);
-             r)
-           idx)
+      if c.Ctx.jobs = 1 && prefetch && shards > 1 then begin
+        (* single-job pipeline: a helper domain reads and decodes shard
+           i+1 while the owner runs [f] on shard i, overlapping IO with
+           scoring.  Results are consumed strictly in shard order, so the
+           outcome is the sequential one. *)
+        let out = ref [] in
+        let next = ref (Some (Domain.spawn (fun () -> fetch 0))) in
+        Fun.protect
+          ~finally:(fun () ->
+            match !next with
+            | Some dm -> ( try ignore (Domain.join dm) with _ -> ())
+            | None -> ())
+          (fun () ->
+            for i = 0 to shards - 1 do
+              let cur = Domain.join (Option.get !next) in
+              next :=
+                if i + 1 < shards then Some (Domain.spawn (fun () -> fetch (i + 1)))
+                else None;
+              (match cur with
+              | Some traces -> out := f i traces :: !out
+              | None -> ());
+              progress ()
+            done);
+        List.rev !out
+      end
+      else
+        List.filter_map Fun.id
+          (Parallel.map_chunks ~jobs:c.Ctx.jobs ~chunk:1
+             ~map:(fun _ chunk ->
+               let i = chunk.(0) in
+               let r = Option.map (f i) (fetch i) in
+               progress ();
+               r)
+             (Seq.init shards Fun.id))
     in
     if Obs.enabled obs then begin
       let bytes = ref 0 and traces = ref 0 in
@@ -246,15 +413,17 @@ module Stream = struct
       done;
       Obs.count obs "tracestore.shards" shards;
       Obs.count obs "tracestore.bytes" !bytes;
-      Obs.count obs "tracestore.traces" !traces
+      Obs.count obs "tracestore.traces" !traces;
+      let sk = Atomic.get skipped in
+      if sk > 0 then Obs.count obs "dema.shards_skipped" sk
     end;
     results
 
-  let extract ?ctx ?jobs reader ~samples ~known =
+  let extract ?ctx ?jobs ?on_corrupt ?prefetch reader ~samples ~known =
     let c = Ctx.resolve ?ctx ?jobs () in
     let samples = Array.of_list samples in
     let pieces =
-      map_shards ~ctx:c reader (fun _ traces ->
+      map_shards ~ctx:c ?on_corrupt ?prefetch reader (fun _ traces ->
           ( Array.map
               (fun (t : Leakage.trace) -> Array.map (fun s -> t.samples.(s)) samples)
               traces,
@@ -263,23 +432,146 @@ module Stream = struct
     ( Array.concat (List.map fst pieces),
       Array.concat (List.map snd pieces) )
 
-  let rank ?ctx ?jobs ?backend reader ~parts ~known ~top candidates =
+  (* Streaming rank never materialises the campaign: each shard yields a
+     per-part column segment plus its known operands, global column
+     moments come from one sequential pass over the segments in shard
+     order (the very additions [column_stats] makes on the concatenated
+     column), and both backends then score the segments in shard order —
+     the scalar arm with running corr_with accumulators, the batched arm
+     by folding each part group's Fused accumulator across segments.
+     Every addition lands in the same accumulator in the same global
+     trace order as the in-memory sweep, so results are bit-identical to
+     [Dema.rank] on the extracted campaign at every [jobs] and backend. *)
+  let rank ?ctx ?jobs ?backend ?on_corrupt ?prefetch reader ~parts ~known ~top
+      candidates =
     let c = Ctx.resolve ?ctx ?jobs ?backend () in
-    Obs.span c.Ctx.obs "dema.stream.rank"
-      ~fields:[ ("shards", Obs.Int (Tracestore.Reader.shard_count reader)) ]
-      (fun () ->
-        let traces, ks =
-          extract ~ctx:c reader ~samples:(List.map fst parts) ~known
-        in
-        let narrow_parts = List.mapi (fun i (_, model) -> (i, model)) parts in
-        rank ~ctx:c ~traces ~parts:narrow_parts ~known:ks ~top candidates)
+    let obs = c.Ctx.obs in
+    let run () =
+      let samples = Array.of_list (List.map fst parts) in
+      let nsamp = Array.length samples in
+      let pieces =
+        Obs.span ~level:Obs.Debug obs "dema.stream.extract" (fun () ->
+            Array.of_list
+              (map_shards ~ctx:c ?on_corrupt ?prefetch reader (fun _ traces ->
+                   let pd = Array.length traces in
+                   ( Array.init nsamp (fun j ->
+                         let s = samples.(j) in
+                         Array.init pd (fun i -> traces.(i).Leakage.samples.(s))),
+                     Array.map known traces ))))
+      in
+      let total_d = Array.fold_left (fun a (_, ks) -> a + Array.length ks) 0 pieces in
+      let nf = float_of_int total_d in
+      let scored = if Obs.enabled obs then Some (Atomic.make 0) else None in
+      let tick n = match scored with Some a -> ignore (Atomic.fetch_and_add a n) | None -> () in
+      (* whole-campaign column moments, accumulated segment by segment in
+         shard order — bit-identical to [column_stats] on the
+         concatenated column *)
+      let stats =
+        Array.init nsamp (fun j ->
+            let s = ref 0. and ss = ref 0. in
+            Array.iter
+              (fun (cols, _) ->
+                let col = cols.(j) in
+                for i = 0 to Array.length col - 1 do
+                  let v = Array.unsafe_get col i in
+                  s := !s +. v;
+                  ss := !ss +. (v *. v)
+                done)
+              pieces;
+            (!s, !ss -. (!s *. !s /. nf)))
+      in
+      let result =
+        match c.Ctx.backend with
+        | Stats.Pearson.Batch.Scalar ->
+            let models =
+              Array.of_list (List.map (fun (_, m) -> Hypothesis.Model.apply m) parts)
+            in
+            let score guess =
+              tick 1;
+              let acc = ref 0. in
+              for j = 0 to nsamp - 1 do
+                let model = models.(j) in
+                let sh = ref 0. and shh = ref 0. and sht = ref 0. in
+                Array.iter
+                  (fun (cols, ks) ->
+                    let col = cols.(j) in
+                    for i = 0 to Array.length ks - 1 do
+                      let x = float_of_int (Bitops.popcount (model guess ks.(i))) in
+                      sh := !sh +. x;
+                      shh := !shh +. (x *. x);
+                      sht := !sht +. (x *. Array.unsafe_get col i)
+                    done)
+                  pieces;
+                let sum_t, var_t = stats.(j) in
+                let vh = !shh -. (!sh *. !sh /. nf) in
+                let cov = !sht -. (!sh *. sum_t /. nf) in
+                let r =
+                  if vh <= 0. || var_t <= 0. then 0. else cov /. sqrt (vh *. var_t)
+                in
+                acc := !acc +. Float.abs r
+              done;
+              !acc
+            in
+            rank_scores ~ctx:c ~score ~top candidates
+        | Stats.Pearson.Batch.Batched ->
+            let groups =
+              Obs.span ~level:Obs.Debug obs "dema.prep" (fun () ->
+                  List.map
+                    (fun (m, js) ->
+                      (js, Array.map (fun (_, ks) -> seg_src m ks) pieces))
+                    (group_parts (List.mapi (fun j (_, m) -> (j, m)) parts)))
+            in
+            let score_block guesses =
+              let g = Array.length guesses in
+              tick g;
+              let scores = Array.make g 0. in
+              List.iter
+                (fun (js, srcs) ->
+                  let acc =
+                    Stats.Pearson.Batch.Fused.create ~rows:g ~ncols:(Array.length js)
+                  in
+                  Array.iteri
+                    (fun pi (cols, ks) ->
+                      seg_fold acc srcs.(pi)
+                        ~cols:(Array.map (fun j -> cols.(j)) js)
+                        ~len:(Array.length ks) guesses)
+                    pieces;
+                  Array.iteri
+                    (fun ci j ->
+                      let sum_t, var_t = stats.(j) in
+                      let rs =
+                        Stats.Pearson.Batch.Fused.corr acc ~index:ci ~n:total_d
+                          ~sum_t ~var_t
+                      in
+                      for i = 0 to g - 1 do
+                        scores.(i) <- scores.(i) +. Float.abs rs.(i)
+                      done)
+                    js)
+                groups;
+              scores
+            in
+            Obs.span ~level:Obs.Debug obs "dema.score" (fun () ->
+                rank_block_scores ~ctx:c ~score_block ~top candidates)
+      in
+      (match scored with
+      | Some a -> Obs.count obs "dema.guesses" (Atomic.get a)
+      | None -> ());
+      result
+    in
+    Obs.span obs "dema.stream.rank"
+      ~fields:
+        [
+          ("shards", Obs.Int (Tracestore.Reader.shard_count reader));
+          ("backend", Obs.Str (backend_name c.Ctx.backend));
+        ]
+      run
 
-  let evolution ?ctx ?jobs reader ~sample ~model ~known ~guess =
+  let evolution ?ctx ?jobs ?on_corrupt ?prefetch reader ~sample ~model ~known ~guess =
     let c = Ctx.resolve ?ctx ?jobs () in
     if Tracestore.Reader.total_traces reader = 0 then
       failwith "Dema.Stream.evolution: store holds no traces (empty campaign)";
     let per_shard =
-      map_shards ~ctx:c reader (fun _ traces ->
+      map_shards ~ctx:c ?on_corrupt ?prefetch reader (fun _ traces ->
           let acc = Stats.Welford.Cov.create () in
           Array.iter
             (fun (t : Leakage.trace) ->

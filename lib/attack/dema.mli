@@ -57,7 +57,7 @@ val rank :
   ?jobs:int ->
   ?backend:Stats.Pearson.Batch.backend ->
   traces:float array array ->
-  parts:(int * (int -> 'k -> int)) list ->
+  parts:(int * 'k Hypothesis.Model.t) list ->
   known:'k array ->
   top:int ->
   int Seq.t ->
@@ -67,21 +67,27 @@ val rank :
     modelled leakage [HW (model guess known.(d))] and the trace column at
     the part's sample index, streaming the candidate sequence with
     O(top) memory per domain.  Returns the [top] best, sorted by
-    {!compare_scored}.  [model guess y] is the predicted intermediate of
-    a trace whose known operand is [y].
+    {!compare_scored}.  A part's {!Hypothesis.Model.t} predicts the
+    integer intermediate of a trace whose known operand is [y].
 
     [backend] (default {!Stats.Pearson.Batch.default_backend}, i.e. the
     batched kernel unless [FD_PEARSON=scalar]) selects between the
-    historical per-guess [hyp_vector]/[corr_with] loop and the
-    hypothesis-block kernel that scores {!batch_rows}-guess blocks from
-    a per-domain reusable Bigarray.  Both produce bit-identical scores,
-    hence bit-identical rankings, at every [jobs]. *)
+    historical per-guess [hyp_vector]/[corr_with] loop and the fused
+    kernel ({!Stats.Pearson.Batch.Fused}) that generates hypothesis
+    intermediates on the fly inside register tiles — no per-guess
+    vectors, no [G x D] block.  Consecutive parts sharing one model
+    value (physical equality) are scored from a single generated
+    stream, and {!Hypothesis.Model.Split} models additionally hoist the
+    known-operand digest into a per-sweep prep table.  Both backends
+    produce bit-identical scores, hence bit-identical rankings, at every
+    [jobs]. *)
 
 val rank_absolute :
   ?ctx:Ctx.t ->
   ?jobs:int ->
+  ?backend:Stats.Pearson.Batch.backend ->
   traces:float array array ->
-  parts:(int * (int -> 'k -> int)) list ->
+  parts:(int * 'k Hypothesis.Model.t) list ->
   known:'k array ->
   top:int ->
   alpha:float ->
@@ -96,7 +102,9 @@ val rank_absolute :
     hypotheses that differ by a per-trace constant (see
     {!Recover.attack_exponent}).  [alpha] and [baseline] come from
     {!Calibrate.estimate} — i.e. from the same traces, not from a
-    profiling device. *)
+    profiling device.  [backend] dispatches like {!rank} (the batched
+    arm keeps one running error per guess row, same additions in the
+    same order — bit-identical scores). *)
 
 (** Streaming engine over an on-disk {!Tracestore} campaign: the same
     distinguishers without ever materialising the corpus.  Shards are
@@ -104,30 +112,48 @@ val rank_absolute :
     is bounded by [jobs] decoded shards plus the extracted columns /
     accumulators) and combined in shard order.
 
-    {b Determinism.}  Column extraction is arithmetic-free, so
-    {!Stream.rank} is {e bit-identical} to the in-memory {!rank} over
-    the same traces, at every [jobs].  {!Stream.evolution} merges
+    {b Determinism.}  Column extraction is arithmetic-free and both
+    rank backends replay the in-memory sweep's additions in global trace
+    order across shard segments, so {!Stream.rank} is {e bit-identical}
+    to the in-memory {!rank} over the same traces, at every [jobs] and
+    backend, with prefetch on or off.  {!Stream.evolution} merges
     {!Stats.Welford.Cov} accumulators in shard order (Chan's formula):
     deterministic at every [jobs], and equal to a prefix rescan up to
     floating-point reassociation (1e-9 in the property tests).
 
-    All entry points raise [Failure] if the store's sample width does
-    not match its ring size, or (under the reader's [`Fail] policy) if
-    a shard is corrupt; under [`Skip] corrupt shards are dropped from
-    the analysis and recorded on the reader. *)
+    {b Corrupt shards.}  All entry points raise [Failure] if the store's
+    sample width does not match its ring size.  A shard the reader
+    cannot produce — its own [`Fail] policy raised, or its [`Skip]
+    policy returned [None] — is a {e data error} by default
+    ([?on_corrupt] = [`Fail]): the sweep fails naming the shard index
+    rather than silently analysing a shrunken campaign.  Passing
+    [~on_corrupt:`Skip] drops such shards from the analysis; each drop
+    is counted on the ["dema.shards_skipped"] observability counter
+    (emitted only when non-zero).
+
+    {b Prefetch.}  With [jobs = 1] and [?prefetch] [true] (the default),
+    a helper domain reads and decodes shard [i+1] while shard [i] is
+    being consumed, overlapping IO/decode with scoring; results are
+    still consumed strictly in shard order.  With [jobs > 1] the domain
+    pool already overlaps shards and the flag is ignored. *)
 module Stream : sig
   val map_shards :
     ?ctx:Ctx.t ->
     ?jobs:int ->
+    ?on_corrupt:[ `Fail | `Skip ] ->
+    ?prefetch:bool ->
     Tracestore.Reader.t ->
     (int -> Leakage.trace array -> 'a) ->
     'a list
-  (** Decode every (readable) shard into full traces on the domain pool
-      and return per-shard results in shard order. *)
+  (** Decode every shard into full traces on the domain pool and return
+      per-shard results in shard order.  Raises [Failure] naming the
+      shard on an unreadable shard unless [~on_corrupt:`Skip]. *)
 
   val extract :
     ?ctx:Ctx.t ->
     ?jobs:int ->
+    ?on_corrupt:[ `Fail | `Skip ] ->
+    ?prefetch:bool ->
     Tracestore.Reader.t ->
     samples:int list ->
     known:(Leakage.trace -> 'k) ->
@@ -139,21 +165,27 @@ module Stream : sig
     ?ctx:Ctx.t ->
     ?jobs:int ->
     ?backend:Stats.Pearson.Batch.backend ->
+    ?on_corrupt:[ `Fail | `Skip ] ->
+    ?prefetch:bool ->
     Tracestore.Reader.t ->
-    parts:(int * (int -> 'k -> int)) list ->
+    parts:(int * 'k Hypothesis.Model.t) list ->
     known:(Leakage.trace -> 'k) ->
     top:int ->
     int Seq.t ->
     scored list
   (** Store-backed {!rank}: part sample indices are {e absolute} trace
       sample positions (e.g. from [Leakage.sample_of]); [known] maps a
-      trace to the operand fed to the part models.  [backend] is passed
-      through to the in-memory {!rank} — both backends are bit-identical
-      here too. *)
+      trace to the operand fed to the part models.  The campaign is
+      never concatenated: each shard contributes per-part column
+      segments that both backends score in shard order with running
+      accumulators, finalised against whole-campaign column moments —
+      bit-identical to the in-memory {!rank} on the extracted corpus. *)
 
   val evolution :
     ?ctx:Ctx.t ->
     ?jobs:int ->
+    ?on_corrupt:[ `Fail | `Skip ] ->
+    ?prefetch:bool ->
     Tracestore.Reader.t ->
     sample:int ->
     model:(int -> 'k -> int) ->

@@ -73,7 +73,7 @@ let recover_key ?ctx ?jobs ~traces ~h strategy =
    recovered key is bit-identical to [recover_key] at every [jobs];
    peak memory is one decoded shard per domain plus the extracted
    windows, never the whole campaign. *)
-let store_views ~ctx ~reader ~coeff ~component =
+let store_views ?on_corrupt ?prefetch ~ctx ~reader ~coeff ~component () =
   let muls = match component with `Re -> [ 0; 3 ] | `Im -> [ 1; 2 ] in
   let samples =
     List.concat_map
@@ -86,7 +86,8 @@ let store_views ~ctx ~reader ~coeff ~component =
     (t.c_fft.Fft.re.(coeff), t.c_fft.Fft.im.(coeff))
   in
   let narrow, ks =
-    Dema.Stream.extract ~ctx:(Ctx.sequential ctx) reader ~samples ~known
+    Dema.Stream.extract ~ctx:(Ctx.sequential ctx) ?on_corrupt ?prefetch reader
+      ~samples ~known
   in
   List.mapi
     (fun vi m ->
@@ -99,18 +100,20 @@ let store_views ~ctx ~reader ~coeff ~component =
       })
     muls
 
-let recover_f_fft_store ?ctx ?jobs ~reader strategy =
+let recover_f_fft_store ?ctx ?jobs ?on_corrupt ?prefetch ~reader strategy =
   let c = Ctx.resolve ?ctx ?jobs () in
   let n = (Tracestore.Reader.meta reader).Tracestore.n in
   Obs.span c.Ctx.obs "fullkey.recover_f_fft_store"
     ~fields:[ ("n", Obs.Int n); ("jobs", Obs.Int c.Ctx.jobs) ]
   @@ fun () ->
   fan_tasks ~ctx:c ~n (fun ~tctx ~coeff ~component ->
-      let views = store_views ~ctx:tctx ~reader ~coeff ~component in
+      let views =
+        store_views ?on_corrupt ?prefetch ~ctx:tctx ~reader ~coeff ~component ()
+      in
       let mul = match component with `Re -> 0 | `Im -> 1 in
       Recover.coefficient ~ctx:tctx ~strategy:(strategy ~coeff ~mul) views)
 
-let recover_key_store ?ctx ?jobs ~reader ~h strategy =
+let recover_key_store ?ctx ?jobs ?on_corrupt ?prefetch ~reader ~h strategy =
   let n = Array.length h in
   let store_n = (Tracestore.Reader.meta reader).Tracestore.n in
   if store_n <> n then
@@ -119,7 +122,7 @@ let recover_key_store ?ctx ?jobs ~reader ~h strategy =
          "Fullkey.recover_key_store: store holds FALCON-%d traces but the public key \
           is FALCON-%d"
          store_n n);
-  let f_fft = recover_f_fft_store ?ctx ?jobs ~reader strategy in
+  let f_fft = recover_f_fft_store ?ctx ?jobs ?on_corrupt ?prefetch ~reader strategy in
   let f = Fft.round_to_int (Fft.ifft f_fft) in
   let keypair = Ntru.Ntrugen.recover_from_f ~n ~f ~h in
   { f_fft; f; keypair }

@@ -50,6 +50,8 @@ val recover_key :
 val recover_f_fft_store :
   ?ctx:Ctx.t ->
   ?jobs:int ->
+  ?on_corrupt:[ `Fail | `Skip ] ->
+  ?prefetch:bool ->
   reader:Tracestore.Reader.t ->
   (coeff:int -> mul:int -> Recover.strategy) ->
   Fft.t
@@ -58,17 +60,23 @@ val recover_f_fft_store :
     only its two 16-sample windows, so peak memory is bounded by one
     decoded shard per domain plus O(traces) extracted window floats —
     never the whole campaign.  Bit-identical to the in-memory path over
-    the same traces, at every [jobs]. *)
+    the same traces, at every [jobs].  [on_corrupt] and [prefetch] are
+    forwarded to {!Dema.Stream.extract}: by default a corrupt shard
+    fails the whole recovery loudly. *)
 
 val recover_key_store :
   ?ctx:Ctx.t ->
   ?jobs:int ->
+  ?on_corrupt:[ `Fail | `Skip ] ->
+  ?prefetch:bool ->
   reader:Tracestore.Reader.t ->
   h:int array ->
   (coeff:int -> mul:int -> Recover.strategy) ->
   result
 (** [recover_key] reading from a trace store.  Raises [Failure] if the
-    store's ring size disagrees with the public key. *)
+    store's ring size disagrees with the public key, or (by default) if
+    any shard is corrupt — pass [~on_corrupt:`Skip] to drop bad shards
+    from the campaign instead. *)
 
 val count_correct : Fft.t -> truth:Fft.t -> int
 (** Number of bit-exact coefficient matches (out of 2n values). *)

@@ -31,6 +31,32 @@ let sampled rng ~width ?(lo = 0) ~truth ~decoys () =
   Stats.Rng.shuffle rng out;
   out
 
+(* ---- leakage models as first-class values ----
+
+   A sweep evaluates [model guess known.(i)] G x D times; for the
+   paper's integer datapath models the known operand's contribution is a
+   pure function of the operand alone (bit-slices of its significand,
+   its exponent...).  A [Split] model names that factorisation so the
+   engine can precompute the per-trace part once per sweep and run the
+   candidate loop on plain integers — the difference between the
+   batched backend tracking or trouncing the scalar one. *)
+module Model = struct
+  type 'k t =
+    | Fn of (int -> 'k -> int)
+    | Split of ('k -> int) * (int -> int -> int)
+
+  let fn f = Fn f
+  let split ~prep ~eval = Split (prep, eval)
+
+  let apply = function
+    | Fn f -> f
+    | Split (prep, eval) -> fun g y -> eval g (prep y)
+
+  let contramap f = function
+    | Fn m -> Fn (fun g j -> m g (f j))
+    | Split (prep, eval) -> Split ((fun j -> prep (f j)), eval)
+end
+
 (* ---- reusable hypothesis-block builder ----
 
    The batched distinguisher scores a whole block of guesses against one

@@ -24,6 +24,39 @@ val sampled :
     +/-1 neighbours, and [decoys] uniform values in [\[lo, 2^width)];
     deduplicated and shuffled. *)
 
+(** A leakage model as a first-class value.  [apply m guess y] is the
+    modelled integer intermediate of a trace whose known operand is [y];
+    the predicted leakage is its Hamming weight.
+
+    A {!split} model additionally exposes the factorisation
+    [apply g y = eval g (prep y)]: [prep] digests the known operand once
+    (bit-slices of its significand, its exponent, a packed tuple...),
+    [eval] combines it with the guess using integer arithmetic only.
+    The sweep engines precompute [prep] over the known operands once per
+    sweep and drive the fused kernel with [eval] on plain [int]s —
+    {!fn} models work everywhere but repay the full per-element model
+    cost on every guess.  The two forms must agree exactly (integers),
+    which makes every backend bit-identical. *)
+module Model : sig
+  type 'k t =
+    | Fn of (int -> 'k -> int)
+    | Split of ('k -> int) * (int -> int -> int)
+
+  val fn : (int -> 'k -> int) -> 'k t
+  (** Wrap a plain model function. *)
+
+  val split : prep:('k -> int) -> eval:(int -> int -> int) -> 'k t
+  (** [split ~prep ~eval] — the caller asserts
+      [eval g (prep y) = apply g y] for all inputs. *)
+
+  val apply : 'k t -> int -> 'k -> int
+  (** Evaluate on the original operand type. *)
+
+  val contramap : ('j -> 'k) -> 'k t -> 'j t
+  (** Precompose the known-operand side (e.g. index into a view's
+      operand array); a split model stays split. *)
+end
+
 (** Reusable [G x D] hypothesis-block builder feeding the batched
     Pearson kernel ({!Stats.Pearson.Batch}).  One {!fill} replaces [G]
     per-guess [Dema.hyp_vector] allocations with writes into a single

@@ -48,11 +48,52 @@ let m_zhigh ~d e y =
   let z1 = m_z1 ~d e y in
   (e * a28 y) + (w01 lsr 25) + (w10 lsr 25) + (z1 lsr 25)
 
+(* ---- split forms ----
+
+   Every model above touches the known operand only through a few small
+   integer digests (B, A, its sign, its exponent), so each factors as a
+   {!Hypothesis.Model.Split}: [prep] digests the operand once per sweep,
+   [eval] runs the candidate loop on plain ints inside the fused kernel.
+   [eval g (prep y)] equals the plain model exactly — integer arithmetic
+   in a different grouping — so backends stay bit-identical. *)
+
+(* B and A packed into one word: B is 25 bits, A is 28, total 53 < 63. *)
+let pack_ba y = b25 y lor (a28 y lsl 25)
+
+let p_sign = Hypothesis.Model.split ~prep:Fpr.sign_bit ~eval:(fun g s -> g lxor s)
+
+let p_exp =
+  Hypothesis.Model.split ~prep:Fpr.biased_exponent
+    ~eval:(fun g e -> (g + e - 2100) land 0xFFFFFFFF)
+
+let p_w00 = Hypothesis.Model.split ~prep:b25 ~eval:( * )
+let p_w10 = Hypothesis.Model.split ~prep:a28 ~eval:( * )
+let p_w01 = Hypothesis.Model.split ~prep:b25 ~eval:( * )
+let p_w11 = Hypothesis.Model.split ~prep:a28 ~eval:( * )
+
+let p_z1a =
+  Hypothesis.Model.split ~prep:pack_ba ~eval:(fun d p ->
+      let b = p land m25 and a = p lsr 25 in
+      ((d * b) lsr 25) + ((d * a) land m25))
+
+let p_z1 ~d =
+  Hypothesis.Model.split ~prep:pack_ba ~eval:(fun e p ->
+      let b = p land m25 and a = p lsr 25 in
+      ((d * b) lsr 25) + ((d * a) land m25) + ((e * b) land m25))
+
+let p_zhigh ~d =
+  Hypothesis.Model.split ~prep:pack_ba ~eval:(fun e p ->
+      let b = p land m25 and a = p lsr 25 in
+      let w01 = e * b and w10 = d * a in
+      let z1 = ((d * b) lsr 25) + ((d * a) land m25) + (w01 land m25) in
+      (e * a) + (w01 lsr 25) + (w10 lsr 25) + (z1 lsr 25))
+
 (* ---- joint machinery over one or several windows ----
 
    A combined problem concatenates the windows of every view and indexes
-   traces by position; per-view stage models close over that view's known
-   operands. *)
+   traces by position; per-view stage models are precomposed with that
+   view's known-operand lookup ({!Hypothesis.Model.contramap}), so split
+   models stay split across the index indirection. *)
 
 let combine views =
   match views with
@@ -71,7 +112,8 @@ let spread_parts views stage =
        (fun j v ->
          List.map
            (fun (lbl, m) ->
-             ((j * Leakage.events_per_mul) + sample lbl, fun g i -> m g v.known.(i)))
+             ( (j * Leakage.events_per_mul) + sample lbl,
+               Hypothesis.Model.contramap (fun i -> v.known.(i)) m ))
            stage)
        views)
 
@@ -91,21 +133,34 @@ let attack_sign v =
    that is why the divide-and-conquer runs the mantissa first. *)
 let m_result_hi ~mant ~sign =
   let x0 = Fpr.make ~sign:0 ~exp:1023 ~mant in
-  let cache : (Fpr.t, int * int * int) Hashtbl.t = Hashtbl.create 64 in
   fun g y ->
-    let delta, hi20, sy =
-      match Hashtbl.find_opt cache y with
-      | Some t -> t
-      | None ->
-          let r0 = Fpr.mul x0 y in
-          let t =
-            (Fpr.biased_exponent r0 - 1023, Fpr.mantissa r0 lsr 32, Fpr.sign_bit y)
-          in
-          Hashtbl.add cache y t;
-          t
-    in
-    let e_res = (g + delta) land 0x7FF in
-    (((sign lxor sy) lsl 31) lor (e_res lsl 20) lor hi20) land 0xFFFFFFFF
+    let r0 = Fpr.mul x0 y in
+    let e_res = (g + Fpr.biased_exponent r0 - 1023) land 0x7FF in
+    (((sign lxor Fpr.sign_bit y) lsl 31) lor (e_res lsl 20) lor (Fpr.mantissa r0 lsr 32))
+    land 0xFFFFFFFF
+
+(* Split form of the high-word model: the per-operand mantissa product
+   and exponent carry are digested into one packed word — 12 bits of
+   (delta + 2048), 20 of the result's top mantissa bits, 1 of the
+   operand's sign.  Replaces the old per-closure memo table (which was
+   mutated from every worker domain) with a per-sweep prep table. *)
+let prep_hi ~mant =
+  let x0 = Fpr.make ~sign:0 ~exp:1023 ~mant in
+  fun y ->
+    let r0 = Fpr.mul x0 y in
+    ((Fpr.biased_exponent r0 - 1023 + 2048) lsl 21)
+    lor ((Fpr.mantissa r0 lsr 32) lsl 1)
+    lor Fpr.sign_bit y
+
+let eval_hi ~sign g p =
+  let sy = p land 1 in
+  let hi20 = (p lsr 1) land 0xFFFFF in
+  let delta = (p lsr 21) - 2048 in
+  let e_res = (g + delta) land 0x7FF in
+  (((sign lxor sy) lsl 31) lor (e_res lsl 20) lor hi20) land 0xFFFFFFFF
+
+let p_result_hi ~mant ~sign =
+  Hypothesis.Model.split ~prep:(prep_hi ~mant) ~eval:(eval_hi ~sign)
 
 (* Hypotheses e and e + 64k predict Hamming weights that differ by a
    per-trace constant over the narrow FFT(c) exponent spread, so Pearson
@@ -135,19 +190,22 @@ let sign_exponent_multi ?ctx ?jobs ?(exp_candidates = default_exponent_window) ~
   @@ fun () ->
   let alpha, baseline = calibrate_views views in
   let traces, idx = combine views in
-  let hi_model_pos = m_result_hi ~mant ~sign:0 in
-  let hi_model_neg = m_result_hi ~mant ~sign:1 in
   let candidates =
     Seq.concat_map (fun e -> List.to_seq [ e; (1 lsl 11) lor e ]) exp_candidates
   in
+  (* the 12-bit joint guess packs (sign << 11) | exponent; each part's
+     eval unpacks it, so all three stay split models *)
   let stage =
     [
-      (Fpr.Exp_sum, fun g y -> m_exp (g land 0x7FF) y);
-      (Fpr.Sign_xor, fun g y -> m_sign (g lsr 11) y);
+      ( Fpr.Exp_sum,
+        Hypothesis.Model.split ~prep:Fpr.biased_exponent ~eval:(fun g e ->
+            ((g land 0x7FF) + e - 2100) land 0xFFFFFFFF) );
+      ( Fpr.Sign_xor,
+        Hypothesis.Model.split ~prep:Fpr.sign_bit ~eval:(fun g s -> (g lsr 11) lxor s)
+      );
       ( Fpr.Result_hi,
-        fun g y ->
-          if g lsr 11 = 0 then hi_model_pos (g land 0x7FF) y
-          else hi_model_neg (g land 0x7FF) y );
+        Hypothesis.Model.split ~prep:(prep_hi ~mant) ~eval:(fun g p ->
+            eval_hi ~sign:(g lsr 11) (g land 0x7FF) p) );
     ]
   in
   let ranked =
@@ -171,7 +229,10 @@ let attack_exponent ?ctx ?jobs ?candidates ~mant ~sign v =
   let ranked =
     Dema.rank_absolute ~ctx:c ~traces:v.traces
       ~parts:
-        [ (sample Fpr.Exp_sum, m_exp); (sample Fpr.Result_hi, m_result_hi ~mant ~sign) ]
+        [
+          (sample Fpr.Exp_sum, p_exp);
+          (sample Fpr.Result_hi, p_result_hi ~mant ~sign);
+        ]
       ~known:v.known ~top:8 ~alpha ~baseline candidates
   in
   match ranked with
@@ -212,7 +273,7 @@ let extend_prune_multi ?ctx ?jobs ?backend ~top ~candidates ~extend_stage ~prune
 
 (* Extend phase: correlate the guess against both partial products
    (D x B at the w00 sample, D x A at the w10 sample) — Section III-C. *)
-let low_extend_stage = [ (Fpr.Mant_w00, m_w00); (Fpr.Mant_w10, m_w10) ]
+let low_extend_stage = [ (Fpr.Mant_w00, p_w00); (Fpr.Mant_w10, p_w10) ]
 
 let mantissa_low_multi ?ctx ?jobs ?backend ?(top = 16) ~candidates views =
   let c = Ctx.resolve ?ctx ?jobs ?backend () in
@@ -220,7 +281,7 @@ let mantissa_low_multi ?ctx ?jobs ?backend ?(top = 16) ~candidates views =
     ~fields:[ ("part", Obs.Str "low25"); ("views", Obs.Int (List.length views)) ]
     (fun () ->
       extend_prune_multi ~ctx:c ~top ~candidates ~extend_stage:low_extend_stage
-        ~prune_stage:[ (Fpr.Mant_z1a, m_z1a) ]
+        ~prune_stage:[ (Fpr.Mant_z1a, p_z1a) ]
         views)
 
 let attack_mantissa_low ?ctx ?jobs ?backend ?top ~candidates v =
@@ -229,7 +290,7 @@ let attack_mantissa_low ?ctx ?jobs ?backend ?top ~candidates v =
 let attack_mantissa_low_naive ?ctx ?jobs ?backend ?(top = 16) ~candidates v =
   let c = Ctx.resolve ?ctx ?jobs ?backend () in
   Dema.rank ~ctx:c ~traces:v.traces
-    ~parts:[ (sample Fpr.Mant_w00, m_w00); (sample Fpr.Mant_w10, m_w10) ]
+    ~parts:[ (sample Fpr.Mant_w00, p_w00); (sample Fpr.Mant_w10, p_w10) ]
     ~known:v.known ~top candidates
 
 let mantissa_high_multi ?ctx ?jobs ?backend ?(top = 16) ~candidates ~d views =
@@ -238,12 +299,8 @@ let mantissa_high_multi ?ctx ?jobs ?backend ?(top = 16) ~candidates ~d views =
     ~fields:[ ("part", Obs.Str "high28"); ("views", Obs.Int (List.length views)) ]
     (fun () ->
       extend_prune_multi ~ctx:c ~top ~candidates
-        ~extend_stage:[ (Fpr.Mant_w01, m_w01); (Fpr.Mant_w11, m_w11) ]
-        ~prune_stage:
-          [
-            (Fpr.Mant_z1, (fun e y -> m_z1 ~d e y));
-            (Fpr.Mant_zhigh, (fun e y -> m_zhigh ~d e y));
-          ]
+        ~extend_stage:[ (Fpr.Mant_w01, p_w01); (Fpr.Mant_w11, p_w11) ]
+        ~prune_stage:[ (Fpr.Mant_z1, p_z1 ~d); (Fpr.Mant_zhigh, p_zhigh ~d) ]
         views)
 
 let attack_mantissa_high ?ctx ?jobs ?backend ?top ~candidates ~d v =

@@ -49,8 +49,31 @@ val m_zhigh : d:int -> int -> Fpr.t -> int
 
 val m_result_hi : mant:int -> sign:int -> int -> Fpr.t -> int
 (** guess = biased exponent; predicted high 32-bit word of the stored
-    result, given the recovered mantissa and sign (memoises the per-known
-    mantissa product and exponent carry). *)
+    result, given the recovered mantissa and sign. *)
+
+(** {2 Split forms}
+
+    The same models as {!Hypothesis.Model.Split} values: the known
+    operand is digested once per sweep ([prep]) and the candidate loop
+    runs on plain ints ([eval]) inside the fused Pearson kernel.  For
+    every model, [eval g (prep y) = m_* g y] exactly (integer
+    arithmetic), so rankings are bit-identical to the plain functions on
+    either backend. *)
+
+val p_sign : Fpr.t Hypothesis.Model.t
+val p_exp : Fpr.t Hypothesis.Model.t
+val p_w00 : Fpr.t Hypothesis.Model.t
+val p_w10 : Fpr.t Hypothesis.Model.t
+val p_z1a : Fpr.t Hypothesis.Model.t
+val p_w01 : Fpr.t Hypothesis.Model.t
+val p_w11 : Fpr.t Hypothesis.Model.t
+val p_z1 : d:int -> Fpr.t Hypothesis.Model.t
+val p_zhigh : d:int -> Fpr.t Hypothesis.Model.t
+
+val p_result_hi : mant:int -> sign:int -> Fpr.t Hypothesis.Model.t
+(** Split {!m_result_hi}: the per-operand product digest lives in the
+    prep table instead of a closure-local memo (the old memo was mutated
+    from every worker domain). *)
 
 (** {1 Component attacks} *)
 

@@ -323,6 +323,229 @@ module Batch = struct
         let cov = sht.(r) -. (sh.(r) *. sum_t /. nf) in
         if vh <= 0. || var_t <= 0. then 0. else cov /. sqrt (vh *. var_t))
 
+  (* ---- fused hypothesis/correlation kernel ----
+
+     The blocked kernel above still pays a G x D Bigarray fill per
+     (slice, part).  The fused kernel skips the block entirely: a row
+     generator produces the modelled *integer* intermediate on the fly
+     and the tile computes [float (popcount v)] inline, so the
+     hypothesis floats are never materialised anywhere.  The accumulator
+     state lives in the [t] record and survives across [fold] calls,
+     which is what lets a streaming sweep feed the campaign one shard
+     segment at a time and still produce bit-identical correlations: the
+     per-row accumulators see exactly the additions of [corr_with], in
+     global trace order, as long as segments arrive in order. *)
+  module Fused = struct
+    type t = {
+      g : int;
+      k : int;
+      sh : float array;
+      shh : float array;
+      sht : float array;  (* column-major: index c * g + r *)
+    }
+
+    let create ~rows ~ncols =
+      if rows < 0 || ncols < 1 then
+        invalid_arg "Pearson.Batch.Fused.create: invalid shape";
+      {
+        g = rows;
+        k = ncols;
+        sh = Array.make rows 0.;
+        shh = Array.make rows 0.;
+        sht = Array.make (rows * ncols) 0.;
+      }
+
+    let rows t = t.g
+    let ncols t = t.k
+
+    let check_cols t cols len =
+      if len < 0 then invalid_arg "Pearson.Batch.Fused: negative segment length";
+      if Array.length cols <> t.k then
+        invalid_arg
+          (Printf.sprintf "Pearson.Batch.Fused: %d columns for a %d-column accumulator"
+             (Array.length cols) t.k);
+      Array.iter
+        (fun c ->
+          if Array.length c < len then
+            invalid_arg "Pearson.Batch.Fused: segment longer than its columns")
+        cols
+
+    (* Single-column four-row register tile, mirroring [corr_block]: the
+       twelve accumulators are local float refs (unboxed natively), and
+       each receives its additions in trace order. *)
+    let fold1 t ~gen ~col ~len =
+      let g = t.g in
+      let sh = t.sh and shh = t.shh and sht = t.sht in
+      let r = ref 0 in
+      while !r + 4 <= g do
+        let r0 = !r in
+        let a0 = ref (Array.unsafe_get sh r0)
+        and q0 = ref (Array.unsafe_get shh r0)
+        and c0 = ref (Array.unsafe_get sht r0) in
+        let a1 = ref (Array.unsafe_get sh (r0 + 1))
+        and q1 = ref (Array.unsafe_get shh (r0 + 1))
+        and c1 = ref (Array.unsafe_get sht (r0 + 1)) in
+        let a2 = ref (Array.unsafe_get sh (r0 + 2))
+        and q2 = ref (Array.unsafe_get shh (r0 + 2))
+        and c2 = ref (Array.unsafe_get sht (r0 + 2)) in
+        let a3 = ref (Array.unsafe_get sh (r0 + 3))
+        and q3 = ref (Array.unsafe_get shh (r0 + 3))
+        and c3 = ref (Array.unsafe_get sht (r0 + 3)) in
+        for i = 0 to len - 1 do
+          let t = Array.unsafe_get col i in
+          let x0 = float_of_int (Bitops.popcount (gen r0 i)) in
+          let x1 = float_of_int (Bitops.popcount (gen (r0 + 1) i)) in
+          let x2 = float_of_int (Bitops.popcount (gen (r0 + 2) i)) in
+          let x3 = float_of_int (Bitops.popcount (gen (r0 + 3) i)) in
+          a0 := !a0 +. x0; q0 := !q0 +. (x0 *. x0); c0 := !c0 +. (x0 *. t);
+          a1 := !a1 +. x1; q1 := !q1 +. (x1 *. x1); c1 := !c1 +. (x1 *. t);
+          a2 := !a2 +. x2; q2 := !q2 +. (x2 *. x2); c2 := !c2 +. (x2 *. t);
+          a3 := !a3 +. x3; q3 := !q3 +. (x3 *. x3); c3 := !c3 +. (x3 *. t)
+        done;
+        sh.(r0) <- !a0; shh.(r0) <- !q0; sht.(r0) <- !c0;
+        sh.(r0 + 1) <- !a1; shh.(r0 + 1) <- !q1; sht.(r0 + 1) <- !c1;
+        sh.(r0 + 2) <- !a2; shh.(r0 + 2) <- !q2; sht.(r0 + 2) <- !c2;
+        sh.(r0 + 3) <- !a3; shh.(r0 + 3) <- !q3; sht.(r0 + 3) <- !c3;
+        r := r0 + 4
+      done;
+      while !r < g do
+        let r0 = !r in
+        let a = ref sh.(r0) and q = ref shh.(r0) and c = ref sht.(r0) in
+        for i = 0 to len - 1 do
+          let x = float_of_int (Bitops.popcount (gen r0 i)) in
+          a := !a +. x;
+          q := !q +. (x *. x);
+          c := !c +. (x *. Array.unsafe_get col i)
+        done;
+        sh.(r0) <- !a;
+        shh.(r0) <- !q;
+        sht.(r0) <- !c;
+        incr r
+      done
+
+    (* Generic multi-column path (consecutive parts sharing one model):
+       the hypothesis moments are computed once and only the cross term
+       is per column — bit-identical to scoring each column separately
+       because [sh]/[shh] receive the very same additions either way. *)
+    let foldk t ~gen ~cols ~len =
+      let g = t.g and k = t.k in
+      let sh = t.sh and shh = t.shh and sht = t.sht in
+      for r0 = 0 to g - 1 do
+        let a = ref (Array.unsafe_get sh r0) and q = ref (Array.unsafe_get shh r0) in
+        let acc = Array.init k (fun c -> Array.unsafe_get sht ((c * g) + r0)) in
+        for i = 0 to len - 1 do
+          let x = float_of_int (Bitops.popcount (gen r0 i)) in
+          a := !a +. x;
+          q := !q +. (x *. x);
+          for c = 0 to k - 1 do
+            Array.unsafe_set acc c
+              (Array.unsafe_get acc c
+              +. (x *. Array.unsafe_get (Array.unsafe_get cols c) i))
+          done
+        done;
+        Array.unsafe_set sh r0 !a;
+        Array.unsafe_set shh r0 !q;
+        for c = 0 to k - 1 do
+          Array.unsafe_set sht ((c * g) + r0) acc.(c)
+        done
+      done
+
+    let fold t ~gen ~cols ~len =
+      check_cols t cols len;
+      if t.k = 1 then fold1 t ~gen ~col:cols.(0) ~len else foldk t ~gen ~cols ~len
+
+    (* Split-model fast path: row r is [eval guesses.(r) prepped.(i)].
+       Hoisting the guess out of the inner loop leaves one indirect call
+       (the integer [eval]) per element — no per-element row-generator
+       closure.  Produces exactly the [fold] additions whenever
+       [eval g prepped.(i) = gen r i] (integer equality), so the two
+       entries are interchangeable bit for bit. *)
+    let fold_split t ~eval ~guesses ~prepped ~cols ~len =
+      if Array.length guesses <> t.g then
+        invalid_arg "Pearson.Batch.Fused.fold_split: one guess per row required";
+      if Array.length prepped < len then
+        invalid_arg "Pearson.Batch.Fused.fold_split: segment longer than prepped table";
+      check_cols t cols len;
+      if t.k <> 1 then
+        fold t
+          ~gen:(fun r i ->
+            eval (Array.unsafe_get guesses r) (Array.unsafe_get prepped i))
+          ~cols ~len
+      else begin
+        let col = cols.(0) in
+        let g = t.g in
+        let sh = t.sh and shh = t.shh and sht = t.sht in
+        let r = ref 0 in
+        while !r + 4 <= g do
+          let r0 = !r in
+          let g0 = Array.unsafe_get guesses r0
+          and g1 = Array.unsafe_get guesses (r0 + 1)
+          and g2 = Array.unsafe_get guesses (r0 + 2)
+          and g3 = Array.unsafe_get guesses (r0 + 3) in
+          let a0 = ref (Array.unsafe_get sh r0)
+          and q0 = ref (Array.unsafe_get shh r0)
+          and c0 = ref (Array.unsafe_get sht r0) in
+          let a1 = ref (Array.unsafe_get sh (r0 + 1))
+          and q1 = ref (Array.unsafe_get shh (r0 + 1))
+          and c1 = ref (Array.unsafe_get sht (r0 + 1)) in
+          let a2 = ref (Array.unsafe_get sh (r0 + 2))
+          and q2 = ref (Array.unsafe_get shh (r0 + 2))
+          and c2 = ref (Array.unsafe_get sht (r0 + 2)) in
+          let a3 = ref (Array.unsafe_get sh (r0 + 3))
+          and q3 = ref (Array.unsafe_get shh (r0 + 3))
+          and c3 = ref (Array.unsafe_get sht (r0 + 3)) in
+          for i = 0 to len - 1 do
+            let t = Array.unsafe_get col i in
+            let p = Array.unsafe_get prepped i in
+            let x0 = float_of_int (Bitops.popcount (eval g0 p)) in
+            let x1 = float_of_int (Bitops.popcount (eval g1 p)) in
+            let x2 = float_of_int (Bitops.popcount (eval g2 p)) in
+            let x3 = float_of_int (Bitops.popcount (eval g3 p)) in
+            a0 := !a0 +. x0; q0 := !q0 +. (x0 *. x0); c0 := !c0 +. (x0 *. t);
+            a1 := !a1 +. x1; q1 := !q1 +. (x1 *. x1); c1 := !c1 +. (x1 *. t);
+            a2 := !a2 +. x2; q2 := !q2 +. (x2 *. x2); c2 := !c2 +. (x2 *. t);
+            a3 := !a3 +. x3; q3 := !q3 +. (x3 *. x3); c3 := !c3 +. (x3 *. t)
+          done;
+          sh.(r0) <- !a0; shh.(r0) <- !q0; sht.(r0) <- !c0;
+          sh.(r0 + 1) <- !a1; shh.(r0 + 1) <- !q1; sht.(r0 + 1) <- !c1;
+          sh.(r0 + 2) <- !a2; shh.(r0 + 2) <- !q2; sht.(r0 + 2) <- !c2;
+          sh.(r0 + 3) <- !a3; shh.(r0 + 3) <- !q3; sht.(r0 + 3) <- !c3;
+          r := r0 + 4
+        done;
+        while !r < g do
+          let r0 = !r in
+          let gu = Array.unsafe_get guesses r0 in
+          let a = ref sh.(r0) and q = ref shh.(r0) and c = ref sht.(r0) in
+          for i = 0 to len - 1 do
+            let x =
+              float_of_int (Bitops.popcount (eval gu (Array.unsafe_get prepped i)))
+            in
+            a := !a +. x;
+            q := !q +. (x *. x);
+            c := !c +. (x *. Array.unsafe_get col i)
+          done;
+          sh.(r0) <- !a;
+          shh.(r0) <- !q;
+          sht.(r0) <- !c;
+          incr r
+        done
+      end
+
+    (* Finalisation: exactly [corr_with]'s epilogue per row, with the
+       column statistics supplied by the caller (they are global to the
+       sweep even when the folds arrived as segments). *)
+    let corr t ~index ~n ~sum_t ~var_t =
+      if index < 0 || index >= t.k then
+        invalid_arg "Pearson.Batch.Fused.corr: column index out of range";
+      let nf = float_of_int n in
+      let base = index * t.g in
+      Array.init t.g (fun r ->
+          let s = t.sh.(r) in
+          let vh = t.shh.(r) -. (s *. s /. nf) in
+          let cov = t.sht.(base + r) -. (s *. sum_t /. nf) in
+          if vh <= 0. || var_t <= 0. then 0. else cov /. sqrt (vh *. var_t))
+  end
+
   let corr_matrix_blocked ~traces blk =
     let d = Array.length traces in
     if d <> blk.cols then

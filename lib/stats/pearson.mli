@@ -146,6 +146,66 @@ module Batch : sig
       result.  Raises [Invalid_argument] if the column length differs
       from the block's columns or [dblock < 1]. *)
 
+  (** Fused hypothesis/correlation kernel: no hypothesis block at all.
+      A row generator (or a precomputed per-trace table plus an integer
+      evaluator) produces the modelled {e integer} intermediate on the
+      fly and the register tile computes [float (popcount v)] inline, so
+      a sweep materialises neither per-guess [hyp_vector]s nor a
+      [G x D] block.
+
+      The accumulator state survives across {!fold} calls: a streaming
+      sweep feeds the campaign one shard segment at a time (in shard
+      order) and finalises once with the whole-campaign column moments.
+
+      {b Determinism contract.}  Per row, the sum / sum-of-squares /
+      cross-term accumulators receive exactly the additions of
+      {!corr_with} on [hyp_vector]'s floats, in global trace order:
+      {!corr} is bit-identical to the scalar path for every tiling,
+      segmentation and entry point ([fold] vs [fold_split]), provided
+      [eval g prepped.(i)] equals the generated intermediate exactly
+      (they are integers, so "exactly" is ordinary equality).  A
+      multi-column accumulator shares one set of hypothesis moments
+      across its columns — bit-identical to scoring each column
+      separately, because the shared accumulators see the very same
+      additions. *)
+  module Fused : sig
+    type t
+
+    val create : rows:int -> ncols:int -> t
+    (** Accumulator for [rows] guesses scored against [ncols] trace
+        columns (consecutive sweep parts sharing one model).  Raises
+        [Invalid_argument] if [rows < 0] or [ncols < 1]. *)
+
+    val rows : t -> int
+    val ncols : t -> int
+
+    val fold : t -> gen:(int -> int -> int) -> cols:float array array -> len:int -> unit
+    (** [fold t ~gen ~cols ~len] accumulates one segment of [len]
+        traces: [gen r i] is the modelled integer intermediate of guess
+        row [r] at segment-local trace [i], and [cols] holds this
+        segment of each scored column.  Raises [Invalid_argument] on a
+        column-count or length mismatch. *)
+
+    val fold_split :
+      t ->
+      eval:(int -> int -> int) ->
+      guesses:int array ->
+      prepped:int array ->
+      cols:float array array ->
+      len:int ->
+      unit
+    (** Split-model fast path: row [r] of the segment is
+        [eval guesses.(r) prepped.(i)] with the guess hoisted out of the
+        inner loop — use with {!Attack.Hypothesis.Model} prep tables.
+        Bit-identical to the equivalent {!fold}. *)
+
+    val corr : t -> index:int -> n:int -> sum_t:float -> var_t:float -> float array
+    (** Per-row correlations of column [index], finalised with the
+        whole-sweep column moments ([n] traces, column sum and n-scaled
+        variance) — exactly {!corr_with}'s epilogue.  Does not reset the
+        accumulator. *)
+  end
+
   val corr_matrix_blocked : traces:float array array -> hyp_block -> float array array
   (** [G x T] correlation matrix of every block row against every time
       sample — the blocked {!corr_matrix} for the Fig. 4 sweeps, with

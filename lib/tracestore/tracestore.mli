@@ -121,12 +121,27 @@ end
 module Reader : sig
   type t
 
-  val open_store : ?policy:[ `Fail | `Skip ] -> string -> t
+  val open_store :
+    ?policy:[ `Fail | `Skip ] -> ?access:[ `Auto | `Mmap | `Read ] -> string -> t
   (** Open a store for reading; validates the manifest eagerly (a
       corrupt manifest always raises [Failure], whatever the policy).
       [policy] governs shard-level corruption during iteration:
       [`Fail] (default) raises; [`Skip] drops the shard and records it
-      in {!skipped}.  The handle is safe to share across domains. *)
+      in {!skipped}.  The handle is safe to share across domains.
+
+      [access] selects how shard files reach the decoder:
+      - [`Mmap] maps each shard read-only with [Unix.map_file] and
+        decodes straight out of the page cache — no intermediate heap
+        copy of the file image.  Raises [Failure] (or skips, per
+        [policy]) if the platform refuses the mapping.
+      - [`Read] forces the classic [really_input] heap path.
+      - [`Auto] (default) tries [`Mmap] and silently falls back to
+        [`Read] when mapping fails (e.g. network filesystems).
+
+      Both paths run the identical validation — magic, header range
+      checks, manifest cross-checks, payload CRC32, trailing-garbage —
+      and yield byte-identical records; the choice affects only
+      performance. *)
 
   val meta : t -> meta
   val shard_count : t -> int
@@ -159,7 +174,9 @@ module Reader : sig
       live at any point of the traversal. *)
 end
 
-val verify : string -> meta * (int * (int, string) result) list
-(** [verify dir] opens the manifest strictly and strictly loads every
-    shard, returning per-shard outcomes in order: [Ok count] or
-    [Error diagnostic].  The store is never modified. *)
+val verify :
+  ?access:[ `Auto | `Mmap | `Read ] -> string -> meta * (int * (int, string) result) list
+(** [verify ?access dir] opens the manifest strictly and strictly loads
+    every shard, returning per-shard outcomes in order: [Ok count] or
+    [Error diagnostic].  [access] is as in {!Reader.open_store}.  The
+    store is never modified. *)

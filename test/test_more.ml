@@ -138,7 +138,9 @@ let test_rank_finds_planted_signal () =
       known
   in
   let ranked =
-    Attack.Dema.rank ~traces ~parts:[ (0, model) ] ~known ~top:4
+    Attack.Dema.rank ~traces
+      ~parts:[ (0, Attack.Hypothesis.Model.fn model) ]
+      ~known ~top:4
       (Seq.init 256 (fun i -> i))
   in
   let alias_class = secret :: Attack.Hypothesis.shift_aliases ~width:8 secret in
@@ -173,7 +175,9 @@ let test_rank_absolute_sees_constant_offset () =
       known
   in
   let corr_rank =
-    Attack.Dema.rank ~traces ~parts:[ (0, model) ] ~known ~top:2
+    Attack.Dema.rank ~traces
+      ~parts:[ (0, Attack.Hypothesis.Model.fn model) ]
+      ~known ~top:2
       (List.to_seq [ 0; 1 ])
   in
   (match corr_rank with
@@ -182,8 +186,9 @@ let test_rank_absolute_sees_constant_offset () =
         (Float.abs (a.Attack.Dema.corr -. b.Attack.Dema.corr) < 1e-9)
   | _ -> Alcotest.fail "rank size");
   let abs_rank =
-    Attack.Dema.rank_absolute ~traces ~parts:[ (0, model) ] ~known ~top:2
-      ~alpha:1.0 ~baseline:0.0
+    Attack.Dema.rank_absolute ~traces
+      ~parts:[ (0, Attack.Hypothesis.Model.fn model) ]
+      ~known ~top:2 ~alpha:1.0 ~baseline:0.0
       (List.to_seq [ 0; 1 ])
   in
   Alcotest.(check int) "absolute distinguisher picks truth" 0

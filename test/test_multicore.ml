@@ -38,7 +38,9 @@ let test_rank_permutation_invariant () =
   in
   let candidates = Array.init (1 lsl width) (fun i -> i) in
   let rank cands =
-    Attack.Dema.rank ~traces ~parts:[ (0, model) ] ~known ~top:6 (Array.to_seq cands)
+    Attack.Dema.rank ~traces
+      ~parts:[ (0, Attack.Hypothesis.Model.fn model) ]
+      ~known ~top:6 (Array.to_seq cands)
   in
   let reference = rank candidates in
   (* the winners really do tie — otherwise this test guards nothing *)
@@ -72,7 +74,10 @@ let random_problem seed =
             +. Stats.Rng.gaussian rng ~mu:0. ~sigma:2.))
       known
   in
-  (traces, [ (0, model); (1, model) ], known)
+  (* one shared Model value across both parts: consecutive parts with the
+     same model exercise the fused sweep's part grouping *)
+  let m = Attack.Hypothesis.Model.fn model in
+  (traces, [ (0, m); (1, m) ], known)
 
 (* 2000 candidates spans several 512-candidate chunks, so jobs > 1 really
    exercises the cross-domain merge. *)

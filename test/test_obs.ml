@@ -256,8 +256,8 @@ let test_transparency_stream_rank () =
   in
   let parts =
     [
-      (Attack.Recover.sample Fpr.Mant_w00, Attack.Recover.m_w00);
-      (Attack.Recover.sample Fpr.Mant_z1a, Attack.Recover.m_z1a);
+      (Attack.Recover.sample Fpr.Mant_w00, Attack.Recover.p_w00);
+      (Attack.Recover.sample Fpr.Mant_z1a, Attack.Recover.p_z1a);
     ]
   in
   let known (t : Leakage.trace) = t.c_fft.Fft.re.(0) in

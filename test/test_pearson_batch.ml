@@ -107,6 +107,97 @@ let prop_corr_matrix_blocked_matches =
         (Stats.Pearson.corr_matrix ~traces ~hyps)
         (Stats.Pearson.Batch.corr_matrix_blocked ~traces blk))
 
+(* ---- fused hypothesis tile (Batch.Fused) ----
+
+   The fused accumulator generates each hypothesis row inside the
+   scoring loop instead of materialising a block, and must still be
+   bit-identical to corr_with over the explicit rows — single and
+   multi column, whole-campaign and arbitrarily segmented folds, and
+   the split-model fast path against the generic generator. *)
+
+let random_fused seed =
+  let rng = Stats.Rng.create ~seed in
+  let g = Stats.Rng.int_below rng 22 in
+  let d = 1 + Stats.Rng.int_below rng 50 in
+  let k = 1 + Stats.Rng.int_below rng 3 in
+  let known = Array.init d (fun _ -> Stats.Rng.bits rng 24) in
+  let guesses = Array.init g (fun _ -> Stats.Rng.bits rng 20) in
+  let cols =
+    Array.init k (fun c ->
+        match c with
+        | 1 -> Array.make d 2.75 (* constant column: correlation 0 *)
+        | _ -> Array.init d (fun _ -> Stats.Rng.gaussian rng ~mu:0. ~sigma:1.5))
+  in
+  (g, d, k, known, guesses, cols)
+
+let fused_model gg y = (gg * (y lor 1)) land 0xFFFFFF
+
+(* scalar reference: corr_with over hyp_vector, one column at a time *)
+let fused_reference ~model ~known ~guesses ~cols =
+  Array.map
+    (fun col ->
+      let c = Stats.Pearson.column_stats (Array.map (fun x -> [| x |]) col) 0 in
+      Array.map
+        (fun gg -> Stats.Pearson.corr_with c (Attack.Dema.hyp_vector ~model ~known gg))
+        guesses)
+    cols
+
+let fused_corr_all t ~d ~cols =
+  Array.mapi
+    (fun ci col ->
+      let c = Stats.Pearson.column_stats (Array.map (fun x -> [| x |]) col) 0 in
+      Stats.Pearson.Batch.Fused.corr t ~index:ci ~n:d
+        ~sum_t:c.Stats.Pearson.sum ~var_t:c.Stats.Pearson.var_n)
+    cols
+
+let prop_fused_fold_matches_corr_with =
+  QCheck.Test.make ~count:300 ~name:"Fused.fold == corr_with (bitwise)"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let g, d, k, known, guesses, cols = random_fused seed in
+      let want = fused_reference ~model:fused_model ~known ~guesses ~cols in
+      let t = Stats.Pearson.Batch.Fused.create ~rows:g ~ncols:k in
+      Stats.Pearson.Batch.Fused.fold t
+        ~gen:(fun r i -> fused_model guesses.(r) known.(i))
+        ~cols ~len:d;
+      matrix_bits_eq want (fused_corr_all t ~d ~cols))
+
+let prop_fused_segmented_matches_whole =
+  QCheck.Test.make ~count:300 ~name:"Fused segmented folds == one fold (bitwise)"
+    QCheck.(pair (int_bound 1_000_000) (int_bound 59))
+    (fun (seed, cut) ->
+      let g, d, k, known, guesses, cols = random_fused seed in
+      let cut = min cut d in
+      let gen off r i = fused_model guesses.(r) known.(off + i) in
+      let whole = Stats.Pearson.Batch.Fused.create ~rows:g ~ncols:k in
+      Stats.Pearson.Batch.Fused.fold whole ~gen:(gen 0) ~cols ~len:d;
+      (* same traces split at [cut]: the accumulators must end bitwise
+         equal because each receives the same additions in trace order *)
+      let seg = Stats.Pearson.Batch.Fused.create ~rows:g ~ncols:k in
+      let slice off len = Array.map (fun c -> Array.sub c off len) cols in
+      Stats.Pearson.Batch.Fused.fold seg ~gen:(gen 0) ~cols:(slice 0 cut) ~len:cut;
+      Stats.Pearson.Batch.Fused.fold seg ~gen:(gen cut)
+        ~cols:(slice cut (d - cut))
+        ~len:(d - cut);
+      matrix_bits_eq (fused_corr_all whole ~d ~cols) (fused_corr_all seg ~d ~cols))
+
+let prop_fused_split_matches_fold =
+  QCheck.Test.make ~count:300 ~name:"Fused.fold_split == Fused.fold (bitwise)"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let g, d, k, known, guesses, cols = random_fused seed in
+      (* the same model factored through a prep table *)
+      let prep y = y lor 1 in
+      let eval gg p = (gg * p) land 0xFFFFFF in
+      let a = Stats.Pearson.Batch.Fused.create ~rows:g ~ncols:k in
+      Stats.Pearson.Batch.Fused.fold a
+        ~gen:(fun r i -> fused_model guesses.(r) known.(i))
+        ~cols ~len:d;
+      let b = Stats.Pearson.Batch.Fused.create ~rows:g ~ncols:k in
+      Stats.Pearson.Batch.Fused.fold_split b ~eval ~guesses
+        ~prepped:(Array.map prep known) ~cols ~len:d;
+      matrix_bits_eq (fused_corr_all a ~d ~cols) (fused_corr_all b ~d ~cols))
+
 (* Degenerate shapes the generator cannot shrink to reliably. *)
 let test_edge_shapes () =
   let d = 17 in
@@ -250,8 +341,8 @@ let test_stream_rank_backend_parity () =
       in
       let parts =
         [
-          (Attack.Recover.sample Fpr.Mant_w00, Attack.Recover.m_w00);
-          (Attack.Recover.sample Fpr.Mant_z1a, Attack.Recover.m_z1a);
+          (Attack.Recover.sample Fpr.Mant_w00, Attack.Recover.p_w00);
+          (Attack.Recover.sample Fpr.Mant_z1a, Attack.Recover.p_z1a);
         ]
       in
       let run ~jobs ~backend =
@@ -276,6 +367,9 @@ let suite =
     QCheck_alcotest.to_alcotest prop_dblock_invariant;
     QCheck_alcotest.to_alcotest prop_fill_matches_hyp_vector;
     QCheck_alcotest.to_alcotest prop_corr_matrix_blocked_matches;
+    QCheck_alcotest.to_alcotest prop_fused_fold_matches_corr_with;
+    QCheck_alcotest.to_alcotest prop_fused_segmented_matches_whole;
+    QCheck_alcotest.to_alcotest prop_fused_split_matches_fold;
     Alcotest.test_case "edge shapes (G=0, G=1, partial tile)" `Quick test_edge_shapes;
     Alcotest.test_case "backend default / resolve" `Quick test_backend_default;
     Alcotest.test_case "allocation canary (O(G), not O(GxD))" `Quick

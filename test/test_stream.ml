@@ -132,8 +132,8 @@ let test_stream_rank_bit_identical () =
   in
   let parts =
     [
-      (Attack.Recover.sample Fpr.Mant_w00, Attack.Recover.m_w00);
-      (Attack.Recover.sample Fpr.Mant_z1a, Attack.Recover.m_z1a);
+      (Attack.Recover.sample Fpr.Mant_w00, Attack.Recover.p_w00);
+      (Attack.Recover.sample Fpr.Mant_z1a, Attack.Recover.p_z1a);
     ]
   in
   let rows = Array.map (fun (t : Leakage.trace) -> t.samples) traces in
@@ -309,6 +309,175 @@ let test_stream_rejects_width_mismatch () =
              in
              scan 0))
 
+(* ---- shard-loss, mmap and prefetch robustness ----
+
+   Same campaign as [with_campaign], but the directory outlives the
+   store creation so individual shard files can be damaged and reopened:
+   30 traces in shards of 8 → shards 0..3 holding 8/8/8/6 traces. *)
+let with_campaign_dir f =
+  let sk = Lazy.force sk16 in
+  let traces = Leakage.capture model ~seed:77 sk ~count:30 in
+  let dir = Filename.temp_dir "fd_stream_dir" "" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let w =
+        Tracestore.Writer.create ~dir ~n:16
+          ~width:(16 * Leakage.events_per_coeff)
+          ~shard_traces:8
+          ~model:
+            {
+              Tracestore.alpha = model.alpha;
+              noise_sigma = model.noise_sigma;
+              baseline = model.baseline;
+            }
+      in
+      Array.iter (fun t -> Tracestore.Writer.append w (Leakage.to_record t)) traces;
+      Tracestore.Writer.close w;
+      f sk traces dir)
+
+(* flip one payload byte in place: CRC mismatch, size unchanged *)
+let flip_byte path off =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let b = Bytes.create 1 in
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      ignore (Unix.read fd b 0 1);
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xFF));
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      ignore (Unix.write fd b 0 1))
+
+let truncate_file path by =
+  let size = (Unix.stat path).Unix.st_size in
+  Unix.truncate path (size - by)
+
+let rank_parts () =
+  [
+    (Attack.Recover.sample Fpr.Mant_w00, Attack.Recover.p_w00);
+    (Attack.Recover.sample Fpr.Mant_z1a, Attack.Recover.p_z1a);
+  ]
+
+let candidates_for sk =
+  let d_true = (Fpr.mantissa sk.Falcon.Scheme.f_fft.Fft.re.(0) lor (1 lsl 52)) land 0x1FFFFFF in
+  Attack.Hypothesis.sampled
+    (Stats.Rng.create ~seed:5)
+    ~width:25 ~truth:d_true ~decoys:200 ()
+
+let known_re0 (t : Leakage.trace) = t.c_fft.Fft.re.(0)
+
+let test_corrupt_shard_fails_loudly () =
+  with_campaign_dir @@ fun sk _traces dir ->
+  (* damage a payload byte of shard 1 — header intact, CRC now wrong *)
+  flip_byte (Filename.concat dir (Tracestore.shard_name 1)) 40;
+  let candidates = candidates_for sk in
+  let reader = Tracestore.Reader.open_store dir in
+  let expect_loud name run =
+    match run () with
+    | _ -> Alcotest.failf "%s accepted a corrupt shard" name
+    | exception Failure msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s error names shard 1" name)
+          true (contains_frag msg "shard 1")
+  in
+  expect_loud "Stream.rank" (fun () ->
+      Attack.Dema.Stream.rank reader ~parts:(rank_parts ()) ~known:known_re0 ~top:5
+        (Array.to_seq candidates));
+  expect_loud "Stream.extract" (fun () ->
+      Attack.Dema.Stream.extract reader ~samples:[ 0 ] ~known:known_re0);
+  expect_loud "Stream.evolution" (fun () ->
+      Attack.Dema.Stream.evolution reader
+        ~sample:(Attack.Recover.sample Fpr.Mant_w00)
+        ~model:Attack.Recover.m_w00 ~known:known_re0 ~guess:1)
+
+let test_truncated_shard_fails_loudly () =
+  with_campaign_dir @@ fun sk _traces dir ->
+  truncate_file (Filename.concat dir (Tracestore.shard_name 2)) 5;
+  let reader = Tracestore.Reader.open_store dir in
+  match
+    Attack.Dema.Stream.rank reader ~parts:(rank_parts ()) ~known:known_re0 ~top:5
+      (Array.to_seq (candidates_for sk))
+  with
+  | _ -> Alcotest.fail "truncated shard accepted"
+  | exception Failure msg ->
+      Alcotest.(check bool) "error names shard 2" true (contains_frag msg "shard 2");
+      Alcotest.(check bool) "error says truncated" true (contains_frag msg "truncated")
+
+let test_skip_policy_drops_and_counts () =
+  with_campaign_dir @@ fun sk traces dir ->
+  flip_byte (Filename.concat dir (Tracestore.shard_name 1)) 40;
+  let candidates = candidates_for sk in
+  let buf = Buffer.create 256 in
+  let ctx =
+    Attack.Ctx.make ~obs:(Obs.make (Obs.Jsonl.to_buffer buf)) ()
+  in
+  let reader = Tracestore.Reader.open_store ~policy:`Skip dir in
+  let streamed =
+    Attack.Dema.Stream.rank ~ctx ~on_corrupt:`Skip reader ~parts:(rank_parts ())
+      ~known:known_re0 ~top:5 (Array.to_seq candidates)
+  in
+  (* dropping shard 1 leaves traces 0..7 and 16..29: the ranking must be
+     exactly the in-memory one over that subset *)
+  let kept =
+    Array.of_list
+      (List.filteri (fun i _ -> i < 8 || i >= 16) (Array.to_list traces))
+  in
+  let mem =
+    Attack.Dema.rank
+      ~traces:(Array.map (fun (t : Leakage.trace) -> t.samples) kept)
+      ~parts:(rank_parts ())
+      ~known:(Array.map known_re0 kept)
+      ~top:5 (Array.to_seq candidates)
+  in
+  Alcotest.(check bool) "skip rank == memory rank over surviving shards" true
+    (streamed = mem);
+  let skipped =
+    List.exists
+      (fun r ->
+        Option.bind (Obs.Json.member "name" r) Obs.Json.to_string_opt
+          = Some "dema.shards_skipped"
+        && Option.bind (Obs.Json.member "value" r) Obs.Json.to_int_opt = Some 1)
+      (Obs.Jsonl.read_string (Buffer.contents buf))
+  in
+  Alcotest.(check bool) "dema.shards_skipped == 1 emitted" true skipped
+
+let test_mmap_matches_read () =
+  with_campaign_dir @@ fun sk _traces dir ->
+  let mmap = Tracestore.Reader.open_store ~access:`Mmap dir in
+  let read = Tracestore.Reader.open_store ~access:`Read dir in
+  for i = 0 to Tracestore.Reader.shard_count read - 1 do
+    let a = Tracestore.Reader.load_shard mmap i in
+    let b = Tracestore.Reader.load_shard read i in
+    Alcotest.(check bool)
+      (Printf.sprintf "shard %d decodes identically under mmap" i)
+      true (a = b)
+  done;
+  let candidates = candidates_for sk in
+  let rank reader =
+    Attack.Dema.Stream.rank reader ~parts:(rank_parts ()) ~known:known_re0 ~top:5
+      (Array.to_seq candidates)
+  in
+  Alcotest.(check bool) "mmap rank == read rank" true (rank mmap = rank read)
+
+let test_prefetch_parity () =
+  with_campaign_dir @@ fun sk _traces dir ->
+  let candidates = candidates_for sk in
+  let reader = Tracestore.Reader.open_store dir in
+  let rank ~prefetch jobs =
+    Attack.Dema.Stream.rank ~jobs ~prefetch reader ~parts:(rank_parts ())
+      ~known:known_re0 ~top:5 (Array.to_seq candidates)
+  in
+  let reference = rank ~prefetch:false 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "prefetch on == off at -j %d" jobs)
+        true
+        (rank ~prefetch:true jobs = reference
+        && rank ~prefetch:false jobs = reference))
+    [ 1; 2; 4; 8 ]
+
 let suite =
   [
     Alcotest.test_case "streaming pearson == two-pass" `Quick
@@ -327,4 +496,14 @@ let suite =
       test_stream_evolution_single_shard;
     Alcotest.test_case "evolution rejects an empty store" `Quick
       test_stream_evolution_empty_store;
+    Alcotest.test_case "corrupt shard fails loudly with its index" `Quick
+      test_corrupt_shard_fails_loudly;
+    Alcotest.test_case "truncated shard fails loudly" `Quick
+      test_truncated_shard_fails_loudly;
+    Alcotest.test_case "skip policy drops the shard and counts it" `Quick
+      test_skip_policy_drops_and_counts;
+    Alcotest.test_case "mmap and read decode identically" `Quick
+      test_mmap_matches_read;
+    Alcotest.test_case "prefetch on/off bit-identical at every jobs" `Quick
+      test_prefetch_parity;
   ]
