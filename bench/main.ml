@@ -7,7 +7,7 @@
 
      FD_ONLY    run a single section (fig3, fig4, headline, ntt_vs_fft,
                 ablation_snr, ablation_prune, countermeasures, profiled,
-                stream, assess, pearson, obs, micro)
+                stream, assess, pearson, sequential, obs, micro)
      FD_TRACES  trace budget for the per-coefficient experiments (10000)
      FD_N       ring size of the full-key attack (32)
      FD_NOISE   leakage noise sigma (2.0)
@@ -855,6 +855,121 @@ let pearson () =
   Printf.printf "wrote BENCH_pearson.json\n"
 
 (* ---------------------------------------------------------------- *)
+(* Sequential early stopping: the adaptive campaign (per-coefficient
+   Fisher-z stopping at alpha) versus the fixed-budget streaming
+   recovery over the same sharded store.  The adaptive run must recover
+   the same key while reading at most half the traces on mean, and its
+   stop points must be bit-identical across jobs, backends and prefetch
+   settings.  Emits one JSON row (BENCH_sequential.json) which
+   check-bench gates on. *)
+
+let sequential () =
+  section "Sequential — adaptive early stopping vs fixed trace budget";
+  let n = full_n in
+  let count = min trace_budget 2000 in
+  let shard = max 1 ((count + 7) / 8) in
+  let alpha = 1e-4 in
+  let sk, _ = Falcon.Scheme.keygen ~n ~seed:(Printf.sprintf "victim %d" seed) in
+  let traces = Leakage.capture model ~seed sk ~count in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "fd_bench_seq_store" in
+  rm_store dir;
+  let writer =
+    Tracestore.Writer.create ~dir ~n ~width:(n * Leakage.events_per_coeff)
+      ~shard_traces:shard
+      ~model:
+        {
+          Tracestore.alpha = model.Leakage.alpha;
+          noise_sigma = model.Leakage.noise_sigma;
+          baseline = model.Leakage.baseline;
+        }
+  in
+  Array.iter (fun t -> Tracestore.Writer.append writer (Leakage.to_record t)) traces;
+  Tracestore.Writer.close writer;
+  let reader = Tracestore.Reader.open_store dir in
+  Printf.printf
+    "campaign: %d traces of FALCON-%d in %d shards; stopping at alpha %g (%d jobs)\n%!"
+    count n
+    (Tracestore.Reader.shard_count reader)
+    alpha jobs;
+  let strategy ~coeff ~mul =
+    let truth = if mul = 0 then sk.f_fft.Fft.re.(coeff) else sk.f_fft.Fft.im.(coeff) in
+    Attack.Recover.Eval_sampled
+      { rng = Stats.Rng.create ~seed:((coeff * 7) + mul); decoys = 512; truth }
+  in
+  let t0 = Unix.gettimeofday () in
+  let fixed = Attack.Fullkey.recover_f_fft_store ~jobs ~reader strategy in
+  let fixed_s = Unix.gettimeofday () -. t0 in
+  let spec = Sequential.Decision.spec ~alpha () in
+  let summary = ref None in
+  let t0 = Unix.gettimeofday () in
+  let adaptive =
+    Attack.Fullkey.recover_f_fft_store ~jobs ~stop:spec
+      ~stop_report:(fun s -> summary := Some s)
+      ~reader strategy
+  in
+  let adaptive_s = Unix.gettimeofday () -. t0 in
+  let s =
+    match !summary with Some s -> s | None -> failwith "no stop_report from adaptive run"
+  in
+  let used = Array.copy s.Sequential.Campaign.traces_used in
+  Array.sort compare used;
+  let units = Array.length used in
+  let mean =
+    Array.fold_left (fun acc u -> acc +. float_of_int u) 0. used /. float_of_int units
+  in
+  let median = used.((units - 1) / 2) in
+  (* determinism probe: same campaign on one worker, the scalar backend
+     and no prefetch — stop points and recovered key must be bit-identical *)
+  let summary2 = ref None in
+  let scalar_ctx = Attack.Ctx.make ~jobs:1 ~backend:Stats.Pearson.Batch.Scalar () in
+  let adaptive2 =
+    Attack.Fullkey.recover_f_fft_store ~ctx:scalar_ctx ~prefetch:false ~stop:spec
+      ~stop_report:(fun s -> summary2 := Some s)
+      ~reader strategy
+  in
+  let stops_identical =
+    match !summary2 with
+    | Some s2 ->
+        s.Sequential.Campaign.traces_used = s2.Sequential.Campaign.traces_used
+        && adaptive = adaptive2
+    | None -> false
+  in
+  let keys_identical = adaptive = fixed in
+  let correct = Attack.Fullkey.count_correct adaptive ~truth:sk.f_fft in
+  Printf.printf "fixed budget:    %d traces/unit, %.3fs, f_fft bit-exact %d / %d\n%!"
+    count fixed_s
+    (Attack.Fullkey.count_correct fixed ~truth:sk.f_fft)
+    (2 * n);
+  Printf.printf
+    "adaptive:        %d/%d units stopped early (%d looks), %.3fs, f_fft bit-exact \
+     %d / %d\n%!"
+    s.Sequential.Campaign.stopped units s.Sequential.Campaign.looks adaptive_s correct
+    (2 * n);
+  Printf.printf
+    "traces-to-decision: mean %.1f, median %d of %d budgeted (%.0f%% of fixed); \
+     %d trace-reads saved\n%!"
+    mean median count
+    (100. *. mean /. float_of_int count)
+    s.Sequential.Campaign.traces_saved;
+  Printf.printf "adaptive key identical to fixed-budget key: %b\n%!" keys_identical;
+  Printf.printf
+    "stops and key bit-identical at jobs=1 + scalar backend + no prefetch: %b\n%!"
+    stops_identical;
+  let oc = open_out "BENCH_sequential.json" in
+  Printf.fprintf oc
+    "{\"schema\":\"falcon-down/bench-sequential/v1\",\"section\":\"sequential\",\
+     \"n\":%d,\"traces\":%d,\"jobs\":%d,\"units\":%d,\"alpha\":%g,\
+     \"stopped_early\":%d,\"looks\":%d,\"traces_saved\":%d,\
+     \"mean_traces\":%.2f,\"median_traces\":%d,\"fixed_s\":%.4f,\"adaptive_s\":%.4f,\
+     \"keys_identical\":%b,\"stops_identical\":%b}\n"
+    n count jobs units alpha s.Sequential.Campaign.stopped s.Sequential.Campaign.looks
+    s.Sequential.Campaign.traces_saved mean median fixed_s adaptive_s keys_identical
+    stops_identical;
+  close_out oc;
+  Printf.printf "wrote BENCH_sequential.json\n";
+  rm_store dir
+
+(* ---------------------------------------------------------------- *)
 (* Observability overhead: the same end-to-end ranking sweep with no
    context (the legacy call), a Null-sink context and a JSONL-sink
    context.  Instrumentation must be observationally transparent — all
@@ -1093,6 +1208,7 @@ let () =
   if want "stream" then stream ();
   if want "assess" then assess ();
   if want "pearson" then pearson ();
+  if want "sequential" then sequential ();
   if want "obs" then obs_bench ();
   if want "micro" then micro ();
   Printf.printf "\ndone.\n"

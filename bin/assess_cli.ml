@@ -115,31 +115,37 @@ let print_outcome (o : Assess.Metrics.outcome) =
   | None -> Printf.printf "median MTD         not disclosed within budget\n");
   Printf.printf "disclosed          %d/%d experiments\n" o.Assess.Metrics.mtd_found
     o.Assess.Metrics.experiments;
+  (match o.Assess.Metrics.mtd_conf with
+  | Some d -> Printf.printf "median MTD@conf    %d traces (measured sequential stop)\n" d
+  | None -> Printf.printf "median MTD@conf    tester never reached confidence\n");
+  Printf.printf "stopped            %d/%d experiments\n"
+    o.Assess.Metrics.mtd_conf_found o.Assess.Metrics.experiments;
+  let opt_row a =
+    String.concat " "
+      (Array.to_list
+         (Array.map (function Some d -> string_of_int d | None -> "-") a))
+  in
   Printf.printf "per-experiment     rank: %s\n"
     (String.concat " "
        (Array.to_list (Array.map string_of_int o.Assess.Metrics.ranks)));
-  Printf.printf "                   mtd:  %s\n"
-    (String.concat " "
-       (Array.to_list
-          (Array.map
-             (function Some d -> string_of_int d | None -> "-")
-             o.Assess.Metrics.mtds)))
+  Printf.printf "                   mtd:  %s\n" (opt_row o.Assess.Metrics.mtds);
+  Printf.printf "                   mtd@conf: %s\n" (opt_row o.Assess.Metrics.mtd_confs)
 
-let cmd_metrics store defense noise budget experiments decoys seed flags =
+let cmd_metrics store defense noise budget experiments decoys seed stop_alpha flags =
   Cli_common.run flags @@ fun ctx ->
   let outcome =
     match store with
     | Some dir ->
         Printf.printf "evaluating recorded campaign %s (%d experiments, %d decoys)\n%!"
           dir experiments decoys;
-        Assess.Metrics.of_store ~ctx ~experiments ~decoys dir
+        Assess.Metrics.of_store ~ctx ~stop_alpha ~experiments ~decoys dir
     | None ->
         Printf.printf
           "defense %s, noise sigma %.2f, %d traces x %d experiments, %d decoys, \
            seed %d\n%!"
           (Assess.Campaign.name defense)
           noise budget experiments decoys seed;
-        Assess.Metrics.run ~ctx
+        Assess.Metrics.run ~ctx ~stop_alpha
           { Assess.Metrics.defense; noise; budget; experiments; decoys; seed }
   in
   print_outcome outcome;
@@ -219,58 +225,147 @@ let cmd_check_log log_path =
 
 (* {2 check-bench} *)
 
-(* Validates the headline Pearson bench artifact (BENCH_pearson.json,
-   schema falcon-down/bench-pearson/v1) so CI can gate on it: the
-   batched end-to-end rank must be bit-identical to the scalar baseline
-   and at least as fast.  Shape errors, a false bit_identical and a
-   rank_speedup below 1.0 all exit with the data-error status. *)
-let cmd_check_bench json_path =
-  with_errors @@ fun () ->
-  let j = Assess.Json.of_string (read_file json_path) in
-  let errors = ref [] in
-  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
-  (match Option.bind (Assess.Json.member "schema" j) Assess.Json.to_string_opt with
-  | Some "falcon-down/bench-pearson/v1" -> ()
-  | Some s -> err "schema is %S, want \"falcon-down/bench-pearson/v1\"" s
-  | None -> err "missing string field \"schema\"");
+(* Validates the gated bench artifacts so CI can fail on a regression.
+   Dispatches on the "schema" field:
+
+   - falcon-down/bench-pearson/v1 (BENCH_pearson.json): the batched
+     end-to-end rank must be bit-identical to the scalar baseline and at
+     least as fast;
+   - falcon-down/bench-sequential/v1 (BENCH_sequential.json): the
+     adaptive campaign must recover a key identical to the fixed-budget
+     run using at most half the traces on mean, with stop points
+     bit-identical across jobs and backends.
+
+   Shape errors and any failed invariant exit with the data-error
+   status. *)
+let check_pearson_bench err j =
   List.iter
     (fun k ->
       match Option.bind (Assess.Json.member k j) Assess.Json.to_int_opt with
       | Some v when v > 0 -> ()
-      | Some v -> err "field %S is %d, want a positive int" k v
-      | None -> err "missing int field %S" k)
+      | Some v -> err (Printf.sprintf "field %S is %d, want a positive int" k v)
+      | None -> err (Printf.sprintf "missing int field %S" k))
     [ "traces"; "guesses"; "jobs" ];
   List.iter
     (fun k ->
       match Option.bind (Assess.Json.member k j) Assess.Json.to_number_opt with
       | Some v when Float.is_finite v && v >= 0. -> ()
-      | Some v -> err "field %S is %g, want a finite non-negative number" k v
-      | None -> err "missing number field %S" k)
+      | Some v ->
+          err (Printf.sprintf "field %S is %g, want a finite non-negative number" k v)
+      | None -> err (Printf.sprintf "missing number field %S" k))
     [ "rank_scalar_s"; "rank_batched_s"; "rank_speedup"; "rank_prep_s"; "rank_score_s" ];
   (match Option.bind (Assess.Json.member "bit_identical" j) Assess.Json.to_bool_opt with
   | Some true -> ()
   | Some false ->
-      err "bit_identical is false — the batched kernel diverged from the scalar \
-           baseline"
+      err
+        "bit_identical is false — the batched kernel diverged from the scalar \
+         baseline"
   | None -> err "missing bool field \"bit_identical\"");
   (match Option.bind (Assess.Json.member "rank_speedup" j) Assess.Json.to_number_opt with
   | Some v when Float.is_finite v && v < 1.0 ->
-      err "rank_speedup %.2f is below 1.0 — the batched end-to-end rank regressed \
-           against the scalar baseline"
-        v
+      err
+        (Printf.sprintf
+           "rank_speedup %.2f is below 1.0 — the batched end-to-end rank regressed \
+            against the scalar baseline"
+           v)
   | _ -> ());
+  fun () ->
+    let speedup =
+      match
+        Option.bind (Assess.Json.member "rank_speedup" j) Assess.Json.to_number_opt
+      with
+      | Some v -> v
+      | None -> assert false
+    in
+    Printf.sprintf "valid falcon-down/bench-pearson/v1 report (rank_speedup %.2fx, \
+                    bit-identical)"
+      speedup
+
+let check_sequential_bench err j =
+  List.iter
+    (fun k ->
+      match Option.bind (Assess.Json.member k j) Assess.Json.to_int_opt with
+      | Some v when v > 0 -> ()
+      | Some v -> err (Printf.sprintf "field %S is %d, want a positive int" k v)
+      | None -> err (Printf.sprintf "missing int field %S" k))
+    [ "n"; "traces"; "jobs"; "units" ];
+  List.iter
+    (fun k ->
+      match Option.bind (Assess.Json.member k j) Assess.Json.to_int_opt with
+      | Some v when v >= 0 -> ()
+      | Some v -> err (Printf.sprintf "field %S is %d, want a non-negative int" k v)
+      | None -> err (Printf.sprintf "missing int field %S" k))
+    [ "stopped_early"; "looks"; "traces_saved" ];
+  List.iter
+    (fun k ->
+      match Option.bind (Assess.Json.member k j) Assess.Json.to_number_opt with
+      | Some v when Float.is_finite v && v >= 0. -> ()
+      | Some v ->
+          err (Printf.sprintf "field %S is %g, want a finite non-negative number" k v)
+      | None -> err (Printf.sprintf "missing number field %S" k))
+    [ "alpha"; "mean_traces"; "median_traces"; "fixed_s"; "adaptive_s" ];
+  (match Option.bind (Assess.Json.member "alpha" j) Assess.Json.to_number_opt with
+  | Some a when Float.is_finite a && (a <= 0. || a >= 1.) ->
+      err (Printf.sprintf "alpha %g outside (0, 1)" a)
+  | _ -> ());
+  (match Option.bind (Assess.Json.member "keys_identical" j) Assess.Json.to_bool_opt with
+  | Some true -> ()
+  | Some false ->
+      err
+        "keys_identical is false — the adaptive campaign recovered a different key \
+         than the fixed-budget run"
+  | None -> err "missing bool field \"keys_identical\"");
+  (match Option.bind (Assess.Json.member "stops_identical" j) Assess.Json.to_bool_opt with
+  | Some true -> ()
+  | Some false ->
+      err
+        "stops_identical is false — stop points diverged across jobs/backends"
+  | None -> err "missing bool field \"stops_identical\"");
+  (match
+     ( Option.bind (Assess.Json.member "mean_traces" j) Assess.Json.to_number_opt,
+       Option.bind (Assess.Json.member "traces" j) Assess.Json.to_int_opt )
+   with
+  | Some mean, Some total
+    when Float.is_finite mean && total > 0 && mean > 0.5 *. float_of_int total ->
+      err
+        (Printf.sprintf
+           "mean_traces %.1f exceeds half the fixed budget (%d) — early stopping \
+            saved too little"
+           mean total)
+  | _ -> ());
+  fun () ->
+    let num k =
+      match Option.bind (Assess.Json.member k j) Assess.Json.to_number_opt with
+      | Some v -> v
+      | None -> assert false
+    in
+    Printf.sprintf "valid falcon-down/bench-sequential/v1 report (mean %.1f of %g \
+                    traces, keys and stops identical)"
+      (num "mean_traces") (num "traces")
+
+let cmd_check_bench json_path =
+  with_errors @@ fun () ->
+  let j = Assess.Json.of_string (read_file json_path) in
+  let errors = ref [] in
+  let err m = errors := m :: !errors in
+  let summary =
+    match Option.bind (Assess.Json.member "schema" j) Assess.Json.to_string_opt with
+    | Some "falcon-down/bench-pearson/v1" -> check_pearson_bench err j
+    | Some "falcon-down/bench-sequential/v1" -> check_sequential_bench err j
+    | Some s ->
+        err
+          (Printf.sprintf
+             "schema is %S, want \"falcon-down/bench-pearson/v1\" or \
+              \"falcon-down/bench-sequential/v1\""
+             s);
+        fun () -> ""
+    | None ->
+        err "missing string field \"schema\"";
+        fun () -> ""
+  in
   match List.rev !errors with
   | [] ->
-      let speedup =
-        match
-          Option.bind (Assess.Json.member "rank_speedup" j) Assess.Json.to_number_opt
-        with
-        | Some v -> v
-        | None -> assert false
-      in
-      Printf.printf "%s: valid falcon-down/bench-pearson/v1 report (rank_speedup %.2fx, \
-                     bit-identical)\n"
-        json_path speedup;
+      Printf.printf "%s: %s\n" json_path (summary ());
       Cli_common.ok
   | msgs ->
       List.iter (fun m -> Printf.eprintf "%s: %s\n" json_path m) msgs;
@@ -314,6 +409,15 @@ let budget_arg =
   Arg.(
     value & opt int 500 & info [ "t"; "traces" ] ~doc:"Trace budget per experiment.")
 
+let stop_alpha_arg =
+  Arg.(
+    value
+    & opt float 1e-4
+    & info [ "stop-alpha" ] ~docv:"ALPHA"
+        ~doc:
+          "Family-wise error budget of the sequential tester behind the measured \
+           MTD-at-confidence column.")
+
 let tvla_cmd =
   Cmd.v
     (Cmd.info "tvla"
@@ -329,11 +433,12 @@ let metrics_cmd =
   Cmd.v
     (Cmd.info "metrics"
        ~doc:
-         "Success rate, partial guessing entropy and median traces-to-disclosure \
-          over N independently seeded attack experiments")
+         "Success rate, partial guessing entropy, median traces-to-disclosure and \
+          measured traces-to-decision over N independently seeded attack \
+          experiments")
     Term.(
       const cmd_metrics $ store_arg $ defense_arg $ noise_arg $ budget_arg
-      $ experiments_arg $ decoys_arg $ seed_arg $ flags)
+      $ experiments_arg $ decoys_arg $ seed_arg $ stop_alpha_arg $ flags)
 
 let sigmas_arg =
   Arg.(
@@ -400,15 +505,17 @@ let bench_json_arg =
   Arg.(
     value
     & pos 0 string "BENCH_pearson.json"
-    & info [] ~docv:"FILE" ~doc:"Pearson bench report to validate.")
+    & info [] ~docv:"FILE" ~doc:"Bench report to validate.")
 
 let check_bench_cmd =
   Cmd.v
     (Cmd.info "check-bench"
        ~doc:
-         "Validate a BENCH_pearson.json artifact: schema, required fields, \
-          bit-identical rankings and end-to-end rank_speedup >= 1.0; exit 1 \
-          otherwise")
+         "Validate a gated bench artifact (dispatching on its schema field): \
+          BENCH_pearson.json needs bit-identical rankings and rank_speedup >= \
+          1.0; BENCH_sequential.json needs identical keys, bit-identical stop \
+          points across jobs/backends and mean traces-to-decision at most half \
+          the fixed budget; exit 1 otherwise")
     Term.(const cmd_check_bench $ bench_json_arg)
 
 let () =

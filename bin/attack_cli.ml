@@ -107,7 +107,22 @@ let crack_report pk truth_kp (res : Attack.Fullkey.result) =
       Printf.printf "forged signature verifies: %b\n" (Falcon.Scheme.verify pk msg sg);
       0
 
-let cmd_crack input store flags =
+let print_stop_summary (s : Sequential.Campaign.summary) =
+  let used = Array.copy s.Sequential.Campaign.traces_used in
+  Array.sort compare used;
+  let n = Array.length used in
+  let mean =
+    Array.fold_left (fun acc u -> acc +. float_of_int u) 0. used /. float_of_int n
+  in
+  Printf.printf
+    "sequential stopping: %d/%d units stopped early (%d looks)\n\
+     traces-to-decision: mean %.1f, median %d of %d budgeted; %d trace-reads saved\n%!"
+    s.Sequential.Campaign.stopped s.Sequential.Campaign.units
+    s.Sequential.Campaign.looks mean
+    used.((n - 1) / 2)
+    s.Sequential.Campaign.total_traces s.Sequential.Campaign.traces_saved
+
+let cmd_crack input store until_confident alpha max_traces flags =
   Cli_common.run flags @@ fun ctx ->
   match store with
   | Some dir -> (
@@ -126,16 +141,31 @@ let cmd_crack input store flags =
             (Tracestore.Reader.total_traces reader)
             (Tracestore.Reader.shard_count reader)
             pk.params.n dir;
+          let stop =
+            if until_confident then begin
+              Printf.printf
+                "adaptive trace budget: stop per coefficient at confidence \
+                 (alpha %g)\n%!"
+                alpha;
+              Some (Sequential.Decision.spec ~alpha ())
+            end
+            else None
+          in
           let res =
             Attack.Fullkey.recover_key_store ~ctx
               ~on_corrupt:flags.Cli_common.Common_flags.on_corrupt
-              ~prefetch:flags.Cli_common.Common_flags.prefetch ~reader ~h:pk.h
+              ~prefetch:flags.Cli_common.Common_flags.prefetch ?stop ?max_traces
+              ~stop_report:print_stop_summary ~reader ~h:pk.h
               (crack_strategy truth_sk)
           in
           crack_report pk truth_kp res
       | _ ->
           prerr_endline "could not read the store's public.key/secret.key files";
           1)
+  | None when until_confident || max_traces <> None ->
+      prerr_endline
+        "--until-confident/--max-traces need a sharded campaign: pass --store";
+      1
   | None -> (
       let traces = Leakage.load input in
       match
@@ -190,11 +220,45 @@ let capture_cmd =
     (Cmd.info "capture" ~doc:"Capture simulated EM traces of a fresh victim to a file")
     Term.(const cmd_capture $ n_arg $ traces_arg $ noise_arg $ seed_arg $ out_arg $ flags)
 
+let until_confident_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "until-confident" ]
+        ~doc:
+          "Adaptive trace budget (needs $(b,--store)): each coefficient stops \
+           reading traces once the sequential Fisher-z test on its top-1 vs \
+           runner-up correlation gap reaches confidence, instead of consuming \
+           the whole campaign.  The recovered key and every stop point are \
+           bit-identical across -j and backends.")
+
+let alpha_arg =
+  Arg.(
+    value
+    & opt float 1e-4
+    & info [ "alpha" ] ~docv:"ALPHA"
+        ~doc:
+          "Family-wise error budget of the sequential test behind \
+           $(b,--until-confident): the probability that any coefficient stops \
+           on a wrong winner is at most ALPHA.")
+
+let max_traces_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-traces" ] ~docv:"N"
+        ~doc:
+          "Cap the streamed campaign at N traces (needs $(b,--store)); with \
+           $(b,--until-confident), undecided coefficients fall back to their \
+           full buffered prefix at the cap.")
+
 let crack_cmd =
   Cmd.v
     (Cmd.info "crack"
        ~doc:"Recover the key and forge from a stored trace file or trace store")
-    Term.(const cmd_crack $ in_arg $ store_arg $ flags)
+    Term.(
+      const cmd_crack $ in_arg $ store_arg $ until_confident_arg $ alpha_arg
+      $ max_traces_arg $ flags)
 
 let () =
   let doc = "Falcon Down side-channel attack driver" in

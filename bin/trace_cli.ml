@@ -85,12 +85,16 @@ let cmd_inspect store flags =
   Printf.printf "model      alpha %.3f, noise sigma %.3f, baseline %.3f\n"
     m.Tracestore.model.alpha m.Tracestore.model.noise_sigma m.Tracestore.model.baseline;
   Printf.printf "sharding   %d traces per full shard\n" m.Tracestore.shard_traces;
-  Printf.printf "shard | traces | bytes    | crc32\n";
-  Printf.printf "------+--------+----------+---------\n";
+  (* the cumulative column maps a sequential stop at n traces back to
+     the shard boundary where the adaptive campaign stopped reading *)
+  Printf.printf "shard | traces | cumul  | bytes    | crc32\n";
+  Printf.printf "------+--------+--------+----------+---------\n";
+  let cumul = ref 0 in
   for i = 0 to Tracestore.Reader.shard_count reader - 1 do
     let e = Tracestore.Reader.entry reader i in
-    Printf.printf "%5d | %6d | %8d | %08x\n" i e.Tracestore.count e.Tracestore.bytes
-      e.Tracestore.crc
+    cumul := !cumul + e.Tracestore.count;
+    Printf.printf "%5d | %6d | %6d | %8d | %08x\n" i e.Tracestore.count !cumul
+      e.Tracestore.bytes e.Tracestore.crc
   done;
   Printf.printf "total %d traces in %d shards\n"
     (Tracestore.Reader.total_traces reader)

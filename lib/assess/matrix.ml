@@ -22,7 +22,7 @@ type report = {
   cells : cell list;
 }
 
-let schema = "falcon-down/assess-matrix/v1"
+let schema = "falcon-down/assess-matrix/v2"
 
 let assess_cell ~ctx defense ~sigma ~budget ~seed =
   let secret = Campaign.secret_operand (Stats.Rng.create ~seed:(seed lxor 0x7e57)) in
@@ -128,6 +128,11 @@ let json_of_cell c =
       ( "mtd",
         match c.outcome.Metrics.mtd with Some d -> Json.Int d | None -> Json.Null );
       ("mtd_found", Json.Int c.outcome.Metrics.mtd_found);
+      ( "mtd_conf",
+        match c.outcome.Metrics.mtd_conf with
+        | Some d -> Json.Int d
+        | None -> Json.Null );
+      ("mtd_conf_found", Json.Int c.outcome.Metrics.mtd_conf_found);
       ("max_t1", Json.Float c.max_t1);
       ("max_t1_sample", Json.Int c.max_t1_sample);
       ("max_t2", Json.Float c.max_t2);
@@ -152,8 +157,8 @@ let to_json r =
 
 let csv_header =
   "defense,sigma,budget,experiments,success_rate,guessing_entropy,ge_bits,mtd,\
-   mtd_found,max_t1,max_t1_sample,max_t2,rvr_max_t1,first_order_leak,overhead,\
-   dilution"
+   mtd_found,mtd_conf,mtd_conf_found,max_t1,max_t1_sample,max_t2,rvr_max_t1,\
+   first_order_leak,overhead,dilution"
 
 let to_csv r =
   let buf = Buffer.create 1024 in
@@ -161,13 +166,17 @@ let to_csv r =
   Buffer.add_char buf '\n';
   List.iter
     (fun c ->
-      Printf.bprintf buf "%s,%g,%d,%d,%g,%g,%g,%s,%d,%g,%d,%g,%g,%b,%g,%d\n"
+      Printf.bprintf buf "%s,%g,%d,%d,%g,%g,%g,%s,%d,%s,%d,%g,%d,%g,%g,%b,%g,%d\n"
         (Campaign.name c.defense) c.sigma c.budget c.outcome.Metrics.experiments
         c.outcome.Metrics.success_rate c.outcome.Metrics.guessing_entropy
         c.outcome.Metrics.ge_bits
         (match c.outcome.Metrics.mtd with Some d -> string_of_int d | None -> "")
-        c.outcome.Metrics.mtd_found c.max_t1 c.max_t1_sample c.max_t2 c.rvr_max_t1
-        c.first_order_leak c.overhead c.dilution)
+        c.outcome.Metrics.mtd_found
+        (match c.outcome.Metrics.mtd_conf with
+        | Some d -> string_of_int d
+        | None -> "")
+        c.outcome.Metrics.mtd_conf_found c.max_t1 c.max_t1_sample c.max_t2
+        c.rvr_max_t1 c.first_order_leak c.overhead c.dilution)
     r.cells;
   Buffer.contents buf
 
@@ -220,6 +229,20 @@ let validate_cell i j =
     check
       (mtd_found >= 0 && mtd_found <= experiments)
       (what ^ ": mtd_found outside [0, experiments]")
+  in
+  let* () =
+    match Json.member "mtd_conf" j with
+    | None -> Error (what ^ ": missing field \"mtd_conf\"")
+    | Some Json.Null -> Ok ()
+    | Some (Json.Int d) ->
+        check (d >= 1 && d <= budget) (what ^ ": mtd_conf outside [1, budget]")
+    | Some _ -> Error (what ^ ": field \"mtd_conf\" must be null or an integer")
+  in
+  let* mtd_conf_found = field what Json.to_int_opt j "mtd_conf_found" in
+  let* () =
+    check
+      (mtd_conf_found >= 0 && mtd_conf_found <= experiments)
+      (what ^ ": mtd_conf_found outside [0, experiments]")
   in
   let* _ = field what finite_number j "max_t1" in
   let* _ = field what Json.to_int_opt j "max_t1_sample" in

@@ -15,41 +15,53 @@ type outcome = {
   ge_bits : float;
   mtd : int option;
   mtd_found : int;
+  mtd_conf : int option;
+  mtd_conf_found : int;
   ranks : int array;
   mtds : int option array;
+  mtd_confs : int option array;
 }
 
 let m25 = (1 lsl 25) - 1
 let derived_seed seed = seed + 31337
+let default_stop_alpha = 1e-4
 
-let aggregate ranks mtds =
+(* lower median with None ordered as +infinity: the median experiment
+   must itself have disclosed for the cell to report a finite value *)
+let median_opt xs =
+  let n = Array.length xs in
+  let found = Array.fold_left (fun acc m -> if m <> None then acc + 1 else acc) 0 xs in
+  let keyed = Array.map (function Some d -> d | None -> max_int) xs in
+  Array.sort compare keyed;
+  let mid = keyed.((n - 1) / 2) in
+  ((if mid = max_int then None else Some mid), found)
+
+let aggregate ranks mtds mtd_confs =
   let experiments = Array.length ranks in
   let success = Array.fold_left (fun acc r -> if r = 1 then acc + 1 else acc) 0 ranks in
   let ge =
     Array.fold_left (fun acc r -> acc +. float_of_int r) 0. ranks
     /. float_of_int experiments
   in
-  let mtd_found =
-    Array.fold_left (fun acc m -> if m <> None then acc + 1 else acc) 0 mtds
-  in
-  (* lower median with None ordered as +infinity: the median experiment
-     must itself have disclosed for the cell to report a finite MTD *)
-  let keyed = Array.map (function Some d -> d | None -> max_int) mtds in
-  Array.sort compare keyed;
-  let mid = keyed.((experiments - 1) / 2) in
+  let mtd, mtd_found = median_opt mtds in
+  let mtd_conf, mtd_conf_found = median_opt mtd_confs in
   {
     experiments;
     success;
     success_rate = float_of_int success /. float_of_int experiments;
     guessing_entropy = ge;
     ge_bits = (log ge /. log 2.);
-    mtd = (if mid = max_int then None else Some mid);
+    mtd;
     mtd_found;
+    mtd_conf;
+    mtd_conf_found;
     ranks;
     mtds;
+    mtd_confs;
   }
 
-let of_entries ?ctx ?jobs ~defense ~truth ~experiments ~decoys ~seed entries =
+let of_entries ?ctx ?jobs ?(stop_alpha = default_stop_alpha) ~defense ~truth
+    ~experiments ~decoys ~seed entries =
   let c = Attack.Ctx.resolve ?ctx ?jobs () in
   let obs = c.Attack.Ctx.obs in
   Obs.span obs "metrics.of_entries"
@@ -73,6 +85,17 @@ let of_entries ?ctx ?jobs ~defense ~truth ~experiments ~decoys ~seed entries =
     invalid_arg "Assess.Metrics: degenerate secret (zero low mantissa half)";
   let w00 = Attack.Recover.sample Fpr.Mant_w00 in
   let step = max 1 (per / 16) in
+  (* measured traces-to-decision: the same sequential tester the
+     adaptive campaign engine uses, looking every [step] traces at the
+     low-mantissa decision parts over this experiment's candidate set *)
+  let stop_spec = Sequential.Decision.spec ~alpha:stop_alpha () in
+  let stop_parts =
+    [
+      (Attack.Recover.sample Fpr.Mant_w00, Attack.Recover.p_w00);
+      (Attack.Recover.sample Fpr.Mant_w10, Attack.Recover.p_w10);
+      (Attack.Recover.sample Fpr.Mant_z1a, Attack.Recover.p_z1a);
+    ]
+  in
   let run_one i =
     let slice = Array.sub fixed (i * per) per in
     let traces =
@@ -111,30 +134,41 @@ let of_entries ?ctx ?jobs ~defense ~truth ~experiments ~decoys ~seed entries =
       Attack.Dema.evolution ~traces ~sample:w00 ~model:Attack.Recover.m_w00 ~known ~guess:d_true
         ~step
     in
-    (rank, Stats.Signif.traces_to_significance series, child)
+    let until =
+      Attack.Dema.rank_until ~ctx:ectx ~spec:stop_spec ~batch:step ~traces
+        ~parts:stop_parts ~known ~top:1 (Array.to_seq candidates)
+    in
+    let mtd_conf =
+      match until.Attack.Dema.stop with
+      | Some s -> Some s.Sequential.Decision.n_traces
+      | None -> None
+    in
+    (rank, Stats.Signif.traces_to_significance series, mtd_conf, child)
   in
   let results =
     Parallel.map_array ~jobs:c.Attack.Ctx.jobs run_one
       (Array.init experiments Fun.id)
   in
-  Array.iter (fun (_, _, child) -> Obs.drain ~into:obs child) results;
+  Array.iter (fun (_, _, _, child) -> Obs.drain ~into:obs child) results;
   aggregate
-    (Array.map (fun (r, _, _) -> r) results)
-    (Array.map (fun (_, m, _) -> m) results)
+    (Array.map (fun (r, _, _, _) -> r) results)
+    (Array.map (fun (_, m, _, _) -> m) results)
+    (Array.map (fun (_, _, mc, _) -> mc) results)
 
-let run ?ctx ?jobs config =
+let run ?ctx ?jobs ?stop_alpha config =
   if config.budget < 8 then invalid_arg "Assess.Metrics: budget must be at least 8";
   let secret = Campaign.secret_operand (Stats.Rng.create ~seed:(config.seed lxor 0x5eed)) in
   let entries =
     Campaign.generate ~p_fixed:1.0 config.defense ~noise:config.noise ~secret
       ~count:(config.budget * config.experiments) ~seed:config.seed
   in
-  of_entries ?ctx ?jobs ~defense:config.defense ~truth:secret
+  of_entries ?ctx ?jobs ?stop_alpha ~defense:config.defense ~truth:secret
     ~experiments:config.experiments ~decoys:config.decoys
     ~seed:(derived_seed config.seed) entries
 
-let of_store ?ctx ?jobs ?seed ~experiments ~decoys dir =
+let of_store ?ctx ?jobs ?stop_alpha ?seed ~experiments ~decoys dir =
   let defense, secret, campaign_seed, reader = Campaign.open_store dir in
   let entries = Array.of_seq (Campaign.seq_of_store reader) in
   let seed = match seed with Some s -> s | None -> derived_seed campaign_seed in
-  of_entries ?ctx ?jobs ~defense ~truth:secret ~experiments ~decoys ~seed entries
+  of_entries ?ctx ?jobs ?stop_alpha ~defense ~truth:secret ~experiments ~decoys
+    ~seed entries

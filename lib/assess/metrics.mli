@@ -18,7 +18,16 @@
       ({!Stats.Signif.traces_to_significance} over a
       {!Attack.Dema.evolution} series), reported per cell as the lower
       median over experiments ([None] = the median experiment never
-      disclosed within budget).
+      disclosed within budget);
+    - {b MTD-at-confidence}: the {e measured} traces-to-decision of the
+      sequential early-stopping tester ({!Sequential.Decision}, Fisher-z
+      top-1 vs runner-up gap with alpha-spending, default
+      [alpha = 1e-4]) run via {!Attack.Dema.rank_until} over the same
+      candidate set and the three low-half decision parts — i.e. the
+      trace count at which the adaptive campaign engine would actually
+      stop, not an oracle figure that presumes the truth.  Reported as
+      lower median + found count, like MTD.  [None] = the tester never
+      reached confidence within the experiment's budget.
 
     Experiments fan out on the {!Parallel} pool ({!of_entries} is a pure
     function of its arguments per experiment index, so results are
@@ -52,8 +61,11 @@ type outcome = {
   ge_bits : float;  (** log2 of the above *)
   mtd : int option;  (** median traces-to-disclosure *)
   mtd_found : int;  (** experiments that disclosed within budget *)
+  mtd_conf : int option;  (** median measured traces-to-decision *)
+  mtd_conf_found : int;  (** experiments whose tester stopped in budget *)
   ranks : int array;  (** per-experiment truth ranks *)
   mtds : int option array;  (** per-experiment traces-to-disclosure *)
+  mtd_confs : int option array;  (** per-experiment traces-to-decision *)
 }
 
 val derived_seed : int -> int
@@ -63,6 +75,7 @@ val derived_seed : int -> int
 val of_entries :
   ?ctx:Attack.Ctx.t ->
   ?jobs:int ->
+  ?stop_alpha:float ->
   defense:Campaign.defense ->
   truth:Fpr.t ->
   experiments:int ->
@@ -71,17 +84,20 @@ val of_entries :
   Campaign.entry array ->
   outcome
 (** Slice the campaign's fixed-class entries into [experiments]
-    consecutive blocks and attack each.  Raises [Invalid_argument] on a
-    degenerate secret or nonsensical parameters, [Failure] when the
-    fixed class is too small for the requested experiment count. *)
+    consecutive blocks and attack each.  [?stop_alpha] is the sequential
+    tester's family-wise error budget for the MTD-at-confidence column
+    (default [1e-4]).  Raises [Invalid_argument] on a degenerate secret
+    or nonsensical parameters, [Failure] when the fixed class is too
+    small for the requested experiment count. *)
 
-val run : ?ctx:Attack.Ctx.t -> ?jobs:int -> config -> outcome
+val run : ?ctx:Attack.Ctx.t -> ?jobs:int -> ?stop_alpha:float -> config -> outcome
 (** Generate an all-fixed campaign of [budget * experiments] traces
     (secret drawn from the config seed) and evaluate it. *)
 
 val of_store :
   ?ctx:Attack.Ctx.t ->
   ?jobs:int ->
+  ?stop_alpha:float ->
   ?seed:int ->
   experiments:int ->
   decoys:int ->

@@ -117,6 +117,240 @@ let group_parts parts =
   in
   go parts
 
+(* ---- incremental hypothesis sweep for sequential campaigns ----
+
+   The fixed-budget sweeps above see the whole campaign at once.  The
+   adaptive engine instead feeds the same additions in batches and
+   finalises correlations at every decision look, which the fused
+   accumulators support directly: they persist across folds and
+   [Fused.corr] reads them without resetting.  A sweep that is fed the
+   campaign to exhaustion therefore scores bit-identically to
+   [Stream.rank] / [rank], and at every intermediate look the Scalar and
+   Batched backends agree bitwise (same additions, same epilogue) — the
+   substrate for stop decisions that are reproducible across [jobs] and
+   backends. *)
+module Sweep = struct
+  type 'k t = {
+    backend : Stats.Pearson.Batch.backend;
+    candidates : int array;
+    models : 'k Hypothesis.Model.t array;
+    appls : (int -> 'k -> int) array;
+    nparts : int;
+    mutable n : int;
+    sums : float array;  (* per part: running column sum *)
+    sqs : float array;  (* per part: running column sum of squares *)
+    chunks : (int * int) array;  (* (offset, len) per candidate chunk *)
+    cand_chunks : int array array;
+    (* scalar arm: per part x candidate running hypothesis moments *)
+    sh : float array array;
+    shh : float array array;
+    sht : float array array;
+    (* batched arm: one persistent fused accumulator per (chunk, part) *)
+    accs : Stats.Pearson.Batch.Fused.t array array;
+  }
+
+  let create ~backend ~parts candidates =
+    let g = Array.length candidates in
+    if g < 2 then invalid_arg "Dema.Sweep.create: need at least two candidates";
+    let models = Array.of_list parts in
+    let nparts = Array.length models in
+    if nparts = 0 then invalid_arg "Dema.Sweep.create: no parts";
+    let nchunks = (g + sweep_chunk - 1) / sweep_chunk in
+    let chunks =
+      Array.init nchunks (fun c ->
+          let off = c * sweep_chunk in
+          (off, min sweep_chunk (g - off)))
+    in
+    let scalar = backend = Stats.Pearson.Batch.Scalar in
+    {
+      backend;
+      candidates;
+      models;
+      appls = Array.map Hypothesis.Model.apply models;
+      nparts;
+      n = 0;
+      sums = Array.make nparts 0.;
+      sqs = Array.make nparts 0.;
+      chunks;
+      cand_chunks =
+        Array.map (fun (off, len) -> Array.sub candidates off len) chunks;
+      sh = (if scalar then Array.init nparts (fun _ -> Array.make g 0.) else [||]);
+      shh = (if scalar then Array.init nparts (fun _ -> Array.make g 0.) else [||]);
+      sht = (if scalar then Array.init nparts (fun _ -> Array.make g 0.) else [||]);
+      accs =
+        (if scalar then [||]
+         else
+           Array.map
+             (fun (_, len) ->
+               Array.init nparts (fun _ ->
+                   Stats.Pearson.Batch.Fused.create ~rows:len ~ncols:1))
+             chunks);
+    }
+
+  let n t = t.n
+
+  (* One batch: per part, its column segment plus the known operands the
+     part's model digests (parts may live on different views, hence the
+     per-part known array).  Additions land per (part, candidate)
+     accumulator in global trace order — chunk parallelism touches
+     disjoint candidate ranges, so every [jobs] produces the same
+     state. *)
+  let fold ?jobs t segs =
+    if Array.length segs <> t.nparts then
+      invalid_arg "Dema.Sweep.fold: wrong number of part segments";
+    let len = Array.length (fst segs.(0)) in
+    if len > 0 then begin
+      Array.iter
+        (fun (col, ks) ->
+          if Array.length col <> len || Array.length ks <> len then
+            invalid_arg "Dema.Sweep.fold: ragged part segments")
+        segs;
+      for j = 0 to t.nparts - 1 do
+        let col, _ = segs.(j) in
+        let s = ref t.sums.(j) and ss = ref t.sqs.(j) in
+        for i = 0 to len - 1 do
+          let v = Array.unsafe_get col i in
+          s := !s +. v;
+          ss := !ss +. (v *. v)
+        done;
+        t.sums.(j) <- !s;
+        t.sqs.(j) <- !ss
+      done;
+      let jobs = min (Parallel.resolve jobs) (Array.length t.chunks) in
+      (match t.backend with
+      | Stats.Pearson.Batch.Scalar ->
+          let work c =
+            let off, clen = t.chunks.(c) in
+            for j = 0 to t.nparts - 1 do
+              let col, ks = segs.(j) in
+              let model = t.appls.(j) in
+              let sh = t.sh.(j) and shh = t.shh.(j) and sht = t.sht.(j) in
+              for r = off to off + clen - 1 do
+                let guess = Array.unsafe_get t.candidates r in
+                let a = ref (Array.unsafe_get sh r)
+                and aa = ref (Array.unsafe_get shh r)
+                and at = ref (Array.unsafe_get sht r) in
+                for i = 0 to len - 1 do
+                  let x =
+                    float_of_int
+                      (Bitops.popcount (model guess (Array.unsafe_get ks i)))
+                  in
+                  a := !a +. x;
+                  aa := !aa +. (x *. x);
+                  at := !at +. (x *. Array.unsafe_get col i)
+                done;
+                Array.unsafe_set sh r !a;
+                Array.unsafe_set shh r !aa;
+                Array.unsafe_set sht r !at
+              done
+            done
+          in
+          ignore
+            (Parallel.map_array ~jobs work
+               (Array.init (Array.length t.chunks) Fun.id))
+      | Stats.Pearson.Batch.Batched ->
+          (* per-part segment sources (prep tables for split models) are
+             built once on the owner and shared read-only by the chunks *)
+          let srcs =
+            Array.mapi (fun j (_, ks) -> seg_src t.models.(j) ks) segs
+          in
+          let work c =
+            let guesses = t.cand_chunks.(c) in
+            for j = 0 to t.nparts - 1 do
+              let col, _ = segs.(j) in
+              seg_fold t.accs.(c).(j) srcs.(j) ~cols:[| col |] ~len guesses
+            done
+          in
+          ignore
+            (Parallel.map_array ~jobs work
+               (Array.init (Array.length t.chunks) Fun.id)));
+      t.n <- t.n + len
+    end
+
+  (* Finalised per-candidate scores over everything folded so far: sum
+     over parts of |r|, the fixed-budget sweeps' statistic, computed
+     with their exact epilogue. *)
+  let scores ?jobs t =
+    let g = Array.length t.candidates in
+    let out = Array.make g 0. in
+    if t.n > 0 then begin
+      let nf = float_of_int t.n in
+      let stats =
+        Array.init t.nparts (fun j ->
+            (t.sums.(j), t.sqs.(j) -. (t.sums.(j) *. t.sums.(j) /. nf)))
+      in
+      let jobs = min (Parallel.resolve jobs) (Array.length t.chunks) in
+      let work c =
+        let off, clen = t.chunks.(c) in
+        match t.backend with
+        | Stats.Pearson.Batch.Scalar ->
+            for j = 0 to t.nparts - 1 do
+              let sum_t, var_t = stats.(j) in
+              let sh = t.sh.(j) and shh = t.shh.(j) and sht = t.sht.(j) in
+              for r = off to off + clen - 1 do
+                let a = Array.unsafe_get sh r in
+                let vh = Array.unsafe_get shh r -. (a *. a /. nf) in
+                let cov = Array.unsafe_get sht r -. (a *. sum_t /. nf) in
+                let rr =
+                  if vh <= 0. || var_t <= 0. then 0.
+                  else cov /. sqrt (vh *. var_t)
+                in
+                out.(r) <- out.(r) +. Float.abs rr
+              done
+            done
+        | Stats.Pearson.Batch.Batched ->
+            for j = 0 to t.nparts - 1 do
+              let sum_t, var_t = stats.(j) in
+              let rs =
+                Stats.Pearson.Batch.Fused.corr t.accs.(c).(j) ~index:0 ~n:t.n
+                  ~sum_t ~var_t
+              in
+              for i = 0 to clen - 1 do
+                out.(off + i) <- out.(off + i) +. Float.abs rs.(i)
+              done
+            done
+      in
+      ignore
+        (Parallel.map_array ~jobs work (Array.init (Array.length t.chunks) Fun.id))
+    end;
+    out
+
+  let ranking ?jobs t ~top =
+    let sc = scores ?jobs t in
+    let tk = Topk.create top in
+    Array.iteri
+      (fun i s -> Topk.add tk { guess = t.candidates.(i); corr = s })
+      sc;
+    Topk.to_list tk
+
+  (* Top-1 vs runner-up under the deterministic total order, reported as
+     mean |r| over parts so the statistic lives in [0, 1] like a single
+     correlation — what the Fisher-z decision rules expect. *)
+  let leaders ?jobs t =
+    let sc = scores ?jobs t in
+    let best = ref 0 in
+    let second = ref (-1) in
+    let better a b =
+      compare_scored
+        { guess = t.candidates.(a); corr = sc.(a) }
+        { guess = t.candidates.(b); corr = sc.(b) }
+      < 0
+    in
+    for i = 1 to Array.length sc - 1 do
+      if better i !best then begin
+        second := !best;
+        best := i
+      end
+      else if !second < 0 || better i !second then second := i
+    done;
+    let np = float_of_int t.nparts in
+    {
+      Sequential.Campaign.winner = t.candidates.(!best);
+      best = sc.(!best) /. np;
+      runner_up = sc.(!second) /. np;
+    }
+end
+
 let rank ?ctx ?jobs ?backend ~traces ~parts ~known ~top candidates =
   let c = Ctx.resolve ?ctx ?jobs ?backend () in
   let obs = c.Ctx.obs in
@@ -201,7 +435,13 @@ let rank ?ctx ?jobs ?backend ~traces ~parts ~known ~top candidates =
         (* one correlation = ~6 flops/trace (centre, multiply-accumulate,
            normalise amortised); a per-sweep order-of-magnitude estimate *)
         Obs.gauge obs "dema.flops_est"
-          (float_of_int n *. float_of_int nparts *. 6. *. float_of_int d)
+          (float_of_int n *. float_of_int nparts *. 6. *. float_of_int d);
+        (* fewer traces than candidates: the top of the ranking is
+           dominated by chance correlations, not evidence *)
+        if d < n then
+          Obs.count ~level:Obs.Error
+            ~fields:[ ("traces", Obs.Int d); ("guesses", Obs.Int n) ]
+            obs "dema.degenerate_rank" 1
     | None -> ());
     result
   in
@@ -305,6 +545,65 @@ let rank_absolute ?ctx ?jobs ?backend ~traces ~parts ~known ~top ~alpha ~baselin
         ("backend", Obs.Str (backend_name c.Ctx.backend));
       ]
     run
+
+(* ---- sequential early-stopping rank ---- *)
+
+type until = {
+  ranking : scored list;
+  stop : Sequential.Decision.stop option;
+  n_traces : int;
+  looks : int;
+}
+
+(* Single-unit campaign: one incremental sweep fed batch by batch, one
+   tester looking at its leaders.  The unit's inner work (fold, score
+   finalisation) parallelises over candidate chunks with the context's
+   [jobs]; the campaign driver itself runs single-unit. *)
+let run_until ~ctx ~spec ~total ~top ~parts ~feed candidates =
+  let jobs = ctx.Ctx.jobs in
+  let sweep = Sweep.create ~backend:ctx.Ctx.backend ~parts candidates in
+  let unit_ =
+    {
+      Sequential.Campaign.fold = (fun segs -> Sweep.fold ~jobs sweep segs);
+      leaders = (fun () -> Sweep.leaders ~jobs sweep);
+    }
+  in
+  let results =
+    Sequential.Campaign.run ~jobs:1 ~obs:ctx.Ctx.obs ~spec ~total ~feed
+      ~length:(fun segs -> Array.length (snd segs.(0)))
+      [| unit_ |]
+  in
+  let r = results.(0) in
+  {
+    ranking = Sweep.ranking ~jobs sweep ~top;
+    stop = r.Sequential.Campaign.stop;
+    n_traces = r.Sequential.Campaign.n_traces;
+    looks = r.Sequential.Campaign.looks;
+  }
+
+let rank_until ?ctx ?jobs ?backend ~spec ?(batch = 64) ~traces ~parts ~known
+    ~top candidates =
+  let c = Ctx.resolve ?ctx ?jobs ?backend () in
+  if batch < 1 then invalid_arg "Dema.rank_until: batch must be >= 1";
+  let total = Array.length traces in
+  let samples = Array.of_list (List.map fst parts) in
+  let models = List.map snd parts in
+  let pos = ref 0 in
+  let feed () =
+    if !pos >= total then None
+    else begin
+      let off = !pos in
+      let len = min batch (total - off) in
+      pos := off + len;
+      let ks = Array.init len (fun i -> known.(off + i)) in
+      Some
+        (Array.map
+           (fun s -> (Array.init len (fun i -> traces.(off + i).(s)), ks))
+           samples)
+    end
+  in
+  run_until ~ctx:c ~spec ~total ~top ~parts:models ~feed
+    (Array.of_seq candidates)
 
 (* ---- streaming engine over an on-disk trace store ----
 
@@ -554,7 +853,14 @@ module Stream = struct
                 rank_block_scores ~ctx:c ~score_block ~top candidates)
       in
       (match scored with
-      | Some a -> Obs.count obs "dema.guesses" (Atomic.get a)
+      | Some a ->
+          let n = Atomic.get a in
+          Obs.count obs "dema.guesses" n;
+          (* degenerate rank regime: see [rank] *)
+          if total_d < n then
+            Obs.count ~level:Obs.Error
+              ~fields:[ ("traces", Obs.Int total_d); ("guesses", Obs.Int n) ]
+              obs "dema.degenerate_rank" 1
       | None -> ());
       result
     in
@@ -566,10 +872,144 @@ module Stream = struct
         ]
       run
 
+  (* Pull-based shard feed for adaptive campaigns: decoded strictly in
+     shard order, one at a time, with one decode kept in flight on a
+     helper domain when [prefetch] — the caller consumes at its own
+     pace and simply stops pulling at the stopping point, so unread
+     shards are never decoded.  The delivered trace sequence (order,
+     skips, truncation at the cap) is independent of [prefetch]. *)
+  type feed = {
+    next : unit -> Leakage.trace array option;
+    close : unit -> unit;
+    total : int;
+    skipped : unit -> int;
+  }
+
+  let shard_feed ?(on_corrupt = `Fail) ?(prefetch = true) ?max_traces reader =
+    let m = check_meta reader in
+    let shards = Tracestore.Reader.shard_count reader in
+    let cap =
+      let avail = Tracestore.Reader.total_traces reader in
+      match max_traces with
+      | None -> avail
+      | Some k ->
+          if k < 1 then
+            invalid_arg "Dema.Stream.shard_feed: max_traces must be >= 1";
+          min k avail
+    in
+    let skipped = ref 0 in
+    let fetch i =
+      match Tracestore.Reader.read_shard reader i with
+      | Some records ->
+          Some (Array.map (Leakage.of_record ~n:m.Tracestore.n) records)
+      | None -> (
+          match on_corrupt with
+          | `Fail ->
+              failwith
+                (Printf.sprintf
+                   "Dema.Stream: shard %d is corrupt or unreadable; pass \
+                    ~on_corrupt:`Skip to drop it from the campaign"
+                   i)
+          | `Skip -> None)
+      | exception Failure msg -> (
+          match on_corrupt with `Fail -> failwith msg | `Skip -> None)
+    in
+    let idx = ref 0 in
+    let pending = ref None in
+    let take () =
+      let cur =
+        match !pending with
+        | Some d ->
+            pending := None;
+            Domain.join d
+        | None -> fetch !idx
+      in
+      incr idx;
+      if prefetch && !idx < shards then begin
+        let i = !idx in
+        pending := Some (Domain.spawn (fun () -> fetch i))
+      end;
+      (match cur with None -> incr skipped | Some _ -> ());
+      cur
+    in
+    let delivered = ref 0 in
+    let rec next () =
+      if !delivered >= cap || !idx >= shards then None
+      else
+        match take () with
+        | None -> next ()
+        | Some tr ->
+            let room = cap - !delivered in
+            let tr =
+              if Array.length tr > room then Array.sub tr 0 room else tr
+            in
+            delivered := !delivered + Array.length tr;
+            if Array.length tr = 0 then next () else Some tr
+    in
+    let close () =
+      match !pending with
+      | Some d ->
+          pending := None;
+          (try ignore (Domain.join d) with _ -> ())
+      | None -> ()
+    in
+    { next; close; total = cap; skipped = (fun () -> !skipped) }
+
+  (* Adaptive variant of [rank]: shards are decoded one at a time (with
+     the same corrupt-shard policy and an optional decode-ahead domain)
+     and fed to an incremental sweep; the tester looks after each shard
+     per the spec's schedule and the pull stops at the stopping point.
+     Fed to exhaustion it returns [rank]'s exact ranking. *)
+  let rank_until ?ctx ?jobs ?backend ?on_corrupt ?prefetch ~spec ?max_traces
+      reader ~parts ~known ~top candidates =
+    let c = Ctx.resolve ?ctx ?jobs ?backend () in
+    let obs = c.Ctx.obs in
+    let fd = shard_feed ?on_corrupt ?prefetch ?max_traces reader in
+    let samples = Array.of_list (List.map fst parts) in
+    let models = List.map snd parts in
+    let feed () =
+      match fd.next () with
+      | None -> None
+      | Some tr ->
+          let ks = Array.map known tr in
+          Some
+            (Array.map
+               (fun s ->
+                 ( Array.map (fun (t : Leakage.trace) -> t.Leakage.samples.(s)) tr,
+                   ks ))
+               samples)
+    in
+    Fun.protect ~finally:fd.close (fun () ->
+        Obs.span obs "dema.stream.rank_until"
+          ~fields:
+            [
+              ("shards", Obs.Int (Tracestore.Reader.shard_count reader));
+              ("total", Obs.Int fd.total);
+              ("backend", Obs.Str (backend_name c.Ctx.backend));
+              ("jobs", Obs.Int c.Ctx.jobs);
+            ]
+          (fun () ->
+            let r =
+              run_until ~ctx:c ~spec ~total:fd.total ~top ~parts:models ~feed
+                (Array.of_seq candidates)
+            in
+            let sk = fd.skipped () in
+            if Obs.enabled obs && sk > 0 then
+              Obs.count obs "dema.shards_skipped" sk;
+            r))
+
   let evolution ?ctx ?jobs ?on_corrupt ?prefetch reader ~sample ~model ~known ~guess =
     let c = Ctx.resolve ?ctx ?jobs () in
     if Tracestore.Reader.total_traces reader = 0 then
       failwith "Dema.Stream.evolution: store holds no traces (empty campaign)";
+    (* below 4 traces the correlation (and any Fisher-z band on it) is
+       pure noise — flag the degenerate campaign instead of silently
+       returning it *)
+    let tot = Tracestore.Reader.total_traces reader in
+    if tot <= 3 then
+      Obs.count ~level:Obs.Error
+        ~fields:[ ("traces", Obs.Int tot) ]
+        c.Ctx.obs "dema.degenerate_evolution" 1;
     let per_shard =
       map_shards ~ctx:c ?on_corrupt ?prefetch reader (fun _ traces ->
           let acc = Stats.Welford.Cov.create () in

@@ -106,6 +106,88 @@ val rank_absolute :
     arm keeps one running error per guess row, same additions in the
     same order — bit-identical scores). *)
 
+(** {1 Sequential early-stopping sweeps}
+
+    The adaptive campaign engine: the same distinguisher statistics,
+    accumulated batch by batch, with a {!Sequential.Decision} tester
+    looking at the top-1 vs runner-up correlation gap after each batch
+    and stopping the sweep as soon as the leader separates at the
+    requested confidence.
+
+    {b Determinism.}  A sweep fed to exhaustion scores bit-identically
+    to the fixed-budget sweeps, and at {e every intermediate look} the
+    Scalar and Batched backends agree bitwise (same additions into
+    per-candidate accumulators in global trace order, same finalisation
+    epilogue), candidate-chunk parallelism touches disjoint state, and
+    all decisions run on the owner domain — so stop points, winners and
+    the returned ranking are bit-identical across [jobs], backends and
+    prefetch settings. *)
+
+(** Incremental per-candidate scoring state: a chunked sweep whose
+    accumulators persist across batch folds and can be finalised at any
+    look without a reset.  Used by {!rank_until} /
+    {!Stream.rank_until} and by [Fullkey]'s per-coefficient decision
+    sweeps. *)
+module Sweep : sig
+  type 'k t
+
+  val create :
+    backend:Stats.Pearson.Batch.backend ->
+    parts:'k Hypothesis.Model.t list ->
+    int array ->
+    'k t
+  (** One sweep over a fixed candidate array (at least two candidates —
+      a runner-up must exist) and a list of part models.  Parts may live
+      on different views, so each supplies its own known operands at
+      fold time. *)
+
+  val n : 'k t -> int
+  (** Traces folded so far. *)
+
+  val fold : ?jobs:int -> 'k t -> (float array * 'k array) array -> unit
+  (** One batch: element [j] is part [j]'s (column segment, known
+      operands), all of one equal length.  Raises [Invalid_argument] on
+      a ragged or mis-sized batch. *)
+
+  val scores : ?jobs:int -> 'k t -> float array
+  (** Per-candidate sum over parts of |r| over everything folded so
+      far, with the fixed-budget sweeps' exact epilogue. *)
+
+  val ranking : ?jobs:int -> 'k t -> top:int -> scored list
+  (** Top-[top] of {!scores} under {!compare_scored}. *)
+
+  val leaders : ?jobs:int -> 'k t -> Sequential.Campaign.leaders
+  (** Top-1 vs runner-up under {!compare_scored}, reported as mean |r|
+      over parts (so the statistic lives in [0,1] like a single
+      correlation — what the Fisher-z decision rules expect). *)
+end
+
+type until = {
+  ranking : scored list;  (** the ranking at the stopping point *)
+  stop : Sequential.Decision.stop option;
+      (** [None]: the budget ran out before the leader separated *)
+  n_traces : int;  (** traces actually consumed *)
+  looks : int;
+}
+
+val rank_until :
+  ?ctx:Ctx.t ->
+  ?jobs:int ->
+  ?backend:Stats.Pearson.Batch.backend ->
+  spec:Sequential.Decision.spec ->
+  ?batch:int ->
+  traces:float array array ->
+  parts:(int * 'k Hypothesis.Model.t) list ->
+  known:'k array ->
+  top:int ->
+  int Seq.t ->
+  until
+(** In-memory adaptive {!rank}: traces are fed in batches of [?batch]
+    (default 64) and the sweep stops as soon as the tester fires.  Fed
+    to exhaustion (tester never fires) the ranking equals {!rank}'s
+    bitwise.  This is how [Assess.Metrics] measures traces-to-decision
+    on an experiment already held in memory. *)
+
 (** Streaming engine over an on-disk {!Tracestore} campaign: the same
     distinguishers without ever materialising the corpus.  Shards are
     decoded on the domain pool (one shard per work unit, so peak memory
@@ -180,6 +262,56 @@ module Stream : sig
       segments that both backends score in shard order with running
       accumulators, finalised against whole-campaign column moments —
       bit-identical to the in-memory {!rank} on the extracted corpus. *)
+
+  (** Pull-based shard feed for adaptive campaigns. *)
+  type feed = {
+    next : unit -> Leakage.trace array option;
+        (** next non-empty decoded shard in shard order, truncated at
+            the cap; [None] once the campaign (or the cap) is exhausted *)
+    close : unit -> unit;
+        (** join any in-flight decode; call when abandoning the feed
+            early (idempotent, [Fun.protect ~finally] material) *)
+    total : int;  (** the capped campaign budget the feed will deliver *)
+    skipped : unit -> int;  (** corrupt shards dropped so far *)
+  }
+
+  val shard_feed :
+    ?on_corrupt:[ `Fail | `Skip ] ->
+    ?prefetch:bool ->
+    ?max_traces:int ->
+    Tracestore.Reader.t ->
+    feed
+  (** Decode shards strictly in shard order, one pull at a time, with
+      one decode kept in flight on a helper domain when [?prefetch]
+      (the default).  The delivered trace sequence is independent of
+      [prefetch].  Unpulled shards are never decoded — the property
+      adaptive campaigns stop early on.  Raises like {!map_shards} on
+      corrupt shards under [`Fail]. *)
+
+  val rank_until :
+    ?ctx:Ctx.t ->
+    ?jobs:int ->
+    ?backend:Stats.Pearson.Batch.backend ->
+    ?on_corrupt:[ `Fail | `Skip ] ->
+    ?prefetch:bool ->
+    spec:Sequential.Decision.spec ->
+    ?max_traces:int ->
+    Tracestore.Reader.t ->
+    parts:(int * 'k Hypothesis.Model.t) list ->
+    known:(Leakage.trace -> 'k) ->
+    top:int ->
+    int Seq.t ->
+    until
+  (** Store-backed adaptive {!rank}: shards are decoded strictly in
+      shard order, one at a time (with one decode kept in flight when
+      [?prefetch], the default), fed to an incremental sweep, and the
+      pull stops at the stopping point — unread shards are never
+      decoded.  [?max_traces] caps the campaign (the budget an
+      equivalent fixed run would use; also the baseline for the
+      [seq.traces_saved] counter).  Batches are shard-sized, so looks
+      land on shard boundaries; fed to exhaustion the ranking equals
+      {!Stream.rank}'s bitwise.  Corrupt-shard policy as above
+      ([`Skip] drops the shard from the campaign and counts it). *)
 
   val evolution :
     ?ctx:Ctx.t ->

@@ -100,20 +100,213 @@ let store_views ?on_corrupt ?prefetch ~ctx ~reader ~coeff ~component () =
       })
     muls
 
-let recover_f_fft_store ?ctx ?jobs ?on_corrupt ?prefetch ~reader strategy =
-  let c = Ctx.resolve ?ctx ?jobs () in
-  let n = (Tracestore.Reader.meta reader).Tracestore.n in
-  Obs.span c.Ctx.obs "fullkey.recover_f_fft_store"
-    ~fields:[ ("n", Obs.Int n); ("jobs", Obs.Int c.Ctx.jobs) ]
-  @@ fun () ->
+(* ---- adaptive (early-stopping) variant ----
+
+   One single streaming pass over the campaign with 2n live units (vs
+   one pass per task above): each batch is decoded once and every
+   still-undecided unit extracts its two windows from it, buffers them
+   (the prefix its final attack will run on) and folds two incremental
+   decision sweeps — low mantissa half on [w00; w10; z1a] over the
+   width-25 candidate set (z1a is what breaks the exact shift-alias
+   ties of w00/w10) and high half on [w01; w11] over the width-28
+   candidates (whose [lo] excludes shift aliases, so no d-dependent
+   part is needed).  The unit's reported gap is the {e weaker} of the
+   two sweeps' standardised gaps, so a stop certifies both halves
+   separated at the spent level.  Once stopped, the unit is retired:
+   its buffer stops growing and later batches skip its scoring
+   entirely.  The unchanged per-coefficient attack then runs on each
+   unit's buffered prefix.
+
+   Determinism: batches arrive in shard order whatever the prefetch
+   setting, each unit's sweeps are folded only by its own unit in batch
+   order with single-job inner sweeps (unit-level parallelism comes
+   from the campaign driver), and decisions run on the owner domain in
+   unit order — stop points, winners and the recovered key are
+   bit-identical at every [jobs] and backend. *)
+
+let mul_known (re, im) = function 0 | 2 -> re | _ -> im
+
+let decision_candidates strategy ~coeff ~mul =
+  match (strategy ~coeff ~mul : Recover.strategy) with
+  | Recover.Exhaustive ->
+      invalid_arg
+        "Fullkey: ?stop requires a sampled strategy — the exhaustive 2^25 \
+         hypothesis space cannot be re-scored at every look"
+  | Recover.Eval_sampled { rng; decoys; truth } ->
+      (* same rng threading as [Recover.coefficient]: low then high *)
+      let xu = Fpr.mantissa truth lor (1 lsl 52) in
+      ( Hypothesis.sampled rng ~width:25 ~truth:(xu land ((1 lsl 25) - 1)) ~decoys (),
+        Hypothesis.sampled rng ~width:28 ~lo:(1 lsl 27) ~truth:(xu lsr 25) ~decoys ()
+      )
+
+type unit_state = {
+  u_samples : int array;  (* 32 absolute sample indices, window order *)
+  u_muls : int list;
+  (* buffered prefix, newest segment first: (D_b x 32 window rows, knowns) *)
+  u_segs : (float array array * (Fpr.t * Fpr.t) array) list ref;
+  u_low : Fpr.t Dema.Sweep.t;
+  u_high : Fpr.t Dema.Sweep.t;
+}
+
+let make_unit ~backend strategy ~coeff ~component =
+  let muls = match component with `Re -> [ 0; 3 ] | `Im -> [ 1; 2 ] in
+  let samples =
+    Array.of_list
+      (List.concat_map
+         (fun m ->
+           List.init Leakage.events_per_mul (fun i ->
+               (coeff * Leakage.events_per_coeff) + (m * Leakage.events_per_mul)
+               + i))
+         muls)
+  in
+  let mul = match component with `Re -> 0 | `Im -> 1 in
+  let low_cands, high_cands = decision_candidates strategy ~coeff ~mul in
+  let spread models =
+    List.concat_map
+      (fun m -> List.map (fun _ -> m) muls)
+      models
+  in
+  {
+    u_samples = samples;
+    u_muls = muls;
+    u_segs = ref [];
+    u_low =
+      Dema.Sweep.create ~backend
+        ~parts:(spread [ Recover.p_w00; Recover.p_w10; Recover.p_z1a ])
+        low_cands;
+    u_high =
+      Dema.Sweep.create ~backend
+        ~parts:(spread [ Recover.p_w01; Recover.p_w11 ])
+        high_cands;
+  }
+
+let unit_fold u (batch : Leakage.trace array) ~coeff =
+  let rows =
+    Array.map
+      (fun (t : Leakage.trace) ->
+        Array.map (fun s -> t.Leakage.samples.(s)) u.u_samples)
+      batch
+  in
+  let ks =
+    Array.map
+      (fun (t : Leakage.trace) ->
+        (t.Leakage.c_fft.Fft.re.(coeff), t.Leakage.c_fft.Fft.im.(coeff)))
+      batch
+  in
+  u.u_segs := (rows, ks) :: !(u.u_segs);
+  (* per-view known operands and per-(view, label) columns *)
+  let kvs =
+    Array.of_list
+      (List.map (fun m -> Array.map (fun k -> mul_known k m) ks) u.u_muls)
+  in
+  let nviews = Array.length kvs in
+  let col vi lbl =
+    let off = (vi * Leakage.events_per_mul) + Recover.sample lbl in
+    Array.map (fun row -> Array.unsafe_get row off) rows
+  in
+  let segs labels =
+    Array.concat
+      (List.map
+         (fun lbl -> Array.init nviews (fun vi -> (col vi lbl, kvs.(vi))))
+         labels)
+  in
+  Dema.Sweep.fold ~jobs:1 u.u_low
+    (segs [ Fpr.Mant_w00; Fpr.Mant_w10; Fpr.Mant_z1a ]);
+  Dema.Sweep.fold ~jobs:1 u.u_high (segs [ Fpr.Mant_w01; Fpr.Mant_w11 ])
+
+(* The unit separates only when BOTH halves do: report the weaker
+   sweep's leaders, so the tester's one-sided gap test certifies the
+   minimum of the two standardised gaps. *)
+let unit_leaders u =
+  let ll = Dema.Sweep.leaders ~jobs:1 u.u_low in
+  let lh = Dema.Sweep.leaders ~jobs:1 u.u_high in
+  let n = Dema.Sweep.n u.u_low in
+  let z (l : Sequential.Campaign.leaders) =
+    Stats.Signif.corr_gap_z ~n ~r1:l.best ~r2:l.runner_up
+  in
+  if z ll <= z lh then ll else lh
+
+let unit_views u =
+  let rows = Array.concat (List.rev_map fst !(u.u_segs)) in
+  let ks = Array.concat (List.rev_map snd !(u.u_segs)) in
+  List.mapi
+    (fun vi m ->
+      {
+        Recover.traces =
+          Array.map
+            (fun row -> Array.sub row (vi * Leakage.events_per_mul) Leakage.events_per_mul)
+            rows;
+        known = Array.map (fun k -> mul_known k m) ks;
+      })
+    u.u_muls
+
+let recover_f_fft_store_adaptive ~ctx:c ~on_corrupt ~prefetch ~stop:spec
+    ~max_traces ~stop_report ~reader strategy n =
+  let fd = Dema.Stream.shard_feed ?on_corrupt ?prefetch ?max_traces reader in
+  let tasks = 2 * n in
+  let units =
+    Array.init tasks (fun t ->
+        let coeff = t lsr 1 in
+        let component = if t land 1 = 0 then `Re else `Im in
+        make_unit ~backend:c.Ctx.backend strategy ~coeff ~component)
+  in
+  let campaign_units =
+    Array.mapi
+      (fun t u ->
+        let coeff = t lsr 1 in
+        {
+          Sequential.Campaign.fold = (fun batch -> unit_fold u batch ~coeff);
+          leaders = (fun () -> unit_leaders u);
+        })
+      units
+  in
+  let results =
+    Fun.protect ~finally:fd.Dema.Stream.close (fun () ->
+        Sequential.Campaign.run ~jobs:c.Ctx.jobs ~obs:c.Ctx.obs ~spec
+          ~total:fd.Dema.Stream.total ~feed:fd.Dema.Stream.next
+          ~length:Array.length campaign_units)
+  in
+  (match stop_report with
+  | Some f ->
+      f (Sequential.Campaign.summarize ~total:fd.Dema.Stream.total results)
+  | None -> ());
+  (let sk = fd.Dema.Stream.skipped () in
+   if Obs.enabled c.Ctx.obs && sk > 0 then
+     Obs.count c.Ctx.obs "dema.shards_skipped" sk);
+  (* the unchanged per-coefficient attack, on each unit's buffered prefix *)
   fan_tasks ~ctx:c ~n (fun ~tctx ~coeff ~component ->
-      let views =
-        store_views ?on_corrupt ?prefetch ~ctx:tctx ~reader ~coeff ~component ()
-      in
+      let t = (2 * coeff) + match component with `Re -> 0 | `Im -> 1 in
+      let views = unit_views units.(t) in
       let mul = match component with `Re -> 0 | `Im -> 1 in
       Recover.coefficient ~ctx:tctx ~strategy:(strategy ~coeff ~mul) views)
 
-let recover_key_store ?ctx ?jobs ?on_corrupt ?prefetch ~reader ~h strategy =
+let recover_f_fft_store ?ctx ?jobs ?on_corrupt ?prefetch ?stop ?max_traces
+    ?stop_report ~reader strategy =
+  let c = Ctx.resolve ?ctx ?jobs () in
+  let n = (Tracestore.Reader.meta reader).Tracestore.n in
+  Obs.span c.Ctx.obs "fullkey.recover_f_fft_store"
+    ~fields:
+      [
+        ("n", Obs.Int n);
+        ("jobs", Obs.Int c.Ctx.jobs);
+        ("adaptive", Obs.Bool (stop <> None));
+      ]
+  @@ fun () ->
+  match stop with
+  | Some spec ->
+      recover_f_fft_store_adaptive ~ctx:c ~on_corrupt ~prefetch ~stop:spec
+        ~max_traces ~stop_report ~reader strategy n
+  | None ->
+      fan_tasks ~ctx:c ~n (fun ~tctx ~coeff ~component ->
+          let views =
+            store_views ?on_corrupt ?prefetch ~ctx:tctx ~reader ~coeff
+              ~component ()
+          in
+          let mul = match component with `Re -> 0 | `Im -> 1 in
+          Recover.coefficient ~ctx:tctx ~strategy:(strategy ~coeff ~mul) views)
+
+let recover_key_store ?ctx ?jobs ?on_corrupt ?prefetch ?stop ?max_traces
+    ?stop_report ~reader ~h strategy =
   let n = Array.length h in
   let store_n = (Tracestore.Reader.meta reader).Tracestore.n in
   if store_n <> n then
@@ -122,7 +315,10 @@ let recover_key_store ?ctx ?jobs ?on_corrupt ?prefetch ~reader ~h strategy =
          "Fullkey.recover_key_store: store holds FALCON-%d traces but the public key \
           is FALCON-%d"
          store_n n);
-  let f_fft = recover_f_fft_store ?ctx ?jobs ?on_corrupt ?prefetch ~reader strategy in
+  let f_fft =
+    recover_f_fft_store ?ctx ?jobs ?on_corrupt ?prefetch ?stop ?max_traces
+      ?stop_report ~reader strategy
+  in
   let f = Fft.round_to_int (Fft.ifft f_fft) in
   let keypair = Ntru.Ntrugen.recover_from_f ~n ~f ~h in
   { f_fft; f; keypair }

@@ -52,6 +52,9 @@ val recover_f_fft_store :
   ?jobs:int ->
   ?on_corrupt:[ `Fail | `Skip ] ->
   ?prefetch:bool ->
+  ?stop:Sequential.Decision.spec ->
+  ?max_traces:int ->
+  ?stop_report:(Sequential.Campaign.summary -> unit) ->
   reader:Tracestore.Reader.t ->
   (coeff:int -> mul:int -> Recover.strategy) ->
   Fft.t
@@ -62,13 +65,32 @@ val recover_f_fft_store :
     never the whole campaign.  Bit-identical to the in-memory path over
     the same traces, at every [jobs].  [on_corrupt] and [prefetch] are
     forwarded to {!Dema.Stream.extract}: by default a corrupt shard
-    fails the whole recovery loudly. *)
+    fails the whole recovery loudly.
+
+    {b Adaptive budgets.}  With [?stop], the recovery becomes a single
+    streaming pass with 2n live units: each still-undecided
+    (coefficient, component) buffers its windows from every batch and
+    folds two incremental decision sweeps (low mantissa half on
+    [w00; w10; z1a], high half on [w01; w11], over the strategy's
+    candidate sets); a unit stops — and is retired from all later
+    batches — once the {e weaker} of its two top-1 vs runner-up gaps
+    passes the sequential test, and the unchanged per-coefficient
+    attack then runs on its buffered prefix.  [?max_traces] caps the
+    campaign; [?stop_report] receives the per-unit traces-used summary.
+    Stop points and the recovered transform are bit-identical across
+    [jobs], backends and prefetch settings.  Raises [Invalid_argument]
+    if [?stop] is combined with an [Exhaustive] strategy (the 2^25
+    space cannot be re-scored at every look); [?max_traces] and
+    [?stop_report] are meaningful only with [?stop]. *)
 
 val recover_key_store :
   ?ctx:Ctx.t ->
   ?jobs:int ->
   ?on_corrupt:[ `Fail | `Skip ] ->
   ?prefetch:bool ->
+  ?stop:Sequential.Decision.spec ->
+  ?max_traces:int ->
+  ?stop_report:(Sequential.Campaign.summary -> unit) ->
   reader:Tracestore.Reader.t ->
   h:int array ->
   (coeff:int -> mul:int -> Recover.strategy) ->

@@ -61,6 +61,60 @@ let threshold ?(confidence = 0.9999) d =
     tanh (z /. sqrt (float_of_int (d - 3)))
   end
 
+(* Abramowitz & Stegun 26.2.17: |error| < 7.5e-8, monotone. *)
+let normal_cdf z =
+  if z <> z then nan
+  else if z >= 8. then 1.
+  else if z <= -8. then 0.
+  else begin
+    let x = Float.abs z in
+    let t = 1. /. (1. +. (0.2316419 *. x)) in
+    let poly =
+      t
+      *. (0.319381530
+         +. (t
+            *. (-0.356563782
+               +. (t
+                  *. (1.781477937
+                     +. (t *. (-1.821255978 +. (t *. 1.330274429))))))))
+    in
+    let pdf = 0.3989422804014327 *. exp (-0.5 *. x *. x) in
+    let tail = pdf *. poly in
+    if z >= 0. then 1. -. tail else tail
+  end
+
+(* Clamp just inside ±1 so |r| >= 1 maps to a large finite z instead of
+   infinity; atanh (1 - 2^-53) ~ 18.7, far beyond any decision
+   threshold, and the clamp keeps downstream arithmetic NaN-free. *)
+let fisher_clamp = 1. -. epsilon_float
+
+let fisher_z r =
+  let r = if r > fisher_clamp then fisher_clamp
+          else if r < -.fisher_clamp then -.fisher_clamp
+          else r in
+  0.5 *. (Float.log1p r -. Float.log1p (-.r))
+
+let fisher_se ~n = if n <= 3 then infinity else 1. /. sqrt (float_of_int (n - 3))
+
+let corr_gap_z ~n ~r1 ~r2 =
+  if n <= 3 then 0.
+  else
+    (fisher_z r1 -. fisher_z r2) *. sqrt (float_of_int (n - 3) /. 2.)
+
+let two_proportion_z ~k1 ~n1 ~k2 ~n2 =
+  if n1 < 1 || n2 < 1 then 0.
+  else begin
+    let fn1 = float_of_int n1 and fn2 = float_of_int n2 in
+    let p1 = float_of_int k1 /. fn1 and p2 = float_of_int k2 /. fn2 in
+    let pool = float_of_int (k1 + k2) /. (fn1 +. fn2) in
+    let se2 = pool *. (1. -. pool) *. ((1. /. fn1) +. (1. /. fn2)) in
+    let d = p1 -. p2 in
+    if se2 > 0. then d /. sqrt se2
+    else if d = 0. then 0.
+    else if d > 0. then infinity
+    else neg_infinity
+  end
+
 let welch_t ~mean_a ~var_a ~n_a ~mean_b ~var_b ~n_b =
   if n_a < 2 || n_b < 2 then 0.
   else begin

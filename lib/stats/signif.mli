@@ -18,6 +18,41 @@ val threshold : ?confidence:float -> int -> float
     with probability [1 - confidence] (default 0.9999) given [d] traces:
     [tanh (z / sqrt (d - 3))].  Returns 1.0 when [d <= 3]. *)
 
+val normal_cdf : float -> float
+(** Standard-normal CDF (Abramowitz & Stegun 26.2.17 tail polynomial,
+    |error| < 7.5e-8).  Saturates to exactly 0/1 beyond |z| = 8. *)
+
+val fisher_z : float -> float
+(** Fisher's variance-stabilising transform [atanh r], computed as
+    [0.5 (log1p r - log1p (-r))] so it is exactly odd in floating
+    point.  Inputs with |r| >= 1 - eps are clamped just inside the pole
+    (|result| <= atanh (1 - 2^-52) ~ 18.37) so degenerate perfect
+    correlations stay finite.  Monotone nondecreasing. *)
+
+val fisher_se : n:int -> float
+(** Standard error of {!fisher_z} of a sample correlation over [n]
+    observations, [1/sqrt(n-3)]; [infinity] when [n <= 3] (the
+    transform carries no information below 4 traces). *)
+
+val corr_gap_z : n:int -> r1:float -> r2:float -> float
+(** Standardised Fisher-z gap between two sample correlations measured
+    on the {e same} [n] traces:
+    [(fisher_z r1 - fisher_z r2) / sqrt (2 / (n - 3))].  Under the null
+    that both population correlations are equal this is approximately
+    standard normal, so comparing against [probit (1 - alpha)] gives a
+    one-sided level-[alpha] test that [r1]'s population value exceeds
+    [r2]'s.  Exactly antisymmetric in [(r1, r2)]; for a fixed positive
+    gap, strictly increasing in [n].  Returns 0 when [n <= 3]. *)
+
+val two_proportion_z :
+  k1:int -> n1:int -> k2:int -> n2:int -> float
+(** Pooled two-proportion z statistic for [k1/n1] vs [k2/n2] successes
+    (e.g. comparing recovery rates of two attack configurations):
+    [(p1 - p2) / sqrt (p (1-p) (1/n1 + 1/n2))] with [p] the pooled
+    proportion.  Returns 0 if either sample is empty, and 0 / ±infinity
+    when the pooled variance vanishes (all successes or all failures)
+    with equal / unequal proportions. *)
+
 val welch_t :
   mean_a:float ->
   var_a:float ->

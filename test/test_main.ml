@@ -25,5 +25,6 @@ let () =
       ("assess", Test_assess.suite);
       ("keycodec", Test_keycodec.suite);
       ("obs", Test_obs.suite);
+      ("sequential", Test_sequential.suite);
       ("scheme_more", Test_scheme_more.suite);
     ]
