@@ -7,7 +7,7 @@
 
      FD_ONLY    run a single section (fig3, fig4, headline, ntt_vs_fft,
                 ablation_snr, ablation_prune, countermeasures, profiled,
-                stream, assess, pearson, sequential, obs, micro)
+                stream, assess, pearson, sequential, obs, leakage, micro)
      FD_TRACES  trace budget for the per-coefficient experiments (10000)
      FD_N       ring size of the full-key attack (32)
      FD_NOISE   leakage noise sigma (2.0)
@@ -23,19 +23,18 @@
 let getenv_int name default =
   match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
 
-let getenv_float name default =
-  match Sys.getenv_opt name with Some v -> float_of_string v | None -> default
-
 let only = Sys.getenv_opt "FD_ONLY"
 let trace_budget = getenv_int "FD_TRACES" 10_000
 let full_n = getenv_int "FD_N" 32
-let noise = getenv_float "FD_NOISE" 2.0
 let seed = getenv_int "FD_SEED" 42
 let exhaustive = getenv_int "FD_FULL" 0 = 1
 let jobs = getenv_int "FD_JOBS" 1
 let () = Parallel.set_default_jobs jobs
 
-let model = { Leakage.default_model with noise_sigma = noise }
+(* FD_ALPHA / FD_NOISE / FD_BASELINE all land here through the one
+   place the acquisition constants live. *)
+let model = Leakage.Params.of_env ()
+let noise = model.Leakage.noise_sigma
 
 let section name = Printf.printf "\n================ %s ================\n%!" name
 
@@ -1051,6 +1050,194 @@ let obs_bench () =
   Printf.printf "wrote BENCH_obs.json\n"
 
 (* ---------------------------------------------------------------- *)
+(* Register-transfer device models and the realignment pass: capture
+   throughput under the HW, bus-HD and pipelined emitters; streaming
+   realignment throughput of a clock-jittered HD campaign; the
+   end-to-end story (jitter degrades the unaligned attack, realignment
+   restores top-1 full-key recovery); the HD-vs-HW measurement cost as
+   an MTD ratio between the aligned and realigned HD campaigns; and a
+   determinism probe across jobs x prefetch.  Emits one JSON row
+   (BENCH_leakage.json) which check-bench gates on. *)
+
+let leakage_bench () =
+  section "Leakage — register-transfer device models and realignment";
+  let n = min full_n 8 in
+  let count = min trace_budget 400 in
+  let max_shift = 3 in
+  let jitter = { Leakage.max_shift; drift = 0. } in
+  let sk, pk = Falcon.Scheme.keygen ~n ~seed:(Printf.sprintf "victim %d" seed) in
+  let time_capture name emitter =
+    let t0 = Unix.gettimeofday () in
+    let traces = Leakage.capture ~emitter model ~seed sk ~count in
+    let dt = Unix.gettimeofday () -. t0 in
+    let tps = float_of_int count /. dt in
+    Printf.printf "capture %-9s %6d traces in %.3fs  (%.0f traces/s)\n%!" name
+      count dt tps;
+    (traces, tps)
+  in
+  let _, hw_tps = time_capture "hw" Leakage.default_emitter in
+  let _, hd_tps = time_capture "hd" Leakage.hd_emitter in
+  let _, pipe_tps = time_capture "pipeline" Leakage.pipelined_emitter in
+  let jit_emitter = { Leakage.hd_emitter with Leakage.jitter } in
+  let jittered, _ = time_capture "hd+jitter" jit_emitter in
+  (* sharded store of the jittered campaign, then streaming realignment *)
+  let tmp = Filename.get_temp_dir_name () in
+  let src = Filename.concat tmp "fd_bench_leak_src" in
+  let dst = Filename.concat tmp "fd_bench_leak_dst" in
+  rm_store src;
+  let writer =
+    Tracestore.Writer.create ~dir:src ~n ~width:(n * Leakage.events_per_coeff)
+      ~shard_traces:(max 1 ((count + 3) / 4))
+      ~model:
+        {
+          Tracestore.alpha = model.Leakage.alpha;
+          noise_sigma = model.Leakage.noise_sigma;
+          baseline = model.Leakage.baseline;
+        }
+  in
+  Array.iter (fun t -> Tracestore.Writer.append writer (Leakage.to_record t)) jittered;
+  Tracestore.Writer.close writer;
+  rm_store dst;
+  let t0 = Unix.gettimeofday () in
+  let st = Align.realign_store ~jobs ~max_shift ~src ~dst () in
+  let realign_s = Unix.gettimeofday () -. t0 in
+  let realign_tps = float_of_int st.Align.traces /. realign_s in
+  Printf.printf
+    "realign: %d traces in %.3fs (%.0f traces/s); %d shifted, max |shift| %d, \
+     mean %.3f\n%!"
+    st.Align.traces realign_s realign_tps st.Align.shifted st.Align.max_abs_shift
+    st.Align.mean_abs_shift;
+  (* the end-to-end story: unaligned degraded, realigned full recovery *)
+  let strategy ~coeff ~mul =
+    let truth = if mul = 0 then sk.f_fft.Fft.re.(coeff) else sk.f_fft.Fft.im.(coeff) in
+    Attack.Recover.Eval_sampled
+      { rng = Stats.Rng.create ~seed:((coeff * 7) + mul); decoys = 512; truth }
+  in
+  let attack name traces =
+    let res = Attack.Fullkey.recover_key ~jobs ~leakage:`Hd ~traces ~h:pk.h strategy in
+    let correct = Attack.Fullkey.count_correct res.Attack.Fullkey.f_fft ~truth:sk.f_fft in
+    Printf.printf "bus-HD attack on %-9s: %2d / %2d coefficients, full key %b\n%!"
+      name correct (2 * n)
+      (res.Attack.Fullkey.keypair <> None);
+    (correct, res.Attack.Fullkey.keypair <> None)
+  in
+  let correct_un, _ = attack "unaligned" jittered in
+  let reader = Tracestore.Reader.open_store dst in
+  let realigned =
+    Array.of_seq (Seq.map (Leakage.of_record ~n) (Tracestore.Reader.to_seq reader))
+  in
+  let correct_al, fullkey_realigned = attack "realigned" realigned in
+  let unaligned_degraded = correct_un < correct_al in
+  (* MTD ratio, measured on full-width signing traces (where the
+     streaming realignment operates): traces-to-significance of the
+     true-key correlation at the (D x B) -> (D x A) bus transition,
+     median over the interior coefficients.  Paired design: one clean
+     HD capture; the "realigned" arm shifts the very same measured
+     rows by per-trace jitter offsets (what trigger jitter does to an
+     acquisition) and realigns them, so the ratio isolates alignment
+     fidelity instead of comparing two independent noise draws.  The
+     MTD sigma is higher than the capture sigma above so disclosure
+     takes tens of traces — small MTDs make the ratio all
+     quantisation. *)
+  let mtd_sigma = 3.0 in
+  let mtd_model = { model with Leakage.noise_sigma = mtd_sigma } in
+  let mtd_clean =
+    Leakage.capture ~emitter:Leakage.hd_emitter mtd_model ~seed:(seed + 5) sk
+      ~count
+  in
+  let mtd_of label ~realign =
+    let traces =
+      if not realign then mtd_clean
+      else begin
+        let rng = Stats.Rng.create ~seed:(seed + 6) in
+        let rows =
+          Array.map
+            (fun t ->
+              let offset, _ = Leakage.draw_jitter jitter rng in
+              Align.shift_samples ~fill:mtd_model.Leakage.baseline
+                ~shift:(-offset) t.Leakage.samples)
+            mtd_clean
+        in
+        let rows, _ =
+          Align.realign_rows ~jobs ~max_shift ~fill:mtd_model.Leakage.baseline
+            rows
+        in
+        Array.map2
+          (fun t samples -> { t with Leakage.samples = samples })
+          mtd_clean rows
+      end
+    in
+    let mtds =
+      List.filter_map
+        (fun coeff ->
+          let v = Attack.Recover.sub_view traces ~coeff ~mul:0 in
+          let d =
+            (Fpr.mantissa sk.f_fft.Fft.re.(coeff) lor (1 lsl 52)) land 0x1FFFFFF
+          in
+          let series =
+            Attack.Dema.evolution ~traces:v.Attack.Recover.traces
+              ~sample:(Attack.Recover.sample Fpr.Mant_w10)
+              ~model:Attack.Recover.hd_w10 ~known:v.Attack.Recover.known
+              ~guess:d ~step:1
+          in
+          Stats.Signif.traces_to_significance series)
+        [ 1; 2; 3; 4; 5; 6 ]
+    in
+    let mtd =
+      match List.sort compare mtds with
+      | [] -> 0
+      | l -> List.nth l (List.length l / 2)
+    in
+    Printf.printf "MTD %-12s: %s traces (sigma %.1f, median over %d coefficients)\n%!"
+      label
+      (if mtd = 0 then "not disclosed in budget" else string_of_int mtd)
+      mtd_sigma (List.length mtds);
+    mtd
+  in
+  let mtd_aligned = mtd_of "hd aligned" ~realign:false in
+  let mtd_realigned = mtd_of "hd realigned" ~realign:true in
+  let realign_recovery =
+    if mtd_realigned = 0 then 0.
+    else float_of_int mtd_aligned /. float_of_int mtd_realigned
+  in
+  Printf.printf "realignment recovers %.0f%% of the aligned-store MTD\n%!"
+    (100. *. realign_recovery);
+  (* determinism: same destination bytes at every jobs x prefetch *)
+  let variant (j, pf) =
+    let d = Filename.concat tmp (Printf.sprintf "fd_bench_leak_det_%d_%b" j pf) in
+    rm_store d;
+    let st = Align.realign_store ~jobs:j ~prefetch:pf ~max_shift ~src ~dst:d () in
+    let r = Tracestore.Reader.open_store d in
+    let records = Array.of_seq (Tracestore.Reader.to_seq r) in
+    rm_store d;
+    (st, records)
+  in
+  let outs = List.map variant [ (1, false); (2, true); (4, false); (4, true) ] in
+  let deterministic =
+    match outs with
+    | first :: rest -> List.for_all (fun o -> o = first) rest
+    | [] -> false
+  in
+  Printf.printf "bit-identical realignment across jobs 1/2/4 x prefetch: %b\n%!"
+    deterministic;
+  let oc = open_out "BENCH_leakage.json" in
+  Printf.fprintf oc
+    "{\"schema\":\"falcon-down/bench-leakage/v1\",\"section\":\"leakage\",\
+     \"n\":%d,\"traces\":%d,\"jobs\":%d,\"max_shift\":%d,\
+     \"capture_hw_tps\":%.1f,\"capture_hd_tps\":%.1f,\
+     \"capture_pipeline_tps\":%.1f,\"realign_tps\":%.1f,\
+     \"mtd_hd_aligned\":%d,\"mtd_hd_realigned\":%d,\
+     \"realign_recovery\":%.4f,\"fullkey_realigned\":%b,\
+     \"unaligned_degraded\":%b,\"deterministic\":%b}\n"
+    n count jobs max_shift hw_tps hd_tps pipe_tps realign_tps mtd_aligned
+    mtd_realigned realign_recovery fullkey_realigned unaligned_degraded
+    deterministic;
+  close_out oc;
+  Printf.printf "wrote BENCH_leakage.json\n";
+  rm_store src;
+  rm_store dst
+
+(* ---------------------------------------------------------------- *)
 (* Micro-benchmarks (Bechamel). *)
 
 let micro () =
@@ -1210,5 +1397,6 @@ let () =
   if want "pearson" then pearson ();
   if want "sequential" then sequential ();
   if want "obs" then obs_bench ();
+  if want "leakage" then leakage_bench ();
   if want "micro" then micro ();
   Printf.printf "\ndone.\n"

@@ -154,10 +154,11 @@ let cmd_metrics store defense noise budget experiments decoys seed stop_alpha fl
 (* {2 matrix} *)
 
 let print_cell (c : Assess.Matrix.cell) =
-  Printf.printf "%-8s sigma %-5g budget %-6d sr %.2f ge %6.2f mtd %-6s max|t1| %8.2f \
-                 max|t2| %8.2f %s\n%!"
+  Printf.printf "%-8s sigma %-5g budget %-6d %-17s sr %.2f ge %6.2f mtd %-6s \
+                 max|t1| %8.2f max|t2| %8.2f %s\n%!"
     (Assess.Campaign.name c.Assess.Matrix.defense)
     c.Assess.Matrix.sigma c.Assess.Matrix.budget
+    (Assess.Campaign.condition_name c.Assess.Matrix.condition)
     c.Assess.Matrix.outcome.Assess.Metrics.success_rate
     c.Assess.Matrix.outcome.Assess.Metrics.guessing_entropy
     (match c.Assess.Matrix.outcome.Assess.Metrics.mtd with
@@ -166,13 +167,14 @@ let print_cell (c : Assess.Matrix.cell) =
     c.Assess.Matrix.max_t1 c.Assess.Matrix.max_t2
     (if c.Assess.Matrix.first_order_leak then "LEAK" else "quiet")
 
-let cmd_matrix tiny sigmas budgets experiments decoys seed out flags =
+let cmd_matrix tiny sigmas budgets conditions experiments decoys seed out flags =
   Cli_common.run flags @@ fun ctx ->
+  let conditions = List.map Assess.Campaign.condition_of_name conditions in
   let report =
-    if tiny then Assess.Matrix.tiny ~ctx ~progress:print_cell ~seed ()
+    if tiny then Assess.Matrix.tiny ~ctx ~conditions ~progress:print_cell ~seed ()
     else
-      Assess.Matrix.run ~ctx ~progress:print_cell ~sigmas ~budgets ~experiments
-        ~decoys ~seed ()
+      Assess.Matrix.run ~ctx ~conditions ~progress:print_cell ~sigmas ~budgets
+        ~experiments ~decoys ~seed ()
   in
   let json = Assess.Matrix.to_json report in
   let json_path = out ^ ".json" and csv_path = out ^ ".csv" in
@@ -343,6 +345,66 @@ let check_sequential_bench err j =
                     traces, keys and stops identical)"
       (num "mean_traces") (num "traces")
 
+(* falcon-down/bench-leakage/v1 (BENCH_leakage.json): the register-
+   transfer device models and the realignment pass.  The bus-HD full-key
+   attack must succeed top-1 on the realigned jittered campaign, the
+   unaligned campaign must be measurably degraded (or the jitter did
+   nothing), everything must be bit-identical across jobs/prefetch, and
+   realignment must recover at least 90% of the aligned-store MTD. *)
+let check_leakage_bench err j =
+  List.iter
+    (fun k ->
+      match Option.bind (Assess.Json.member k j) Assess.Json.to_int_opt with
+      | Some v when v > 0 -> ()
+      | Some v -> err (Printf.sprintf "field %S is %d, want a positive int" k v)
+      | None -> err (Printf.sprintf "missing int field %S" k))
+    [ "n"; "traces"; "jobs"; "max_shift"; "mtd_hd_aligned"; "mtd_hd_realigned" ];
+  List.iter
+    (fun k ->
+      match Option.bind (Assess.Json.member k j) Assess.Json.to_number_opt with
+      | Some v when Float.is_finite v && v >= 0. -> ()
+      | Some v ->
+          err (Printf.sprintf "field %S is %g, want a finite non-negative number" k v)
+      | None -> err (Printf.sprintf "missing number field %S" k))
+    [
+      "capture_hw_tps"; "capture_hd_tps"; "capture_pipeline_tps"; "realign_tps";
+      "realign_recovery";
+    ];
+  List.iter
+    (fun (k, why) ->
+      match Option.bind (Assess.Json.member k j) Assess.Json.to_bool_opt with
+      | Some true -> ()
+      | Some false -> err (Printf.sprintf "%s is false — %s" k why)
+      | None -> err (Printf.sprintf "missing bool field %S" k))
+    [
+      ( "fullkey_realigned",
+        "the bus-HD attack lost the key on the realigned campaign" );
+      ( "unaligned_degraded",
+        "the jittered campaign was not degraded, so realignment proved nothing" );
+      ( "deterministic",
+        "realignment stats diverged across jobs/prefetch settings" );
+    ];
+  (match
+     Option.bind (Assess.Json.member "realign_recovery" j) Assess.Json.to_number_opt
+   with
+  | Some v when Float.is_finite v && v < 0.9 ->
+      err
+        (Printf.sprintf
+           "realign_recovery %.3f is below 0.90 — realignment recovered too \
+            little of the aligned-store MTD"
+           v)
+  | _ -> ());
+  fun () ->
+    let num k =
+      match Option.bind (Assess.Json.member k j) Assess.Json.to_number_opt with
+      | Some v -> v
+      | None -> assert false
+    in
+    Printf.sprintf
+      "valid falcon-down/bench-leakage/v1 report (recovery %.2f, full key on \
+       realigned store, deterministic)"
+      (num "realign_recovery")
+
 let cmd_check_bench json_path =
   with_errors @@ fun () ->
   let j = Assess.Json.of_string (read_file json_path) in
@@ -352,11 +414,13 @@ let cmd_check_bench json_path =
     match Option.bind (Assess.Json.member "schema" j) Assess.Json.to_string_opt with
     | Some "falcon-down/bench-pearson/v1" -> check_pearson_bench err j
     | Some "falcon-down/bench-sequential/v1" -> check_sequential_bench err j
+    | Some "falcon-down/bench-leakage/v1" -> check_leakage_bench err j
     | Some s ->
         err
           (Printf.sprintf
-             "schema is %S, want \"falcon-down/bench-pearson/v1\" or \
-              \"falcon-down/bench-sequential/v1\""
+             "schema is %S, want \"falcon-down/bench-pearson/v1\", \
+              \"falcon-down/bench-sequential/v1\" or \
+              \"falcon-down/bench-leakage/v1\""
              s);
         fun () -> ""
     | None ->
@@ -452,6 +516,18 @@ let budgets_arg =
     & opt (list int) [ 200; 500; 1000 ]
     & info [ "budgets" ] ~docv:"B1,B2,..." ~doc:"Trace-budget grid axis.")
 
+let conditions_arg =
+  Arg.(
+    value
+    & opt (list string) [ "hw" ]
+    & info [ "conditions" ] ~docv:"C1,C2,..."
+        ~doc:
+          "Acquisition-condition grid axis (the model x alignment sweep): \
+           comma-separated names built from $(b,hw)/$(b,hd) with optional \
+           $(b,+jitter) and $(b,+realign) suffixes, e.g. \
+           $(b,hw,hd,hd+jitter,hd+jitter+realign).  The default $(b,hw) \
+           reproduces the pre-axis matrix bit for bit.")
+
 let tiny_arg =
   Arg.(
     value
@@ -469,11 +545,12 @@ let matrix_cmd =
   Cmd.v
     (Cmd.info "matrix"
        ~doc:
-         "Evaluate the {none, masking, shuffle} x sigma x budget grid and emit the \
-          JSON/CSV report (validated against the schema after writing)")
+         "Evaluate the {none, masking, shuffle} x sigma x budget x condition grid \
+          and emit the JSON/CSV report (validated against the schema after \
+          writing)")
     Term.(
-      const cmd_matrix $ tiny_arg $ sigmas_arg $ budgets_arg $ experiments_arg
-      $ decoys_arg $ seed_arg $ out_arg $ flags)
+      const cmd_matrix $ tiny_arg $ sigmas_arg $ budgets_arg $ conditions_arg
+      $ experiments_arg $ decoys_arg $ seed_arg $ out_arg $ flags)
 
 let json_arg =
   Arg.(

@@ -122,8 +122,12 @@ let print_stop_summary (s : Sequential.Campaign.summary) =
     used.((n - 1) / 2)
     s.Sequential.Campaign.total_traces s.Sequential.Campaign.traces_saved
 
-let cmd_crack input store until_confident alpha max_traces flags =
+let cmd_crack input store leakage until_confident alpha max_traces flags =
   Cli_common.run flags @@ fun ctx ->
+  (if leakage = `Hd then
+     Printf.printf
+       "matching bus Hamming-distance hypothesis models (campaign recorded \
+        with --model hd)\n%!");
   match store with
   | Some dir -> (
       (* out-of-core path: stream shards from the store, never holding
@@ -154,8 +158,8 @@ let cmd_crack input store until_confident alpha max_traces flags =
           let res =
             Attack.Fullkey.recover_key_store ~ctx
               ~on_corrupt:flags.Cli_common.Common_flags.on_corrupt
-              ~prefetch:flags.Cli_common.Common_flags.prefetch ?stop ?max_traces
-              ~stop_report:print_stop_summary ~reader ~h:pk.h
+              ~prefetch:flags.Cli_common.Common_flags.prefetch ~leakage ?stop
+              ?max_traces ~stop_report:print_stop_summary ~reader ~h:pk.h
               (crack_strategy truth_sk)
           in
           crack_report pk truth_kp res
@@ -177,7 +181,8 @@ let cmd_crack input store until_confident alpha max_traces flags =
           Printf.printf "loaded %d traces of a FALCON-%d victim\n%!"
             (Array.length traces) pk.params.n;
           let res =
-            Attack.Fullkey.recover_key ~ctx ~traces ~h:pk.h (crack_strategy truth_sk)
+            Attack.Fullkey.recover_key ~ctx ~leakage ~traces ~h:pk.h
+              (crack_strategy truth_sk)
           in
           crack_report pk truth_kp res
       | _ ->
@@ -220,6 +225,18 @@ let capture_cmd =
     (Cmd.info "capture" ~doc:"Capture simulated EM traces of a fresh victim to a file")
     Term.(const cmd_capture $ n_arg $ traces_arg $ noise_arg $ seed_arg $ out_arg $ flags)
 
+let leakage_arg =
+  Arg.(
+    value
+    & opt (enum [ ("hw", `Hw); ("hd", `Hd) ]) `Hw
+    & info [ "leakage" ] ~docv:"MODEL"
+        ~doc:
+          "Hypothesis models to match: $(b,hw) (Hamming weight, the default) \
+           or $(b,hd) (bus Hamming-distance transitions — for campaigns \
+           recorded with trace_cli $(b,--model hd)).  $(b,hd) cannot combine \
+           with $(b,--until-confident): the streaming decision sweep has no \
+           d-free Hamming-distance part set.")
+
 let until_confident_arg =
   Arg.(
     value
@@ -257,8 +274,8 @@ let crack_cmd =
     (Cmd.info "crack"
        ~doc:"Recover the key and forge from a stored trace file or trace store")
     Term.(
-      const cmd_crack $ in_arg $ store_arg $ until_confident_arg $ alpha_arg
-      $ max_traces_arg $ flags)
+      const cmd_crack $ in_arg $ store_arg $ leakage_arg $ until_confident_arg
+      $ alpha_arg $ max_traces_arg $ flags)
 
 let () =
   let doc = "Falcon Down side-channel attack driver" in

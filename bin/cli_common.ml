@@ -185,7 +185,12 @@ let open_store (flags : Common_flags.t) dir =
 let seed_arg ?(doc = "Experiment seed.") () =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc)
 
-let noise_arg = Arg.(value & opt float 2.0 & info [ "noise" ] ~doc:"Noise sigma.")
+let noise_arg =
+  (* default from the one place the acquisition constants live *)
+  Arg.(
+    value
+    & opt float Leakage.Params.default.Leakage.noise_sigma
+    & info [ "noise" ] ~doc:"Noise sigma.")
 let n_arg = Arg.(value & opt int 32 & info [ "n" ] ~doc:"Ring degree of the victim.")
 
 let traces_arg ?(default = 2500) ?(doc = "Trace count.") () =

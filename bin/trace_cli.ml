@@ -22,8 +22,8 @@ let store_model (m : Leakage.model) =
 let leakage_model (m : Tracestore.model_meta) =
   { Leakage.alpha = m.alpha; noise_sigma = m.noise_sigma; baseline = m.baseline }
 
-let record_into ~obs writer model ~seed sk count =
-  let next = Leakage.capture_stream model ~seed sk in
+let record_into ?emitter ~obs writer model ~seed sk count =
+  let next = Leakage.capture_stream ?emitter model ~seed sk in
   Obs.span obs "tracestore.record" ~fields:[ ("traces", Obs.Int count) ]
   @@ fun () ->
   for i = 1 to count do
@@ -31,9 +31,29 @@ let record_into ~obs writer model ~seed sk count =
     if Obs.enabled obs then Obs.progress ~total:count obs "traces" i
   done
 
-let cmd_record n traces noise seed shard out flags =
+(* --model/--jitter/--drift compose into a Leakage.emitter; the default
+   (hw, no jitter) is byte-for-byte the historical capture. *)
+let emitter_of kind jitter drift =
+  let kind =
+    match kind with
+    | `Hw -> Leakage.Hw
+    | `Hd -> Leakage.Hd Leakage.Register_file.bus
+    | `Pipeline ->
+        Leakage.Pipelined (Leakage.Register_file.bus, Leakage.Pipeline.default)
+  in
+  { Leakage.kind; jitter = { Leakage.max_shift = jitter; drift } }
+
+let emitter_label kind jitter drift =
+  let k =
+    match kind with `Hw -> "hw" | `Hd -> "hd" | `Pipeline -> "pipeline"
+  in
+  if jitter = 0 && drift = 0. then k
+  else Printf.sprintf "%s, jitter max %d samples, drift %.3f" k jitter drift
+
+let cmd_record n traces noise model_kind jitter drift seed shard out flags =
   Cli_common.run flags @@ fun ctx ->
   let model = { Leakage.default_model with noise_sigma = noise } in
+  let emitter = emitter_of model_kind jitter drift in
   let sk, pk = Falcon.Scheme.keygen ~n ~seed:(Printf.sprintf "victim-%d" seed) in
   let writer =
     Tracestore.Writer.create ~dir:out ~n ~width:(n * Leakage.events_per_coeff)
@@ -41,9 +61,11 @@ let cmd_record n traces noise seed shard out flags =
   in
   Printf.printf
     "recording %d traces of a fresh FALCON-%d victim into %s (noise sigma %.2f, \
-     shards of %d)\n%!"
-    traces n out noise shard;
-  record_into ~obs:ctx.Attack.Ctx.obs writer model ~seed sk traces;
+     device model %s, shards of %d)\n%!"
+    traces n out noise
+    (emitter_label model_kind jitter drift)
+    shard;
+  record_into ~emitter ~obs:ctx.Attack.Ctx.obs writer model ~seed sk traces;
   Tracestore.Writer.close writer;
   (* the attacker also holds the public key; keep the ground truth for
      evaluation of the sampled-hypothesis mode *)
@@ -85,20 +107,25 @@ let cmd_inspect store flags =
   Printf.printf "model      alpha %.3f, noise sigma %.3f, baseline %.3f\n"
     m.Tracestore.model.alpha m.Tracestore.model.noise_sigma m.Tracestore.model.baseline;
   Printf.printf "sharding   %d traces per full shard\n" m.Tracestore.shard_traces;
-  (* the cumulative column maps a sequential stop at n traces back to
-     the shard boundary where the adaptive campaign stopped reading *)
-  Printf.printf "shard | traces | cumul  | bytes    | crc32\n";
-  Printf.printf "------+--------+--------+----------+---------\n";
-  let cumul = ref 0 in
-  for i = 0 to Tracestore.Reader.shard_count reader - 1 do
-    let e = Tracestore.Reader.entry reader i in
-    cumul := !cumul + e.Tracestore.count;
-    Printf.printf "%5d | %6d | %6d | %8d | %08x\n" i e.Tracestore.count !cumul
-      e.Tracestore.bytes e.Tracestore.crc
-  done;
-  Printf.printf "total %d traces in %d shards\n"
-    (Tracestore.Reader.total_traces reader)
-    (Tracestore.Reader.shard_count reader);
+  if Tracestore.Reader.shard_count reader = 0 then
+    (* a just-created or fully-pruned campaign is a valid store *)
+    Printf.printf "empty store: 0 traces in 0 shards\n"
+  else begin
+    (* the cumulative column maps a sequential stop at n traces back to
+       the shard boundary where the adaptive campaign stopped reading *)
+    Printf.printf "shard | traces | cumul  | bytes    | crc32\n";
+    Printf.printf "------+--------+--------+----------+---------\n";
+    let cumul = ref 0 in
+    for i = 0 to Tracestore.Reader.shard_count reader - 1 do
+      let e = Tracestore.Reader.entry reader i in
+      cumul := !cumul + e.Tracestore.count;
+      Printf.printf "%5d | %6d | %6d | %8d | %08x\n" i e.Tracestore.count !cumul
+        e.Tracestore.bytes e.Tracestore.crc
+    done;
+    Printf.printf "total %d traces in %d shards\n"
+      (Tracestore.Reader.total_traces reader)
+      (Tracestore.Reader.shard_count reader)
+  end;
   0
 
 let cmd_verify store flags =
@@ -108,23 +135,56 @@ let cmd_verify store flags =
   in
   Printf.printf "verifying %s (FALCON-%d, %d samples/trace)\n%!" store
     meta.Tracestore.n meta.Tracestore.width;
-  let bad = ref 0 in
-  List.iter
-    (fun (i, r) ->
-      match r with
-      | Ok count -> Printf.printf "shard %4d: OK (%d traces)\n" i count
-      | Error msg ->
-          incr bad;
-          Printf.printf "shard %4d: CORRUPT — %s\n" i msg)
-    results;
-  if !bad = 0 then begin
-    Printf.printf "store OK: %d shards verified\n" (List.length results);
+  if results = [] then begin
+    (* an empty store has nothing left to corrupt — it verifies *)
+    Printf.printf "empty store: 0 shards, nothing to verify\n";
     0
   end
   else begin
-    Printf.printf "%d of %d shards corrupt\n" !bad (List.length results);
-    1
+    let bad = ref 0 in
+    List.iter
+      (fun (i, r) ->
+        match r with
+        | Ok count -> Printf.printf "shard %4d: OK (%d traces)\n" i count
+        | Error msg ->
+            incr bad;
+            Printf.printf "shard %4d: CORRUPT — %s\n" i msg)
+      results;
+    if !bad = 0 then begin
+      Printf.printf "store OK: %d shards verified\n" (List.length results);
+      0
+    end
+    else begin
+      Printf.printf "%d of %d shards corrupt\n" !bad (List.length results);
+      1
+    end
   end
+
+(* Streaming static realignment: undo the integer part of acquisition
+   jitter by cross-correlating each trace against a reference window and
+   writing the shift-corrected campaign to a fresh store. *)
+let cmd_align src dst max_shift ref_traces flags =
+  Cli_common.run flags @@ fun ctx ->
+  Printf.printf
+    "realigning %s into %s (max shift %d samples, reference from first %d \
+     traces)\n%!"
+    src dst max_shift ref_traces;
+  let st =
+    Align.realign_store ~ctx ~on_corrupt:flags.Cli_common.Common_flags.on_corrupt
+      ~prefetch:flags.Cli_common.Common_flags.prefetch
+      ~access:flags.Cli_common.Common_flags.mmap ~max_shift
+      ~reference_traces:ref_traces ~src ~dst ()
+  in
+  if st.Align.traces = 0 then Printf.printf "empty store: 0 traces realigned\n"
+  else
+    Printf.printf
+      "realigned %d traces: %d shifted, max |shift| %d, mean |shift| %.3f%s\n"
+      st.Align.traces st.Align.shifted st.Align.max_abs_shift
+      st.Align.mean_abs_shift
+      (if st.Align.shards_skipped > 0 then
+         Printf.sprintf " (%d corrupt shards skipped)" st.Align.shards_skipped
+       else "");
+  0
 
 (* Single-multiply fixed-vs-random campaign for the leakage-assessment
    workflow (assess_cli): the class label and known operand ride in each
@@ -196,13 +256,44 @@ let store_arg = Cli_common.store_default_arg ~doc:"Store directory."
 let in_file_arg =
   Arg.(value & opt string "traces.bin" & info [ "input" ] ~doc:"Single trace file.")
 
+let model_arg =
+  Arg.(
+    value
+    & opt (enum [ ("hw", `Hw); ("hd", `Hd); ("pipeline", `Pipeline) ]) `Hw
+    & info [ "model" ] ~docv:"MODEL"
+        ~doc:
+          "Device leakage model: $(b,hw) (idealized Hamming-weight probe, the \
+           default — byte-identical to historical captures), $(b,hd) (bus \
+           Hamming-distance over a shared write-back register) or \
+           $(b,pipeline) (bus HD with overlapping pipeline stages).")
+
+let jitter_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "jitter" ] ~docv:"SAMPLES"
+        ~doc:
+          "Per-trace clock jitter: each trace is misaligned by a uniform \
+           integer offset in [-SAMPLES, SAMPLES].  0 (default) draws nothing \
+           and leaves the capture untouched; undo with $(b,align).")
+
+let drift_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "drift" ] ~docv:"RATE"
+        ~doc:
+          "Per-trace clock drift bound: a uniform rate in [-RATE, RATE] \
+           accumulates a sample-index-proportional misalignment (a linear \
+           clock-frequency error).  0 (default) draws nothing.")
+
 let record_cmd =
   Cmd.v
     (Cmd.info "record"
        ~doc:"Record a fresh victim's signing campaign into a sharded trace store")
     Term.(
-      const cmd_record $ n_arg $ traces_arg $ noise_arg $ seed_arg $ shard_arg
-      $ out_arg $ flags)
+      const cmd_record $ n_arg $ traces_arg $ noise_arg $ model_arg $ jitter_arg
+      $ drift_arg $ seed_arg $ shard_arg $ out_arg $ flags)
 
 let append_cmd =
   Cmd.v
@@ -246,6 +337,45 @@ let record_tvla_cmd =
       const cmd_record_tvla $ defense_arg $ traces_arg $ noise_arg $ seed_arg
       $ p_fixed_arg $ shard_arg $ out_arg $ flags)
 
+let align_src_arg =
+  Arg.(
+    value
+    & opt string "campaign"
+    & info [ "i"; "store" ] ~docv:"DIR" ~doc:"Source store directory.")
+
+let align_dst_arg =
+  Arg.(
+    value
+    & opt string "campaign-aligned"
+    & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Destination store directory.")
+
+let max_shift_arg =
+  Arg.(
+    value
+    & opt int 3
+    & info [ "max-shift" ] ~docv:"SAMPLES"
+        ~doc:
+          "Largest correction searched, in samples; match (or exceed) the \
+           acquisition's $(b,--jitter) bound.")
+
+let ref_traces_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "ref-traces" ] ~docv:"N"
+        ~doc:"Traces averaged into the cross-correlation reference window.")
+
+let align_cmd =
+  Cmd.v
+    (Cmd.info "align"
+       ~doc:
+         "Realign a jittered campaign against its own mean reference window \
+          (integer-shift correction) into a fresh store, copying the key \
+          sidecars; deterministic at every -j and prefetch setting")
+    Term.(
+      const cmd_align $ align_src_arg $ align_dst_arg $ max_shift_arg
+      $ ref_traces_arg $ flags)
+
 let import_cmd =
   Cmd.v
     (Cmd.info "import"
@@ -259,4 +389,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "trace_cli" ~doc)
-          [ record_cmd; record_tvla_cmd; append_cmd; inspect_cmd; verify_cmd; import_cmd ]))
+          [
+            record_cmd; record_tvla_cmd; append_cmd; inspect_cmd; verify_cmd;
+            align_cmd; import_cmd;
+          ]))

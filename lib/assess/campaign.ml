@@ -43,6 +43,85 @@ let trace defense model rng ~known ~secret =
   | `Masking -> Defense.Masking.trace model rng ~known ~secret
   | `Shuffle -> Defense.Shuffle.trace model rng ~known ~secret
 
+let values defense rng ~known ~secret =
+  match defense with
+  | `None -> Leakage.mul_values ~known ~secret
+  | `Masking -> Defense.Masking.values rng ~known ~secret
+  | `Shuffle -> Defense.Shuffle.values rng ~known ~secret
+
+(* {2 Acquisition conditions}
+
+   The model x alignment axis of the evaluation matrix: which device
+   model renders the intermediates (idealized Hamming weight vs bus
+   Hamming distance), whether the probe clock jitters, and whether the
+   analysis realigns the campaign before attacking. *)
+
+type condition = {
+  kind : [ `Hw | `Hd ];
+  jitter : Leakage.jitter;
+  realign : bool;
+}
+
+let baseline_condition =
+  { kind = `Hw; jitter = Leakage.no_jitter; realign = false }
+
+let default_jitter = { Leakage.max_shift = 2; drift = 0. }
+
+let standard_conditions =
+  [
+    baseline_condition;
+    { kind = `Hd; jitter = Leakage.no_jitter; realign = false };
+    { kind = `Hd; jitter = default_jitter; realign = false };
+    { kind = `Hd; jitter = default_jitter; realign = true };
+  ]
+
+let condition_name c =
+  let kind = match c.kind with `Hw -> "hw" | `Hd -> "hd" in
+  kind
+  ^ (if c.jitter <> Leakage.no_jitter then "+jitter" else "")
+  ^ if c.realign then "+realign" else ""
+
+let condition_of_name s =
+  let fail () =
+    failwith (Printf.sprintf "Assess.Campaign: unknown condition %S" s)
+  in
+  match String.split_on_char '+' s with
+  | kind :: mods ->
+      let kind =
+        match kind with "hw" -> `Hw | "hd" -> `Hd | _ -> fail ()
+      in
+      let c = { baseline_condition with kind } in
+      List.fold_left
+        (fun c m ->
+          match m with
+          | "jitter" -> { c with jitter = default_jitter }
+          | "realign" -> { c with realign = true }
+          | _ -> fail ())
+        c mods
+  | [] -> fail ()
+
+let trace_under condition defense model rng ~known ~secret =
+  if condition.kind = `Hw && condition.jitter = Leakage.no_jitter then
+    (* the historical path, byte-for-byte (noise drawn inline per
+       rendered event) — the baseline condition changes nothing *)
+    trace defense model rng ~known ~secret
+  else begin
+    let vals = values defense rng ~known ~secret in
+    let signal =
+      match condition.kind with
+      | `Hw -> Array.map (fun v -> float_of_int (Bitops.popcount v)) vals
+      | `Hd -> Array.map float_of_int (Leakage.bus_hd vals)
+    in
+    let offset, drift = Leakage.draw_jitter condition.jitter rng in
+    let signal = Leakage.misalign ~offset ~drift signal in
+    Array.map
+      (fun s ->
+        model.Leakage.baseline
+        +. (model.Leakage.alpha *. s)
+        +. Stats.Rng.gaussian rng ~mu:0. ~sigma:model.Leakage.noise_sigma)
+      signal
+  end
+
 let m25 = (1 lsl 25) - 1
 
 let random_operand rng =
@@ -58,7 +137,8 @@ let rec secret_operand rng =
 type cls = Fixed | Random
 type entry = { cls : cls; known : Fpr.t; samples : float array }
 
-let iter ?(p_fixed = 0.5) defense ~noise ~secret ~count ~seed f =
+let iter ?(p_fixed = 0.5) ?(condition = baseline_condition) defense ~noise
+    ~secret ~count ~seed f =
   if noise <= 0. then invalid_arg "Assess.Campaign: noise_sigma must be positive";
   if count < 0 then invalid_arg "Assess.Campaign: negative trace count";
   let model = { Leakage.default_model with Leakage.noise_sigma = noise } in
@@ -67,13 +147,58 @@ let iter ?(p_fixed = 0.5) defense ~noise ~secret ~count ~seed f =
     let cls = if Stats.Rng.float01 rng < p_fixed then Fixed else Random in
     let known = random_operand rng in
     let secret = match cls with Fixed -> secret | Random -> random_operand rng in
-    f { cls; known; samples = trace defense model rng ~known ~secret }
+    f { cls; known; samples = trace_under condition defense model rng ~known ~secret }
   done
 
-let generate ?p_fixed defense ~noise ~secret ~count ~seed =
+let generate ?p_fixed ?condition defense ~noise ~secret ~count ~seed =
   let acc = ref [] in
-  iter ?p_fixed defense ~noise ~secret ~count ~seed (fun e -> acc := e :: !acc);
+  iter ?p_fixed ?condition defense ~noise ~secret ~count ~seed (fun e ->
+      acc := e :: !acc);
   Array.of_list (List.rev !acc)
+
+(* {2 Analysis-side realignment}
+
+   The realign half of a condition.  A 16-sample multiplication window
+   carries too little landscape for blind cross-correlation — per-trace
+   data deviations swamp the mean-trace shape — but the undefended
+   window's first two samples load the known operand, whose predicted
+   levels pin each trace's absolute offset: a matched template.
+   Masked campaigns load random shares and shuffled campaigns scramble
+   the event order per trace, so no static template exists; those fall
+   back to blind two-pass realignment, which honestly fails — breaking
+   static alignment is part of why the countermeasures work. *)
+
+let load_template condition ~known =
+  let vals = Leakage.mul_values ~known ~secret:known in
+  let p0, p1 =
+    match condition.kind with
+    | `Hw -> (Bitops.popcount vals.(0), Bitops.popcount vals.(1))
+    | `Hd -> (Bitops.popcount vals.(0), Bitops.popcount (vals.(0) lxor vals.(1)))
+  in
+  let level p =
+    Leakage.default_model.Leakage.baseline
+    +. (Leakage.default_model.Leakage.alpha *. float_of_int p)
+  in
+  [| (0, level p0); (1, level p1) |]
+
+let realign_entries ?ctx ?jobs condition defense entries =
+  if (not condition.realign) || Array.length entries = 0 then
+    (entries, Align.zero_stats)
+  else begin
+    let max_shift = condition.jitter.Leakage.max_shift in
+    let fill = Leakage.default_model.Leakage.baseline in
+    let rows = Array.map (fun e -> e.samples) entries in
+    let rows, st =
+      match defense with
+      | `None ->
+          let templates =
+            Array.map (fun e -> load_template condition ~known:e.known) entries
+          in
+          Align.realign_matched ?ctx ?jobs ~max_shift ~fill ~templates rows
+      | `Masking | `Shuffle -> Align.realign_rows ?ctx ?jobs ~max_shift ~fill rows
+    in
+    (Array.map2 (fun e samples -> { e with samples }) entries rows, st)
+  end
 
 (* {2 Store codec} *)
 

@@ -53,6 +53,61 @@ val attack_window : defense -> float array -> float array
 val trace :
   defense -> Leakage.model -> Stats.Rng.t -> known:Fpr.t -> secret:Fpr.t -> float array
 
+val values : defense -> Stats.Rng.t -> known:Fpr.t -> secret:Fpr.t -> int array
+(** The unrendered intermediate values of one protected (or not)
+    multiplication, in emission order — the input both device models
+    (Hamming weight, bus Hamming distance) render from.  The RNG drives
+    the countermeasure (mask draws, permutation) exactly as {!trace}
+    does. *)
+
+(** {1 Acquisition conditions}
+
+    The model x alignment axis of the evaluation matrix ({!Matrix}):
+    device model ([`Hw] idealized Hamming-weight probe, [`Hd] bus
+    Hamming-distance — see {!Leakage.Register_file.bus}), per-trace
+    clock {!Leakage.jitter}, and whether the analysis runs the
+    {!Align} realignment pass before attacking. *)
+
+type condition = {
+  kind : [ `Hw | `Hd ];
+  jitter : Leakage.jitter;
+  realign : bool;
+}
+
+val baseline_condition : condition
+(** [`Hw], no jitter, no realignment — generates byte-for-byte the
+    historical campaign stream. *)
+
+val default_jitter : Leakage.jitter
+(** max_shift 2, no drift — the jitter the named "+jitter" conditions
+    apply (2 samples is enough to destroy an unaligned 16-sample-window
+    attack while keeping the realignment search cheap). *)
+
+val standard_conditions : condition list
+(** The four named points of the model x alignment axis: [hw], [hd],
+    [hd+jitter], [hd+jitter+realign]. *)
+
+val condition_name : condition -> string
+val condition_of_name : string -> condition
+(** [kind("hw"|"hd")]["+jitter"]["+realign"]; parsing maps "+jitter" to
+    {!default_jitter}.  Raises [Failure] on an unknown name. *)
+
+val trace_under :
+  condition ->
+  defense ->
+  Leakage.model ->
+  Stats.Rng.t ->
+  known:Fpr.t ->
+  secret:Fpr.t ->
+  float array
+(** One campaign trace under an acquisition condition: the defense's
+    intermediate {!values} rendered through the condition's device
+    model, misaligned by a per-trace jitter draw, then
+    baseline + alpha*signal + noise.  Under {!baseline_condition} this
+    {e is} {!trace} (same code path, same RNG stream).  The [realign]
+    flag is carried for the analysis side and does not affect
+    generation. *)
+
 val random_operand : Stats.Rng.t -> Fpr.t
 (** Uniform operand in the attack's working range: random sign, biased
     exponent in [1015, 1031), uniform 52-bit mantissa. *)
@@ -67,6 +122,7 @@ type entry = { cls : cls; known : Fpr.t; samples : float array }
 
 val iter :
   ?p_fixed:float ->
+  ?condition:condition ->
   defense ->
   noise:float ->
   secret:Fpr.t ->
@@ -77,11 +133,14 @@ val iter :
 (** Generate [count] traces one at a time (memory stays flat), calling
     the consumer in acquisition order.  Each trace is fixed-class with
     probability [p_fixed] (default 0.5; 1.0 yields an all-fixed attack
-    campaign).  Raises [Invalid_argument] if [noise <= 0] or
+    campaign); [?condition] (default {!baseline_condition}, which
+    reproduces the historical stream bitwise) selects the device model
+    and jitter.  Raises [Invalid_argument] if [noise <= 0] or
     [count < 0]. *)
 
 val generate :
   ?p_fixed:float ->
+  ?condition:condition ->
   defense ->
   noise:float ->
   secret:Fpr.t ->
@@ -89,6 +148,30 @@ val generate :
   seed:int ->
   entry array
 (** {!iter} collected in order. *)
+
+val load_template : condition -> known:Fpr.t -> (int * float) array
+(** The matched-alignment template of an undefended window: samples 0
+    and 1 load the two halves of the known operand (secret-independent
+    by construction), rendered through the condition's device model at
+    the default alpha/baseline.  Two points are enough to pin a trace's
+    absolute offset — see {!Align.estimate_matched}. *)
+
+val realign_entries :
+  ?ctx:Attack.Ctx.t ->
+  ?jobs:int ->
+  condition ->
+  defense ->
+  entry array ->
+  entry array * Align.stats
+(** The analysis-side half of a condition: realign a campaign before
+    attacking.  A no-op (same array, {!Align.zero_stats}) when the
+    condition does not ask for realignment.  Undefended campaigns use
+    per-trace matched-template alignment on the known-operand load
+    samples — the only scheme that works on 16-sample windows; masked
+    and shuffled campaigns have no static template (random shares,
+    per-trace event order) and fall back to blind
+    {!Align.realign_rows}, which honestly fails to help there.
+    Deterministic and [jobs]-independent. *)
 
 (** {1 Store form} *)
 

@@ -2,6 +2,7 @@ type cell = {
   defense : Campaign.defense;
   sigma : float;
   budget : int;
+  condition : Campaign.condition;
   outcome : Metrics.outcome;
   max_t1 : float;
   max_t1_sample : int;
@@ -19,16 +20,22 @@ type report = {
   defenses : Campaign.defense list;
   sigmas : float list;
   budgets : int list;
+  conditions : Campaign.condition list;
   cells : cell list;
 }
 
-let schema = "falcon-down/assess-matrix/v2"
+let schema = "falcon-down/assess-matrix/v3"
 
-let assess_cell ~ctx defense ~sigma ~budget ~seed =
+let maybe_realign ~ctx (condition : Campaign.condition) defense entries =
+  fst (Campaign.realign_entries ~ctx condition defense entries)
+
+let assess_cell ~ctx ~condition defense ~sigma ~budget ~seed =
   let secret = Campaign.secret_operand (Stats.Rng.create ~seed:(seed lxor 0x7e57)) in
   let entries =
-    Campaign.generate defense ~noise:sigma ~secret ~count:(2 * budget) ~seed
+    Campaign.generate ~condition defense ~noise:sigma ~secret ~count:(2 * budget)
+      ~seed
   in
+  let entries = maybe_realign ~ctx condition defense entries in
   let r = Tvla.of_entries ~ctx ~classify:Tvla.fixed_vs_random entries in
   let lo, hi = Campaign.assessed_region defense in
   let max_t1_sample, max_t1 = Tvla.max_abs ~lo ~hi r.Tvla.t1 in
@@ -47,13 +54,15 @@ let assess_cell ~ctx defense ~sigma ~budget ~seed =
   let _, rvr_max_t1 = Tvla.max_abs ~lo ~hi rvr.Tvla.t1 in
   (max_t1, max_t1_sample, max_t2, rvr_max_t1)
 
-let run ?ctx ?jobs ?(defenses = Campaign.all) ?(progress = fun _ -> ()) ~sigmas
-    ~budgets ~experiments ~decoys ~seed () =
+let run ?ctx ?jobs ?(defenses = Campaign.all)
+    ?(conditions = [ Campaign.baseline_condition ]) ?(progress = fun _ -> ())
+    ~sigmas ~budgets ~experiments ~decoys ~seed () =
   let c = Attack.Ctx.resolve ?ctx ?jobs () in
   let obs = c.Attack.Ctx.obs in
   if defenses = [] then invalid_arg "Assess.Matrix: empty defense list";
   if sigmas = [] then invalid_arg "Assess.Matrix: empty sigma grid";
   if budgets = [] then invalid_arg "Assess.Matrix: empty budget grid";
+  if conditions = [] then invalid_arg "Assess.Matrix: empty condition axis";
   List.iter
     (fun s -> if s <= 0. then invalid_arg "Assess.Matrix: sigma must be positive")
     sigmas;
@@ -66,52 +75,59 @@ let run ?ctx ?jobs ?(defenses = Campaign.all) ?(progress = fun _ -> ()) ~sigmas
       (fun defense ->
         List.concat_map
           (fun sigma ->
-            List.map
+            List.concat_map
               (fun budget ->
-                let cell_seed = seed + (1009 * !idx) in
-                incr idx;
-                Obs.span obs "matrix.cell"
-                  ~fields:
-                    [
-                      ("defense", Obs.Str (Campaign.name defense));
-                      ("sigma", Obs.Float sigma);
-                      ("budget", Obs.Int budget);
-                    ]
-                @@ fun () ->
-                let outcome =
-                  Metrics.run ~ctx:c
-                    { Metrics.defense; noise = sigma; budget; experiments; decoys;
-                      seed = cell_seed }
-                in
-                let max_t1, max_t1_sample, max_t2, rvr_max_t1 =
-                  assess_cell ~ctx:c defense ~sigma ~budget ~seed:(cell_seed + 17)
-                in
-                let cell =
-                  {
-                    defense;
-                    sigma;
-                    budget;
-                    outcome;
-                    max_t1;
-                    max_t1_sample;
-                    max_t2;
-                    rvr_max_t1;
-                    first_order_leak = max_t1 > Tvla.threshold;
-                    overhead = Campaign.overhead_factor defense;
-                    dilution = Campaign.dilution defense;
-                  }
-                in
-                progress cell;
-                cell)
+                List.map
+                  (fun condition ->
+                    let cell_seed = seed + (1009 * !idx) in
+                    incr idx;
+                    Obs.span obs "matrix.cell"
+                      ~fields:
+                        [
+                          ("defense", Obs.Str (Campaign.name defense));
+                          ("sigma", Obs.Float sigma);
+                          ("budget", Obs.Int budget);
+                          ( "condition",
+                            Obs.Str (Campaign.condition_name condition) );
+                        ]
+                    @@ fun () ->
+                    let outcome =
+                      Metrics.run ~ctx:c ~condition
+                        { Metrics.defense; noise = sigma; budget; experiments;
+                          decoys; seed = cell_seed }
+                    in
+                    let max_t1, max_t1_sample, max_t2, rvr_max_t1 =
+                      assess_cell ~ctx:c ~condition defense ~sigma ~budget
+                        ~seed:(cell_seed + 17)
+                    in
+                    let cell =
+                      {
+                        defense;
+                        sigma;
+                        budget;
+                        condition;
+                        outcome;
+                        max_t1;
+                        max_t1_sample;
+                        max_t2;
+                        rvr_max_t1;
+                        first_order_leak = max_t1 > Tvla.threshold;
+                        overhead = Campaign.overhead_factor defense;
+                        dilution = Campaign.dilution defense;
+                      }
+                    in
+                    progress cell;
+                    cell)
+                  conditions)
               budgets)
           sigmas)
       defenses
   in
-  { seed; experiments; decoys; defenses; sigmas; budgets; cells }
+  { seed; experiments; decoys; defenses; sigmas; budgets; conditions; cells }
 
-let tiny ?ctx ?jobs ?progress ~seed () =
-  run ?ctx ?jobs ?progress ~sigmas:[ 0.5 ] ~budgets:[ 200 ] ~experiments:2
-    ~decoys:24 ~seed ()
+let tiny ?ctx ?jobs ?conditions ?progress ~seed () =
+  run ?ctx ?jobs ?conditions ?progress ~sigmas:[ 0.5 ] ~budgets:[ 200 ]
+    ~experiments:2 ~decoys:24 ~seed ()
 
 (* {2 Serialisation} *)
 
@@ -121,6 +137,7 @@ let json_of_cell c =
       ("defense", Json.String (Campaign.name c.defense));
       ("sigma", Json.Float c.sigma);
       ("budget", Json.Int c.budget);
+      ("condition", Json.String (Campaign.condition_name c.condition));
       ("experiments", Json.Int c.outcome.Metrics.experiments);
       ("success_rate", Json.Float c.outcome.Metrics.success_rate);
       ("guessing_entropy", Json.Float c.outcome.Metrics.guessing_entropy);
@@ -152,13 +169,18 @@ let to_json r =
       ("defenses", Json.List (List.map (fun d -> Json.String (Campaign.name d)) r.defenses));
       ("sigmas", Json.List (List.map (fun s -> Json.Float s) r.sigmas));
       ("budgets", Json.List (List.map (fun b -> Json.Int b) r.budgets));
+      ( "conditions",
+        Json.List
+          (List.map
+             (fun c -> Json.String (Campaign.condition_name c))
+             r.conditions) );
       ("cells", Json.List (List.map json_of_cell r.cells));
     ]
 
 let csv_header =
-  "defense,sigma,budget,experiments,success_rate,guessing_entropy,ge_bits,mtd,\
-   mtd_found,mtd_conf,mtd_conf_found,max_t1,max_t1_sample,max_t2,rvr_max_t1,\
-   first_order_leak,overhead,dilution"
+  "defense,sigma,budget,condition,experiments,success_rate,guessing_entropy,\
+   ge_bits,mtd,mtd_found,mtd_conf,mtd_conf_found,max_t1,max_t1_sample,max_t2,\
+   rvr_max_t1,first_order_leak,overhead,dilution"
 
 let to_csv r =
   let buf = Buffer.create 1024 in
@@ -166,8 +188,10 @@ let to_csv r =
   Buffer.add_char buf '\n';
   List.iter
     (fun c ->
-      Printf.bprintf buf "%s,%g,%d,%d,%g,%g,%g,%s,%d,%s,%d,%g,%d,%g,%g,%b,%g,%d\n"
-        (Campaign.name c.defense) c.sigma c.budget c.outcome.Metrics.experiments
+      Printf.bprintf buf
+        "%s,%g,%d,%s,%d,%g,%g,%g,%s,%d,%s,%d,%g,%d,%g,%g,%b,%g,%d\n"
+        (Campaign.name c.defense) c.sigma c.budget
+        (Campaign.condition_name c.condition) c.outcome.Metrics.experiments
         c.outcome.Metrics.success_rate c.outcome.Metrics.guessing_entropy
         c.outcome.Metrics.ge_bits
         (match c.outcome.Metrics.mtd with Some d -> string_of_int d | None -> "")
@@ -209,6 +233,14 @@ let validate_cell i j =
   let* () = check (sigma > 0.) (what ^ ": sigma must be positive") in
   let* budget = field what Json.to_int_opt j "budget" in
   let* () = check (budget > 0) (what ^ ": budget must be positive") in
+  let* cond = field what Json.to_string_opt j "condition" in
+  let* () =
+    check
+      (match Campaign.condition_of_name cond with
+      | _ -> true
+      | exception Failure _ -> false)
+      (Printf.sprintf "%s: unknown condition %S" what cond)
+  in
   let* experiments = field what Json.to_int_opt j "experiments" in
   let* () = check (experiments > 0) (what ^ ": experiments must be positive") in
   let* sr = field what finite_number j "success_rate" in
@@ -266,8 +298,26 @@ let validate j =
   let* () = check (sigmas <> []) "report: empty sigma axis" in
   let* budgets = field "report" Json.to_list_opt j "budgets" in
   let* () = check (budgets <> []) "report: empty budget axis" in
+  let* conditions = field "report" Json.to_list_opt j "conditions" in
+  let* () = check (conditions <> []) "report: empty condition axis" in
+  let* () =
+    List.fold_left
+      (fun acc cj ->
+        let* () = acc in
+        match Json.to_string_opt cj with
+        | None -> Error "report: condition axis entry is not a string"
+        | Some s -> (
+            match Campaign.condition_of_name s with
+            | _ -> Ok ()
+            | exception Failure _ ->
+                Error (Printf.sprintf "report: unknown condition %S" s)))
+      (Ok ()) conditions
+  in
   let* cells = field "report" Json.to_list_opt j "cells" in
-  let expected = List.length defenses * List.length sigmas * List.length budgets in
+  let expected =
+    List.length defenses * List.length sigmas * List.length budgets
+    * List.length conditions
+  in
   let* () =
     check
       (List.length cells = expected)

@@ -1,17 +1,23 @@
 (** The countermeasure evaluation matrix: {defense} x {noise sigma} x
-    {trace budget}, one {!cell} per combination, each carrying the
-    attack metrics ({!Metrics.outcome}), the TVLA detection summary
-    over the defense's assessed region (max first- and second-order
-    |t|, plus the random-vs-random null statistic), and the
-    countermeasure cost columns (event-count overhead, shuffle
-    dilution).  Serialises to a machine-readable JSON report (schema
-    {!schema}) and a flat CSV; {!validate} checks a parsed report
-    against the schema so emitted files can be verified end to end. *)
+    {trace budget} x {acquisition condition}, one {!cell} per
+    combination, each carrying the attack metrics ({!Metrics.outcome}),
+    the TVLA detection summary over the defense's assessed region (max
+    first- and second-order |t|, plus the random-vs-random null
+    statistic), and the countermeasure cost columns (event-count
+    overhead, shuffle dilution).  The condition axis
+    ({!Campaign.condition}) sweeps the device model (Hamming weight vs
+    bus Hamming distance), clock jitter, and whether the {!Align}
+    realignment pass runs before analysis — the model x alignment view
+    of the same grid.  Serialises to a machine-readable JSON report
+    (schema {!schema}) and a flat CSV; {!validate} checks a parsed
+    report against the schema so emitted files can be verified end to
+    end. *)
 
 type cell = {
   defense : Campaign.defense;
   sigma : float;
   budget : int;
+  condition : Campaign.condition;
   outcome : Metrics.outcome;
   max_t1 : float;  (** max first-order |t| over the assessed region *)
   max_t1_sample : int;
@@ -31,16 +37,19 @@ type report = {
   defenses : Campaign.defense list;
   sigmas : float list;
   budgets : int list;
-  cells : cell list;  (** row-major: defense, then sigma, then budget *)
+  conditions : Campaign.condition list;
+  cells : cell list;
+      (** row-major: defense, then sigma, then budget, then condition *)
 }
 
 val schema : string
-(** ["falcon-down/assess-matrix/v1"]. *)
+(** ["falcon-down/assess-matrix/v3"]. *)
 
 val run :
   ?ctx:Attack.Ctx.t ->
   ?jobs:int ->
   ?defenses:Campaign.defense list ->
+  ?conditions:Campaign.condition list ->
   ?progress:(cell -> unit) ->
   sigmas:float list ->
   budgets:int list ->
@@ -49,15 +58,22 @@ val run :
   seed:int ->
   unit ->
   report
-(** Evaluate the full grid (defenses default to {!Campaign.all}).
-    Each cell derives its own deterministic seed from [seed] and its
-    grid position; [progress] fires after each finished cell.  Raises
-    [Invalid_argument] on an empty axis, non-positive sigma or a budget
-    below 8. *)
+(** Evaluate the full grid (defenses default to {!Campaign.all},
+    conditions to [[{!Campaign.baseline_condition}]] — with that
+    default every figure is bit-identical to the pre-condition-axis
+    matrix at the same seed).  Each cell derives its own deterministic
+    seed from [seed] and its grid position; under a non-baseline
+    condition both the generated campaign and the analysis follow the
+    condition (HD hypothesis models, realignment pass — see
+    {!Metrics.of_entries}), including the TVLA sweep, which assesses
+    the realigned traces when the condition realigns.  [progress] fires
+    after each finished cell.  Raises [Invalid_argument] on an empty
+    axis, non-positive sigma or a budget below 8. *)
 
 val tiny :
   ?ctx:Attack.Ctx.t ->
   ?jobs:int ->
+  ?conditions:Campaign.condition list ->
   ?progress:(cell -> unit) ->
   seed:int ->
   unit ->
@@ -70,6 +86,6 @@ val to_csv : report -> string
 
 val validate : Json.t -> (unit, string) result
 (** Structural schema check of a parsed report: schema tag, non-empty
-    axes, cell count = grid size, per-cell field presence, types and
-    ranges (SR in [0,1], GE >= 1, mtd null or in [1, budget], finite t
-    statistics, overhead/dilution >= 1). *)
+    axes, parseable condition names, cell count = grid size, per-cell
+    field presence, types and ranges (SR in [0,1], GE >= 1, mtd null or
+    in [1, budget], finite t statistics, overhead/dilution >= 1). *)

@@ -60,8 +60,9 @@ let aggregate ranks mtds mtd_confs =
     mtd_confs;
   }
 
-let of_entries ?ctx ?jobs ?(stop_alpha = default_stop_alpha) ~defense ~truth
-    ~experiments ~decoys ~seed entries =
+let of_entries ?ctx ?jobs ?(stop_alpha = default_stop_alpha)
+    ?(condition = Campaign.baseline_condition) ~defense ~truth ~experiments
+    ~decoys ~seed entries =
   let c = Attack.Ctx.resolve ?ctx ?jobs () in
   let obs = c.Attack.Ctx.obs in
   Obs.span obs "metrics.of_entries"
@@ -73,6 +74,11 @@ let of_entries ?ctx ?jobs ?(stop_alpha = default_stop_alpha) ~defense ~truth
     Array.of_seq
       (Seq.filter (fun e -> e.Campaign.cls = Campaign.Fixed) (Array.to_seq entries))
   in
+  (* the analysis-side half of the condition: realign the campaign's
+     whole fixed class before slicing into experiments, like an
+     evaluator post-processing one acquisition *)
+  let fixed, _ = Campaign.realign_entries ~ctx:c condition defense fixed in
+  let leakage = (condition.Campaign.kind :> Attack.Recover.leakage) in
   let per = Array.length fixed / experiments in
   if per < 8 then
     failwith
@@ -83,18 +89,33 @@ let of_entries ?ctx ?jobs ?(stop_alpha = default_stop_alpha) ~defense ~truth
   let d_true = Fpr.mantissa truth land m25 in
   if d_true = 0 then
     invalid_arg "Assess.Metrics: degenerate secret (zero low mantissa half)";
-  let w00 = Attack.Recover.sample Fpr.Mant_w00 in
+  (* Disclosure watches the strongest d-free part of each device model:
+     the D x B product sample under the Hamming-weight probe, the
+     (D x B) -> (D x A) bus transition at the w10 sample under bus-HD
+     (where the w00 sample's predecessor is the full secret operand). *)
+  let evo_sample, evo_model =
+    match leakage with
+    | `Hw -> (Attack.Recover.sample Fpr.Mant_w00, Attack.Recover.m_w00)
+    | `Hd -> (Attack.Recover.sample Fpr.Mant_w10, Attack.Recover.hd_w10)
+  in
   let step = max 1 (per / 16) in
   (* measured traces-to-decision: the same sequential tester the
      adaptive campaign engine uses, looking every [step] traces at the
      low-mantissa decision parts over this experiment's candidate set *)
   let stop_spec = Sequential.Decision.spec ~alpha:stop_alpha () in
   let stop_parts =
-    [
-      (Attack.Recover.sample Fpr.Mant_w00, Attack.Recover.p_w00);
-      (Attack.Recover.sample Fpr.Mant_w10, Attack.Recover.p_w10);
-      (Attack.Recover.sample Fpr.Mant_z1a, Attack.Recover.p_z1a);
-    ]
+    match leakage with
+    | `Hw ->
+        [
+          (Attack.Recover.sample Fpr.Mant_w00, Attack.Recover.p_w00);
+          (Attack.Recover.sample Fpr.Mant_w10, Attack.Recover.p_w10);
+          (Attack.Recover.sample Fpr.Mant_z1a, Attack.Recover.p_z1a);
+        ]
+    | `Hd ->
+        [
+          (Attack.Recover.sample Fpr.Mant_w10, Attack.Recover.p_hd_w10);
+          (Attack.Recover.sample Fpr.Mant_z1a, Attack.Recover.p_hd_z1a);
+        ]
   in
   let run_one i =
     let slice = Array.sub fixed (i * per) per in
@@ -119,7 +140,7 @@ let of_entries ?ctx ?jobs ?(stop_alpha = default_stop_alpha) ~defense ~truth
     let res =
       Obs.span child "metrics.experiment" ~fields:[ ("experiment", Obs.Int i) ]
         (fun () ->
-          Attack.Recover.attack_mantissa_low ~ctx:ectx
+          Attack.Recover.attack_mantissa_low ~ctx:ectx ~leakage
             ~top:(Array.length candidates) ~candidates:(Array.to_seq candidates)
             view)
     in
@@ -131,8 +152,8 @@ let of_entries ?ctx ?jobs ?(stop_alpha = default_stop_alpha) ~defense ~truth
       find 1 res.Attack.Recover.pruned
     in
     let series =
-      Attack.Dema.evolution ~traces ~sample:w00 ~model:Attack.Recover.m_w00 ~known ~guess:d_true
-        ~step
+      Attack.Dema.evolution ~traces ~sample:evo_sample ~model:evo_model ~known
+        ~guess:d_true ~step
     in
     let until =
       Attack.Dema.rank_until ~ctx:ectx ~spec:stop_spec ~batch:step ~traces
@@ -155,15 +176,15 @@ let of_entries ?ctx ?jobs ?(stop_alpha = default_stop_alpha) ~defense ~truth
     (Array.map (fun (_, m, _, _) -> m) results)
     (Array.map (fun (_, _, mc, _) -> mc) results)
 
-let run ?ctx ?jobs ?stop_alpha config =
+let run ?ctx ?jobs ?stop_alpha ?condition config =
   if config.budget < 8 then invalid_arg "Assess.Metrics: budget must be at least 8";
   let secret = Campaign.secret_operand (Stats.Rng.create ~seed:(config.seed lxor 0x5eed)) in
   let entries =
-    Campaign.generate ~p_fixed:1.0 config.defense ~noise:config.noise ~secret
-      ~count:(config.budget * config.experiments) ~seed:config.seed
+    Campaign.generate ~p_fixed:1.0 ?condition config.defense ~noise:config.noise
+      ~secret ~count:(config.budget * config.experiments) ~seed:config.seed
   in
-  of_entries ?ctx ?jobs ?stop_alpha ~defense:config.defense ~truth:secret
-    ~experiments:config.experiments ~decoys:config.decoys
+  of_entries ?ctx ?jobs ?stop_alpha ?condition ~defense:config.defense
+    ~truth:secret ~experiments:config.experiments ~decoys:config.decoys
     ~seed:(derived_seed config.seed) entries
 
 let of_store ?ctx ?jobs ?stop_alpha ?seed ~experiments ~decoys dir =

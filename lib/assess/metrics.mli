@@ -76,6 +76,7 @@ val of_entries :
   ?ctx:Attack.Ctx.t ->
   ?jobs:int ->
   ?stop_alpha:float ->
+  ?condition:Campaign.condition ->
   defense:Campaign.defense ->
   truth:Fpr.t ->
   experiments:int ->
@@ -86,13 +87,30 @@ val of_entries :
 (** Slice the campaign's fixed-class entries into [experiments]
     consecutive blocks and attack each.  [?stop_alpha] is the sequential
     tester's family-wise error budget for the MTD-at-confidence column
-    (default [1e-4]).  Raises [Invalid_argument] on a degenerate secret
+    (default [1e-4]).
+
+    [?condition] (default {!Campaign.baseline_condition}) is the
+    analysis half of the acquisition condition the entries were
+    generated under: [`Hd] swaps every distinguisher to the matched
+    bus-transition models ({!Attack.Recover.p_hd_w10} /
+    [p_hd_z1a] extend/prune, the w10 transition for the MTD series and
+    the two d-free HD parts for the sequential tester), and [realign]
+    runs {!Align.realign_rows} over the whole fixed class (max shift =
+    the condition's jitter bound, fill = the default model baseline)
+    before slicing.  Raises [Invalid_argument] on a degenerate secret
     or nonsensical parameters, [Failure] when the fixed class is too
     small for the requested experiment count. *)
 
-val run : ?ctx:Attack.Ctx.t -> ?jobs:int -> ?stop_alpha:float -> config -> outcome
+val run :
+  ?ctx:Attack.Ctx.t ->
+  ?jobs:int ->
+  ?stop_alpha:float ->
+  ?condition:Campaign.condition ->
+  config ->
+  outcome
 (** Generate an all-fixed campaign of [budget * experiments] traces
-    (secret drawn from the config seed) and evaluate it. *)
+    (secret drawn from the config seed) under [?condition] and evaluate
+    it under the same condition. *)
 
 val of_store :
   ?ctx:Attack.Ctx.t ->

@@ -1,16 +1,16 @@
-let estimate ~traces ~known ~lo_sample ~hi_sample =
+let lo32 y = Int64.to_int (Int64.logand y 0xFFFFFFFFL)
+let hi32 y = Int64.to_int (Int64.shift_right_logical y 32)
+
+let estimate_points ~traces ~known points =
   let pts = ref [] in
-  let add sample word_of =
+  let add (sample, word_of) =
     Array.iteri
       (fun i t ->
         let hw = float_of_int (Bitops.popcount (word_of known.(i))) in
         pts := (hw, t.(sample)) :: !pts)
       traces
   in
-  let lo32 y = Int64.to_int (Int64.logand y 0xFFFFFFFFL) in
-  let hi32 y = Int64.to_int (Int64.shift_right_logical y 32) in
-  add lo_sample lo32;
-  add hi_sample hi32;
+  List.iter add points;
   let n = float_of_int (List.length !pts) in
   let sx = ref 0. and sy = ref 0. and sxx = ref 0. and sxy = ref 0. in
   List.iter
@@ -27,3 +27,12 @@ let estimate ~traces ~known ~lo_sample ~hi_sample =
     let baseline = (!sy -. (alpha *. !sx)) /. n in
     (alpha, baseline)
   end
+
+let estimate ~traces ~known ~lo_sample ~hi_sample =
+  estimate_points ~traces ~known [ (lo_sample, lo32); (hi_sample, hi32) ]
+
+(* Under bus-HD leakage the load of the known operand's high word leaks
+   the transition from its low word: HD(word_lo, word_hi), still fully
+   public data. *)
+let estimate_hd ~traces ~known ~hi_sample =
+  estimate_points ~traces ~known [ (hi_sample, fun y -> lo32 y lxor hi32 y) ]

@@ -9,12 +9,31 @@
     the absolute-level exponent distinguisher ({!Dema.rank_absolute})
     needs. *)
 
+val estimate_points :
+  traces:float array array ->
+  known:Fpr.t array ->
+  (int * (Fpr.t -> int)) list ->
+  float * float
+(** [(alpha, baseline)] by least squares over arbitrary calibration
+    points: each [(sample, word_of)] pairs a trace sample with the known
+    word whose Hamming weight the device leaked there.  Returns
+    [(1., 0.)] when the predictor carries no variance. *)
+
 val estimate :
   traces:float array array ->
   known:Fpr.t array ->
   lo_sample:int ->
   hi_sample:int ->
   float * float
-(** [(alpha, baseline)] by least squares over the known-operand load
-    samples of every trace ([lo_sample]/[hi_sample] carry the low/high
-    32-bit words of the known operand). *)
+(** [(alpha, baseline)] over the known-operand load samples of every
+    trace ([lo_sample]/[hi_sample] carry the low/high 32-bit words of
+    the known operand) — the Hamming-weight probe's calibration. *)
+
+val estimate_hd :
+  traces:float array array ->
+  known:Fpr.t array ->
+  hi_sample:int ->
+  float * float
+(** Bus-HD calibration: at the high-word load the shared write-back
+    register transitions from the known low word to the known high word,
+    so the sample regresses against [HW(word_lo lxor word_hi)]. *)

@@ -46,7 +46,7 @@ let fan_tasks ~ctx ~n task =
   done;
   out
 
-let recover_f_fft ?ctx ?jobs ~traces ~n strategy =
+let recover_f_fft ?ctx ?jobs ?leakage ~traces ~n strategy =
   let c = Ctx.resolve ?ctx ?jobs () in
   Obs.span c.Ctx.obs "fullkey.recover_f_fft"
     ~fields:[ ("n", Obs.Int n); ("jobs", Obs.Int c.Ctx.jobs) ]
@@ -54,11 +54,12 @@ let recover_f_fft ?ctx ?jobs ~traces ~n strategy =
   fan_tasks ~ctx:c ~n (fun ~tctx ~coeff ~component ->
       let views = Recover.views_for traces ~coeff ~component in
       let mul = match component with `Re -> 0 | `Im -> 1 in
-      Recover.coefficient ~ctx:tctx ~strategy:(strategy ~coeff ~mul) views)
+      Recover.coefficient ~ctx:tctx ?leakage ~strategy:(strategy ~coeff ~mul)
+        views)
 
-let recover_key ?ctx ?jobs ~traces ~h strategy =
+let recover_key ?ctx ?jobs ?leakage ~traces ~h strategy =
   let n = Array.length h in
-  let f_fft = recover_f_fft ?ctx ?jobs ~traces ~n strategy in
+  let f_fft = recover_f_fft ?ctx ?jobs ?leakage ~traces ~n strategy in
   let f = Fft.round_to_int (Fft.ifft f_fft) in
   let keypair = Ntru.Ntrugen.recover_from_f ~n ~f ~h in
   { f_fft; f; keypair }
@@ -280,8 +281,8 @@ let recover_f_fft_store_adaptive ~ctx:c ~on_corrupt ~prefetch ~stop:spec
       let mul = match component with `Re -> 0 | `Im -> 1 in
       Recover.coefficient ~ctx:tctx ~strategy:(strategy ~coeff ~mul) views)
 
-let recover_f_fft_store ?ctx ?jobs ?on_corrupt ?prefetch ?stop ?max_traces
-    ?stop_report ~reader strategy =
+let recover_f_fft_store ?ctx ?jobs ?on_corrupt ?prefetch ?leakage ?stop
+    ?max_traces ?stop_report ~reader strategy =
   let c = Ctx.resolve ?ctx ?jobs () in
   let n = (Tracestore.Reader.meta reader).Tracestore.n in
   Obs.span c.Ctx.obs "fullkey.recover_f_fft_store"
@@ -294,6 +295,15 @@ let recover_f_fft_store ?ctx ?jobs ?on_corrupt ?prefetch ?stop ?max_traces
   @@ fun () ->
   match stop with
   | Some spec ->
+      (* The adaptive driver's streaming decision sweeps need a d-free
+         part set per half; under bus-HD every usable high-half
+         transition takes the recovered d, so there is no high sweep to
+         decide on.  Mirror the Exhaustive rejection rather than decide
+         on a mismatched model. *)
+      if leakage = Some `Hd then
+        invalid_arg
+          "Fullkey: ?stop is not available under `Hd leakage — the streaming \
+           decision sweeps have no d-free Hamming-distance part set";
       recover_f_fft_store_adaptive ~ctx:c ~on_corrupt ~prefetch ~stop:spec
         ~max_traces ~stop_report ~reader strategy n
   | None ->
@@ -303,10 +313,11 @@ let recover_f_fft_store ?ctx ?jobs ?on_corrupt ?prefetch ?stop ?max_traces
               ~component ()
           in
           let mul = match component with `Re -> 0 | `Im -> 1 in
-          Recover.coefficient ~ctx:tctx ~strategy:(strategy ~coeff ~mul) views)
+          Recover.coefficient ~ctx:tctx ?leakage ~strategy:(strategy ~coeff ~mul)
+            views)
 
-let recover_key_store ?ctx ?jobs ?on_corrupt ?prefetch ?stop ?max_traces
-    ?stop_report ~reader ~h strategy =
+let recover_key_store ?ctx ?jobs ?on_corrupt ?prefetch ?leakage ?stop
+    ?max_traces ?stop_report ~reader ~h strategy =
   let n = Array.length h in
   let store_n = (Tracestore.Reader.meta reader).Tracestore.n in
   if store_n <> n then
@@ -316,8 +327,8 @@ let recover_key_store ?ctx ?jobs ?on_corrupt ?prefetch ?stop ?max_traces
           is FALCON-%d"
          store_n n);
   let f_fft =
-    recover_f_fft_store ?ctx ?jobs ?on_corrupt ?prefetch ?stop ?max_traces
-      ?stop_report ~reader strategy
+    recover_f_fft_store ?ctx ?jobs ?on_corrupt ?prefetch ?leakage ?stop
+      ?max_traces ?stop_report ~reader strategy
   in
   let f = Fft.round_to_int (Fft.ifft f_fft) in
   let keypair = Ntru.Ntrugen.recover_from_f ~n ~f ~h in

@@ -18,6 +18,7 @@ type result = {
 val recover_f_fft :
   ?ctx:Ctx.t ->
   ?jobs:int ->
+  ?leakage:Recover.leakage ->
   traces:Leakage.trace array ->
   n:int ->
   (coeff:int -> mul:int -> Recover.strategy) ->
@@ -42,6 +43,7 @@ val recover_f_fft :
 val recover_key :
   ?ctx:Ctx.t ->
   ?jobs:int ->
+  ?leakage:Recover.leakage ->
   traces:Leakage.trace array ->
   h:int array ->
   (coeff:int -> mul:int -> Recover.strategy) ->
@@ -52,6 +54,7 @@ val recover_f_fft_store :
   ?jobs:int ->
   ?on_corrupt:[ `Fail | `Skip ] ->
   ?prefetch:bool ->
+  ?leakage:Recover.leakage ->
   ?stop:Sequential.Decision.spec ->
   ?max_traces:int ->
   ?stop_report:(Sequential.Campaign.summary -> unit) ->
@@ -80,14 +83,21 @@ val recover_f_fft_store :
     Stop points and the recovered transform are bit-identical across
     [jobs], backends and prefetch settings.  Raises [Invalid_argument]
     if [?stop] is combined with an [Exhaustive] strategy (the 2^25
-    space cannot be re-scored at every look); [?max_traces] and
-    [?stop_report] are meaningful only with [?stop]. *)
+    space cannot be re-scored at every look) or with [~leakage:`Hd]
+    (every usable high-half bus transition takes the recovered d, so
+    there is no d-free decision sweep); [?max_traces] and
+    [?stop_report] are meaningful only with [?stop].
+
+    [?leakage] selects the hypothesis models the per-coefficient
+    attacks are matched against (see {!Recover.leakage}); attack a
+    bus-HD campaign ([Leakage.hd_emitter]) with [~leakage:`Hd]. *)
 
 val recover_key_store :
   ?ctx:Ctx.t ->
   ?jobs:int ->
   ?on_corrupt:[ `Fail | `Skip ] ->
   ?prefetch:bool ->
+  ?leakage:Recover.leakage ->
   ?stop:Sequential.Decision.spec ->
   ?max_traces:int ->
   ?stop_report:(Sequential.Campaign.summary -> unit) ->

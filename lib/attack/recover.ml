@@ -88,6 +88,92 @@ let p_zhigh ~d =
       let z1 = ((d * b) lsr 25) + ((d * a) land m25) + (w01 land m25) in
       (e * a) + (w01 lsr 25) + (w10 lsr 25) + (z1 lsr 25))
 
+(* ---- Hamming-distance (register-transfer) forms ----
+
+   Under [Leakage.Register_file.bus] every intermediate crosses one
+   shared write-back register, so the sample at event j leaks
+   HD(v_(j-1), v_j) = HW(v_(j-1) lxor v_j) — the transition between
+   consecutive architecturally visible values.  Within the 16-event
+   multiply window the predecessor of every attacked intermediate is
+   itself predictable from the guess and the known operand, so each HD
+   model below is simply the XOR of two consecutive HW models:
+
+     w10 sample:   (D.B)  xor (D.A)        (both d-dependent)
+     z1a sample:   (D.A)  xor z1a(d)       (the prune target keeps its
+                                            non-shift-covariance)
+     w01 sample:   z1a(d) xor (E.B)        (needs the recovered d)
+     z1  sample:   (E.B)  xor z1(d,e)
+     w11 sample:   z1(d,e) xor (E.A)
+     zhigh sample: (E.A)  xor zhigh(d,e)
+
+   The load-window and secret-load transitions are either known-only
+   (used for calibration, see [Calibrate.estimate_hd]) or depend on the
+   not-yet-guessed secret words and are skipped.  The models stay exact,
+   so the HD attack retains the full correlation of the HW one. *)
+
+type leakage = [ `Hw | `Hd ]
+
+let hd_w10 d y = (d * b25 y) lxor (d * a28 y)
+let hd_z1a d y = (d * a28 y) lxor m_z1a d y
+let hd_w01 ~d e y = m_z1a d y lxor (e * b25 y)
+let hd_z1 ~d e y = (e * b25 y) lxor m_z1 ~d e y
+let hd_w11 ~d e y = m_z1 ~d e y lxor (e * a28 y)
+let hd_zhigh ~d e y = (e * a28 y) lxor m_zhigh ~d e y
+
+let p_hd_w10 =
+  Hypothesis.Model.split ~prep:pack_ba ~eval:(fun d p ->
+      let b = p land m25 and a = p lsr 25 in
+      (d * b) lxor (d * a))
+
+let p_hd_z1a =
+  Hypothesis.Model.split ~prep:pack_ba ~eval:(fun d p ->
+      let b = p land m25 and a = p lsr 25 in
+      let w10 = d * a in
+      w10 lxor (((d * b) lsr 25) + (w10 land m25)))
+
+let p_hd_w01 ~d =
+  Hypothesis.Model.split ~prep:pack_ba ~eval:(fun e p ->
+      let b = p land m25 and a = p lsr 25 in
+      (((d * b) lsr 25) + ((d * a) land m25)) lxor (e * b))
+
+let p_hd_z1 ~d =
+  Hypothesis.Model.split ~prep:pack_ba ~eval:(fun e p ->
+      let b = p land m25 and a = p lsr 25 in
+      let w01 = e * b in
+      w01 lxor (((d * b) lsr 25) + ((d * a) land m25) + (w01 land m25)))
+
+let p_hd_w11 ~d =
+  Hypothesis.Model.split ~prep:pack_ba ~eval:(fun e p ->
+      let b = p land m25 and a = p lsr 25 in
+      let z1 = ((d * b) lsr 25) + ((d * a) land m25) + ((e * b) land m25) in
+      z1 lxor (e * a))
+
+let p_hd_zhigh ~d =
+  Hypothesis.Model.split ~prep:pack_ba ~eval:(fun e p ->
+      let b = p land m25 and a = p lsr 25 in
+      let w01 = e * b and w10 = d * a in
+      let z1 = ((d * b) lsr 25) + ((d * a) land m25) + (w01 land m25) in
+      let w11 = e * a in
+      w11 lxor (w11 + (w01 lsr 25) + (w10 lsr 25) + (z1 lsr 25)))
+
+(* The normalised 55-bit product (with sticky bit), recomputed from the
+   recovered mantissa and the known operand exactly as [Fpr.mul_emit]
+   forms it — the predecessor of the exponent register write under the
+   shared bus. *)
+let norm_value ~mant y =
+  let b = b25 y and a = a28 y in
+  let xu = mant lor (1 lsl 52) in
+  let d = xu land m25 and e = xu lsr 25 in
+  let w00 = d * b and w10 = d * a and w01 = e * b and w11 = e * a in
+  let z1a = (w00 lsr 25) + (w10 land m25) in
+  let z1 = z1a + (w01 land m25) in
+  let zhigh = w11 + (w01 lsr 25) + (w10 lsr 25) + (z1 lsr 25) in
+  let sticky = if (w00 land m25) lor (z1 land m25) <> 0 then 1 else 0 in
+  let m =
+    if zhigh >= 1 lsl 55 then (zhigh lsr 1) lor (zhigh land 1) else zhigh
+  in
+  m lor sticky
+
 (* ---- joint machinery over one or several windows ----
 
    A combined problem concatenates the windows of every view and indexes
@@ -170,25 +256,74 @@ let p_result_hi ~mant ~sign =
    lies in the 64-wide biased-exponent window [992, 1056). *)
 let default_exponent_window = Seq.init 64 (fun i -> 992 + i)
 
-let calibrate_views views =
+(* Per-view calibration on the known-operand load transitions,
+   averaged over the views whose fitted alpha sits within tolerance of
+   the largest.  The load samples sit at the very start of the first
+   multiplication window, so for the first coefficient they are the
+   samples clock jitter pushes past the trace edge; realignment refills
+   them with a flat level, and traces carrying no signal at the
+   calibration sample can only flatten the fitted slope.  Contamination
+   thus biases alpha strictly downward — views attenuated well below
+   the best are dropped — while on clean captures every view agrees,
+   all pass the tolerance, and the result is the plain mean over all
+   views (arithmetic identical to the historical behaviour, so clean
+   HW attacks are bit-for-bit unchanged).  Deterministic fold order, so
+   results stay bit-identical across jobs and backends. *)
+let calibrate_views ?(leakage = `Hw) views =
   let als =
     List.map
       (fun v ->
-        Calibrate.estimate ~traces:v.traces ~known:v.known
-          ~lo_sample:(sample Fpr.Load_x_lo) ~hi_sample:(sample Fpr.Load_x_hi))
+        match (leakage : leakage) with
+        | `Hw ->
+            Calibrate.estimate ~traces:v.traces ~known:v.known
+              ~lo_sample:(sample Fpr.Load_x_lo) ~hi_sample:(sample Fpr.Load_x_hi)
+        | `Hd ->
+            Calibrate.estimate_hd ~traces:v.traces ~known:v.known
+              ~hi_sample:(sample Fpr.Load_x_hi))
       views
   in
-  let nf = float_of_int (List.length als) in
-  ( List.fold_left (fun acc (a, _) -> acc +. a) 0. als /. nf,
-    List.fold_left (fun acc (_, b) -> acc +. b) 0. als /. nf )
+  if als = [] then invalid_arg "Recover.calibrate_views: no views";
+  let amax = List.fold_left (fun acc (a, _) -> Float.max acc a) neg_infinity als in
+  let keep = List.filter (fun (a, _) -> a >= 0.9 *. amax) als in
+  let nf = float_of_int (List.length keep) in
+  ( List.fold_left (fun acc (a, _) -> acc +. a) 0. keep /. nf,
+    List.fold_left (fun acc (_, b) -> acc +. b) 0. keep /. nf )
 
-let sign_exponent_multi ?ctx ?jobs ?(exp_candidates = default_exponent_window) ~mant
-    views =
+(* Bus-HD transitions around the tail of the window, as [Fn] closures
+   over the recovered mantissa (the packed digests would overflow the
+   63-bit split-prep word): the normalised product into the exponent
+   register, the exponent word into the sign flag, the sign flag into
+   the result's low word, and the result's low word into its high
+   word.  The result-low transition only distinguishes the sign bit but
+   rides along for free. *)
+let hd_sign_exp_stage ~mant =
+  let x0 = Fpr.make ~sign:0 ~exp:1023 ~mant in
+  let exp_word g y =
+    ((g land 0x7FF) + Fpr.biased_exponent y - 2100) land 0xFFFFFFFF
+  in
+  let sgn g y = (g lsr 11) lxor Fpr.sign_bit y in
+  let lo_word y = Int64.to_int (Int64.logand (Fpr.mul x0 y) 0xFFFFFFFFL) in
+  let hi_word g y =
+    let r0 = Fpr.mul x0 y in
+    let e_res = ((g land 0x7FF) + Fpr.biased_exponent r0 - 1023) land 0x7FF in
+    ((sgn g y lsl 31) lor (e_res lsl 20) lor (Fpr.mantissa r0 lsr 32))
+    land 0xFFFFFFFF
+  in
+  [
+    ( Fpr.Exp_sum,
+      Hypothesis.Model.fn (fun g y -> norm_value ~mant y lxor exp_word g y) );
+    (Fpr.Sign_xor, Hypothesis.Model.fn (fun g y -> exp_word g y lxor sgn g y));
+    (Fpr.Result_lo, Hypothesis.Model.fn (fun g y -> sgn g y lxor lo_word y));
+    (Fpr.Result_hi, Hypothesis.Model.fn (fun g y -> lo_word y lxor hi_word g y));
+  ]
+
+let sign_exponent_multi ?ctx ?jobs ?(leakage = `Hw)
+    ?(exp_candidates = default_exponent_window) ~mant views =
   let c = Ctx.resolve ?ctx ?jobs () in
   Obs.span c.Ctx.obs "recover.sign_exponent"
     ~fields:[ ("views", Obs.Int (List.length views)) ]
   @@ fun () ->
-  let alpha, baseline = calibrate_views views in
+  let alpha, baseline = calibrate_views ~leakage views in
   let traces, idx = combine views in
   let candidates =
     Seq.concat_map (fun e -> List.to_seq [ e; (1 lsl 11) lor e ]) exp_candidates
@@ -196,17 +331,20 @@ let sign_exponent_multi ?ctx ?jobs ?(exp_candidates = default_exponent_window) ~
   (* the 12-bit joint guess packs (sign << 11) | exponent; each part's
      eval unpacks it, so all three stay split models *)
   let stage =
-    [
-      ( Fpr.Exp_sum,
-        Hypothesis.Model.split ~prep:Fpr.biased_exponent ~eval:(fun g e ->
-            ((g land 0x7FF) + e - 2100) land 0xFFFFFFFF) );
-      ( Fpr.Sign_xor,
-        Hypothesis.Model.split ~prep:Fpr.sign_bit ~eval:(fun g s -> (g lsr 11) lxor s)
-      );
-      ( Fpr.Result_hi,
-        Hypothesis.Model.split ~prep:(prep_hi ~mant) ~eval:(fun g p ->
-            eval_hi ~sign:(g lsr 11) (g land 0x7FF) p) );
-    ]
+    match (leakage : leakage) with
+    | `Hd -> hd_sign_exp_stage ~mant
+    | `Hw ->
+        [
+          ( Fpr.Exp_sum,
+            Hypothesis.Model.split ~prep:Fpr.biased_exponent ~eval:(fun g e ->
+                ((g land 0x7FF) + e - 2100) land 0xFFFFFFFF) );
+          ( Fpr.Sign_xor,
+            Hypothesis.Model.split ~prep:Fpr.sign_bit ~eval:(fun g s ->
+                (g lsr 11) lxor s) );
+          ( Fpr.Result_hi,
+            Hypothesis.Model.split ~prep:(prep_hi ~mant) ~eval:(fun g p ->
+                eval_hi ~sign:(g lsr 11) (g land 0x7FF) p) );
+        ]
   in
   let ranked =
     Dema.rank_absolute ~ctx:c ~traces ~parts:(spread_parts views stage) ~known:idx
@@ -216,8 +354,8 @@ let sign_exponent_multi ?ctx ?jobs ?(exp_candidates = default_exponent_window) ~
   | best :: _ -> (best.guess lsr 11, best.guess land 0x7FF, ranked)
   | [] -> invalid_arg "Recover.sign_exponent: empty candidate set"
 
-let attack_sign_exponent ?ctx ?jobs ?exp_candidates ~mant v =
-  sign_exponent_multi ?ctx ?jobs ?exp_candidates ~mant [ v ]
+let attack_sign_exponent ?ctx ?jobs ?leakage ?exp_candidates ~mant v =
+  sign_exponent_multi ?ctx ?jobs ?leakage ?exp_candidates ~mant [ v ]
 
 let attack_exponent ?ctx ?jobs ?candidates ~mant ~sign v =
   let c = Ctx.resolve ?ctx ?jobs () in
@@ -272,20 +410,34 @@ let extend_prune_multi ?ctx ?jobs ?backend ~top ~candidates ~extend_stage ~prune
   | [] -> invalid_arg "Recover.extend_prune: empty candidate set"
 
 (* Extend phase: correlate the guess against both partial products
-   (D x B at the w00 sample, D x A at the w10 sample) — Section III-C. *)
+   (D x B at the w00 sample, D x A at the w10 sample) — Section III-C.
+   Under bus-HD the w00 transition needs the secret high word and drops
+   out; the w10 and z1a transitions are d-only and carry the stage. *)
 let low_extend_stage = [ (Fpr.Mant_w00, p_w00); (Fpr.Mant_w10, p_w10) ]
 
-let mantissa_low_multi ?ctx ?jobs ?backend ?(top = 16) ~candidates views =
+let low_stages = function
+  | `Hw -> (low_extend_stage, [ (Fpr.Mant_z1a, p_z1a) ])
+  | `Hd -> ([ (Fpr.Mant_w10, p_hd_w10) ], [ (Fpr.Mant_z1a, p_hd_z1a) ])
+
+let high_stages ~d = function
+  | `Hw ->
+      ( [ (Fpr.Mant_w01, p_w01); (Fpr.Mant_w11, p_w11) ],
+        [ (Fpr.Mant_z1, p_z1 ~d); (Fpr.Mant_zhigh, p_zhigh ~d) ] )
+  | `Hd ->
+      ( [ (Fpr.Mant_w01, p_hd_w01 ~d); (Fpr.Mant_w11, p_hd_w11 ~d) ],
+        [ (Fpr.Mant_z1, p_hd_z1 ~d); (Fpr.Mant_zhigh, p_hd_zhigh ~d) ] )
+
+let mantissa_low_multi ?ctx ?jobs ?backend ?(leakage = `Hw) ?(top = 16)
+    ~candidates views =
   let c = Ctx.resolve ?ctx ?jobs ?backend () in
   Obs.span c.Ctx.obs "recover.mantissa_low"
     ~fields:[ ("part", Obs.Str "low25"); ("views", Obs.Int (List.length views)) ]
     (fun () ->
-      extend_prune_multi ~ctx:c ~top ~candidates ~extend_stage:low_extend_stage
-        ~prune_stage:[ (Fpr.Mant_z1a, p_z1a) ]
-        views)
+      let extend_stage, prune_stage = low_stages leakage in
+      extend_prune_multi ~ctx:c ~top ~candidates ~extend_stage ~prune_stage views)
 
-let attack_mantissa_low ?ctx ?jobs ?backend ?top ~candidates v =
-  mantissa_low_multi ?ctx ?jobs ?backend ?top ~candidates [ v ]
+let attack_mantissa_low ?ctx ?jobs ?backend ?leakage ?top ~candidates v =
+  mantissa_low_multi ?ctx ?jobs ?backend ?leakage ?top ~candidates [ v ]
 
 let attack_mantissa_low_naive ?ctx ?jobs ?backend ?(top = 16) ~candidates v =
   let c = Ctx.resolve ?ctx ?jobs ?backend () in
@@ -293,24 +445,23 @@ let attack_mantissa_low_naive ?ctx ?jobs ?backend ?(top = 16) ~candidates v =
     ~parts:[ (sample Fpr.Mant_w00, p_w00); (sample Fpr.Mant_w10, p_w10) ]
     ~known:v.known ~top candidates
 
-let mantissa_high_multi ?ctx ?jobs ?backend ?(top = 16) ~candidates ~d views =
+let mantissa_high_multi ?ctx ?jobs ?backend ?(leakage = `Hw) ?(top = 16)
+    ~candidates ~d views =
   let c = Ctx.resolve ?ctx ?jobs ?backend () in
   Obs.span c.Ctx.obs "recover.mantissa_high"
     ~fields:[ ("part", Obs.Str "high28"); ("views", Obs.Int (List.length views)) ]
     (fun () ->
-      extend_prune_multi ~ctx:c ~top ~candidates
-        ~extend_stage:[ (Fpr.Mant_w01, p_w01); (Fpr.Mant_w11, p_w11) ]
-        ~prune_stage:[ (Fpr.Mant_z1, p_z1 ~d); (Fpr.Mant_zhigh, p_zhigh ~d) ]
-        views)
+      let extend_stage, prune_stage = high_stages ~d leakage in
+      extend_prune_multi ~ctx:c ~top ~candidates ~extend_stage ~prune_stage views)
 
-let attack_mantissa_high ?ctx ?jobs ?backend ?top ~candidates ~d v =
-  mantissa_high_multi ?ctx ?jobs ?backend ?top ~candidates ~d [ v ]
+let attack_mantissa_high ?ctx ?jobs ?backend ?leakage ?top ~candidates ~d v =
+  mantissa_high_multi ?ctx ?jobs ?backend ?leakage ?top ~candidates ~d [ v ]
 
 type strategy =
   | Exhaustive
   | Eval_sampled of { rng : Stats.Rng.t; decoys : int; truth : Fpr.t }
 
-let coefficient ?ctx ?jobs ?backend ~strategy views =
+let coefficient ?ctx ?jobs ?backend ?(leakage = `Hw) ~strategy views =
   let c = Ctx.resolve ?ctx ?jobs ?backend () in
   Obs.span c.Ctx.obs "recover.coefficient"
     ~fields:[ ("views", Obs.Int (List.length views)) ]
@@ -330,11 +481,12 @@ let coefficient ?ctx ?jobs ?backend ~strategy views =
   in
   (* keep enough extend survivors that the truth cannot be displaced by
      its own alias class (up to ~25 exact ties for small D) plus noise *)
-  let low = mantissa_low_multi ~ctx:c ~top:32 ~candidates:low_cands views in
+  let low = mantissa_low_multi ~ctx:c ~leakage ~top:32 ~candidates:low_cands views in
   let high =
-    mantissa_high_multi ~ctx:c ~top:32 ~candidates:high_cands ~d:low.winner views
+    mantissa_high_multi ~ctx:c ~leakage ~top:32 ~candidates:high_cands
+      ~d:low.winner views
   in
   let xu = (high.winner lsl 25) lor low.winner in
   let mant = xu land ((1 lsl 52) - 1) in
-  let s, e, _ = sign_exponent_multi ~ctx:c ~mant views in
+  let s, e, _ = sign_exponent_multi ~ctx:c ~leakage ~mant views in
   Fpr.make ~sign:s ~exp:e ~mant

@@ -51,6 +51,36 @@ val m_result_hi : mant:int -> sign:int -> int -> Fpr.t -> int
 (** guess = biased exponent; predicted high 32-bit word of the stored
     result, given the recovered mantissa and sign. *)
 
+(** {2 Hamming-distance forms}
+
+    Matched models for bus-HD leakage ({!Leakage.Register_file.bus}: one
+    shared write-back register, so sample j leaks
+    [HW(v_(j-1) lxor v_j)]).  Each is the XOR of the two values
+    co-resident on the bus at that sample; the models stay exact, so the
+    HD attack keeps the full correlation of the HW one.  Select them
+    through the [?leakage] argument of the component attacks below. *)
+
+type leakage = [ `Hw | `Hd ]
+(** Which device model the hypothesis models are matched against:
+    the idealized Hamming-weight probe (the default, matching
+    [Leakage.default_emitter]) or bus Hamming-distance
+    ([Leakage.hd_emitter]). *)
+
+val hd_w10 : int -> Fpr.t -> int
+(** guess = D; predicted (D x B) xor (D x A) — the w10-sample bus
+    transition. *)
+
+val hd_z1a : int -> Fpr.t -> int
+val hd_w01 : d:int -> int -> Fpr.t -> int
+val hd_z1 : d:int -> int -> Fpr.t -> int
+val hd_w11 : d:int -> int -> Fpr.t -> int
+val hd_zhigh : d:int -> int -> Fpr.t -> int
+
+val norm_value : mant:int -> Fpr.t -> int
+(** The normalised 55-bit product with sticky bit, exactly as
+    [Fpr.mul_emit] forms it — the bus predecessor of the exponent
+    register write. *)
+
 (** {2 Split forms}
 
     The same models as {!Hypothesis.Model.Split} values: the known
@@ -75,6 +105,15 @@ val p_result_hi : mant:int -> sign:int -> Fpr.t Hypothesis.Model.t
     prep table instead of a closure-local memo (the old memo was mutated
     from every worker domain). *)
 
+val p_hd_w10 : Fpr.t Hypothesis.Model.t
+val p_hd_z1a : Fpr.t Hypothesis.Model.t
+val p_hd_w01 : d:int -> Fpr.t Hypothesis.Model.t
+val p_hd_z1 : d:int -> Fpr.t Hypothesis.Model.t
+val p_hd_w11 : d:int -> Fpr.t Hypothesis.Model.t
+val p_hd_zhigh : d:int -> Fpr.t Hypothesis.Model.t
+(** Split forms of the bus-HD models, same prep digests as the HW
+    splits. *)
+
 (** {1 Component attacks} *)
 
 val attack_sign : view -> int * float
@@ -84,6 +123,7 @@ val attack_sign : view -> int * float
 val attack_sign_exponent :
   ?ctx:Ctx.t ->
   ?jobs:int ->
+  ?leakage:leakage ->
   ?exp_candidates:int Seq.t ->
   mant:int ->
   view ->
@@ -93,6 +133,7 @@ val attack_sign_exponent :
 val sign_exponent_multi :
   ?ctx:Ctx.t ->
   ?jobs:int ->
+  ?leakage:leakage ->
   ?exp_candidates:int Seq.t ->
   mant:int ->
   view list ->
@@ -131,6 +172,7 @@ val mantissa_low_multi :
   ?ctx:Ctx.t ->
   ?jobs:int ->
   ?backend:Stats.Pearson.Batch.backend ->
+  ?leakage:leakage ->
   ?top:int ->
   candidates:int Seq.t ->
   view list ->
@@ -140,12 +182,15 @@ val attack_mantissa_low :
   ?ctx:Ctx.t ->
   ?jobs:int ->
   ?backend:Stats.Pearson.Batch.backend ->
+  ?leakage:leakage ->
   ?top:int ->
   candidates:int Seq.t ->
   view ->
   mantissa_result
 (** Extend on the partial products D x B and D x A, prune on the
-    intermediate addition z1a.  Candidates are 25-bit values. *)
+    intermediate addition z1a.  Candidates are 25-bit values.  Under
+    [~leakage:`Hd] the stage swaps to the matched bus-transition models
+    (extend on the w10 transition, prune on the z1a transition). *)
 
 val attack_mantissa_low_naive :
   ?ctx:Ctx.t ->
@@ -162,6 +207,7 @@ val mantissa_high_multi :
   ?ctx:Ctx.t ->
   ?jobs:int ->
   ?backend:Stats.Pearson.Batch.backend ->
+  ?leakage:leakage ->
   ?top:int ->
   candidates:int Seq.t ->
   d:int ->
@@ -172,6 +218,7 @@ val attack_mantissa_high :
   ?ctx:Ctx.t ->
   ?jobs:int ->
   ?backend:Stats.Pearson.Batch.backend ->
+  ?leakage:leakage ->
   ?top:int ->
   candidates:int Seq.t ->
   d:int ->
@@ -192,6 +239,7 @@ val coefficient :
   ?ctx:Ctx.t ->
   ?jobs:int ->
   ?backend:Stats.Pearson.Batch.backend ->
+  ?leakage:leakage ->
   strategy:strategy ->
   view list ->
   Fpr.t

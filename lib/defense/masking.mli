@@ -37,5 +37,10 @@ val overhead_factor : float
 (** Event-count overhead of the masked multiply vs the unprotected one
     (proxy for the cycle overhead the paper asks to be reported). *)
 
+val values : Stats.Rng.t -> known:Fpr.t -> secret:Fpr.t -> int array
+(** Unrendered event values in index order (mask drawn from the rng
+    first, exactly as in {!trace}) — the hook register-transfer emitters
+    and jitter injection transform before rendering. *)
+
 val trace : Leakage.model -> Stats.Rng.t -> known:Fpr.t -> secret:Fpr.t -> float array
 (** Leakage trace of one masked multiply under the usual HW model. *)

@@ -1,6 +1,6 @@
 let dilution = 4
 
-let trace model rng ~known ~secret =
+let values rng ~known ~secret =
   (* collect the 16 unprotected event values in order *)
   let values = Array.make Leakage.events_per_mul 0 in
   let i = ref 0 in
@@ -27,9 +27,12 @@ let trace model rng ~known ~secret =
   in
   permute product_slots;
   permute add_slots;
+  values
+
+let trace model rng ~known ~secret =
   Array.map
     (fun v ->
       model.Leakage.baseline
       +. (model.Leakage.alpha *. float_of_int (Bitops.popcount v))
       +. Stats.Rng.gaussian rng ~mu:0. ~sigma:model.Leakage.noise_sigma)
-    values
+    (values rng ~known ~secret)

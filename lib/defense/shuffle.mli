@@ -9,6 +9,10 @@
     correlation by roughly the shuffle degree and multiplying the trace
     requirement by its square. *)
 
+val values : Stats.Rng.t -> known:Fpr.t -> secret:Fpr.t -> int array
+(** Unrendered, already-permuted event values in the 16-sample layout
+    (shuffle draws consumed exactly as in {!trace}). *)
+
 val trace :
   Leakage.model -> Stats.Rng.t -> known:Fpr.t -> secret:Fpr.t -> float array
 (** One multiply trace in the standard 16-sample layout, with the

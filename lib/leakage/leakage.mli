@@ -12,7 +12,16 @@
     FFT(c) (.) FFT(f) stage as one trace sample
     [baseline + alpha * HW(value) + N(0, noise_sigma^2)].
     The physics enters only through the signal-to-noise ratio, which is
-    an explicit knob — see DESIGN.md for the substitution argument. *)
+    an explicit knob — see DESIGN.md for the substitution argument.
+
+    Beyond the idealized Hamming-weight probe, {!emitter} selects
+    register-transfer device models: Hamming-{e distance} leakage over a
+    configurable {!Register_file} (sample = transitions of the registers
+    written), a {!Pipeline} overlap mixer (sample = weighted sum of the
+    leakage of all co-resident stages), and per-trace acquisition
+    {!jitter} (random phase offset + clock drift).  All are seedable and
+    deterministic; with the default emitter (HW, zero jitter) the output
+    is bitwise identical to the idealized probe.  See DESIGN.md §14. *)
 
 type model = {
   alpha : float;  (** volts per Hamming-weight unit *)
@@ -20,9 +29,22 @@ type model = {
   baseline : float;
 }
 
+(** The one home of the acquisition constants that used to be scattered
+    as per-module magic numbers.  [of_env] honours [FD_ALPHA],
+    [FD_NOISE] and [FD_BASELINE]; malformed or non-finite values fall
+    back to the defaults. *)
+module Params : sig
+  type t = model = { alpha : float; noise_sigma : float; baseline : float }
+
+  val default : t
+  (** alpha 1.0, noise 2.0, baseline 10 — SNR comparable to a noisy
+      near-field setup (thousands of traces for 1-bit targets). *)
+
+  val of_env : unit -> t
+end
+
 val default_model : model
-(** alpha 1.0, noise 2.0, baseline 10 — SNR comparable to a noisy
-    near-field setup (thousands of traces for 1-bit targets). *)
+(** [Params.default]. *)
 
 val clean_model : model
 (** Noise-free; for layout tests. *)
@@ -48,11 +70,113 @@ val sample_of : coeff:int -> mul:int -> Fpr.label -> int
 (** Absolute sample index of a multiplication event: [mul] in 0..3 selects
     among (c_re x f_re), (c_im x f_im), (c_re x f_im), (c_im x f_re). *)
 
+(** {1 Register-transfer device models} *)
+
+(** A named register file with an update schedule.  Writing value [v] to
+    register [r] leaks [HD(r_old, v)] = popcount of the transition; the
+    value is truncated to the register's width first. *)
+module Register_file : sig
+  type spec = {
+    names : string array;  (** register names; index is the register id *)
+    widths : int array;  (** bit widths in [1, 64], same length as names *)
+    schedule : Fpr.label -> int;  (** which register an event writes *)
+  }
+
+  val bus : spec
+  (** A single shared 64-bit write-back bus: every intermediate crosses
+      the same register, so event j leaks the transition between
+      consecutive architecturally visible values.  This is the spec the
+      HD hypothesis models in [Attack.Recover] are matched against, and
+      the one [`Hd] attacks and benches assume. *)
+
+  val datapath : spec
+  (** A split datapath (separate load / multiplier / accumulator /
+      exponent / flag / result registers) for experimentation; the stock
+      HD attack models do {e not} match it. *)
+
+  val check_spec : spec -> unit
+  (** Raises [Invalid_argument] on an empty file, length-mismatched
+      arrays or widths outside [1, 64]. *)
+
+  type t
+
+  val create : spec -> t
+  (** Fresh file with all registers zero; validates the spec. *)
+
+  val reset : t -> unit
+
+  val write : t -> Fpr.label -> int -> int
+  (** [write t label v] routes [v] through the schedule, updates the
+      register and returns the Hamming distance of the transition. *)
+end
+
+(** Pipeline-overlap mixer: each output sample is the weighted sum of
+    the leakage of every stage resident at that clock,
+    [out.(j) = sum_s weight_s *. in.(j - latency_s)]. *)
+module Pipeline : sig
+  type stage = { latency : int; weight : float }
+  type t = stage array
+
+  val default : t
+  (** Three stages at latencies 0/1/2 with weights 1.0/0.5/0.25. *)
+
+  val check : t -> unit
+  (** Raises [Invalid_argument] on an empty pipeline, negative latency
+      or non-finite weight. *)
+
+  val mix : t -> float array -> float array
+end
+
+type jitter = {
+  max_shift : int;  (** per-trace phase offset drawn uniformly from [-max_shift, max_shift] *)
+  drift : float;  (** per-trace clock drift slope drawn uniformly from [-drift, drift] *)
+}
+
+val no_jitter : jitter
+
+type kind =
+  | Hw  (** idealized Hamming-weight probe (the historical model) *)
+  | Hd of Register_file.spec  (** Hamming distance over a register file *)
+  | Pipelined of Register_file.spec * Pipeline.t
+      (** HD leakage mixed across co-resident pipeline stages *)
+
+type emitter = { kind : kind; jitter : jitter }
+
+val default_emitter : emitter
+(** [{ kind = Hw; jitter = no_jitter }] — bitwise identical to the
+    pre-register-transfer capture path. *)
+
+val hd_emitter : emitter
+(** HD over {!Register_file.bus}, zero jitter. *)
+
+val pipelined_emitter : emitter
+(** {!Register_file.bus} through {!Pipeline.default}, zero jitter. *)
+
+val draw_jitter : jitter -> Stats.Rng.t -> int * float
+(** Draw one trace's (offset, drift slope).  A knob that is off consumes
+    {e no} RNG draws, so [no_jitter] leaves the noise stream untouched. *)
+
+val misalign : offset:int -> drift:float -> float array -> float array
+(** Apply acquisition distortion to a noiseless signal: sample j reads
+    the signal at [j - (offset + round (drift *. j))]; out-of-range
+    positions see zero signal.  [misalign ~offset:0 ~drift:0.] returns
+    the input unchanged (physically equal). *)
+
 (** {1 Single-multiply traces (per-coefficient experiments, Fig. 3/4)} *)
 
+val mul_values : known:Fpr.t -> secret:Fpr.t -> int array
+(** The 16 architecturally visible intermediates of one soft-float
+    multiply with the signing operand order (known FFT(c) value first,
+    secret FFT(f) value second), unrendered. *)
+
+val bus_hd : int array -> int array
+(** Transition weights of a value sequence crossing the shared
+    write-back bus ({!Register_file.bus} semantics on label-free event
+    streams): element j is [popcount (v.(j-1) lxor v.(j))], with the bus
+    starting at zero. *)
+
 val mul_trace : model -> Stats.Rng.t -> known:Fpr.t -> secret:Fpr.t -> float array
-(** Trace of one soft-float multiply with the signing operand order
-    (known FFT(c) value first, secret FFT(f) value second): 16 samples. *)
+(** Rendered trace of one soft-float multiply: 16 HW samples. *)
 
 (** {1 Full signing traces} *)
 
@@ -63,12 +187,18 @@ type trace = {
   signature : Falcon.Scheme.signature;
 }
 
-val capture : model -> seed:int -> Falcon.Scheme.secret_key -> count:int -> trace array
+val capture :
+  ?emitter:emitter ->
+  model -> seed:int -> Falcon.Scheme.secret_key -> count:int -> trace array
 (** Capture [count] signing operations of distinct messages.  The signer
-    consumes its own ChaCha20 randomness; measurement noise comes from the
-    [seed]ed experiment RNG. *)
+    consumes its own ChaCha20 randomness; measurement noise (and any
+    jitter draws) come from the [seed]ed experiment RNG.  [emitter]
+    (default {!default_emitter}) selects the device model; the default
+    reproduces the historical capture bitwise. *)
 
-val capture_stream : model -> seed:int -> Falcon.Scheme.secret_key -> unit -> trace
+val capture_stream :
+  ?emitter:emitter ->
+  model -> seed:int -> Falcon.Scheme.secret_key -> unit -> trace
 (** One-at-a-time capture for out-of-core campaigns: each call signs the
     next message and returns its trace, carrying the probe and signer
     RNG state across calls, so

@@ -27,4 +27,5 @@ let () =
       ("obs", Test_obs.suite);
       ("sequential", Test_sequential.suite);
       ("scheme_more", Test_scheme_more.suite);
+      ("align", Test_align.suite);
     ]
