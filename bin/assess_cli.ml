@@ -154,8 +154,9 @@ let cmd_metrics store defense noise budget experiments decoys seed stop_alpha fl
 (* {2 matrix} *)
 
 let print_cell (c : Assess.Matrix.cell) =
-  Printf.printf "%-8s sigma %-5g budget %-6d %-17s sr %.2f ge %6.2f mtd %-6s \
+  Printf.printf "%-6s %-8s sigma %-5g budget %-6d %-17s sr %.2f ge %6.2f mtd %-6s \
                  max|t1| %8.2f max|t2| %8.2f %s\n%!"
+    c.Assess.Matrix.target
     (Assess.Campaign.name c.Assess.Matrix.defense)
     c.Assess.Matrix.sigma c.Assess.Matrix.budget
     (Assess.Campaign.condition_name c.Assess.Matrix.condition)
@@ -167,14 +168,16 @@ let print_cell (c : Assess.Matrix.cell) =
     c.Assess.Matrix.max_t1 c.Assess.Matrix.max_t2
     (if c.Assess.Matrix.first_order_leak then "LEAK" else "quiet")
 
-let cmd_matrix tiny sigmas budgets conditions experiments decoys seed out flags =
+let cmd_matrix tiny targets sigmas budgets conditions experiments decoys seed out
+    flags =
   Cli_common.run flags @@ fun ctx ->
   let conditions = List.map Assess.Campaign.condition_of_name conditions in
   let report =
-    if tiny then Assess.Matrix.tiny ~ctx ~conditions ~progress:print_cell ~seed ()
+    if tiny then
+      Assess.Matrix.tiny ~ctx ~targets ~conditions ~progress:print_cell ~seed ()
     else
-      Assess.Matrix.run ~ctx ~conditions ~progress:print_cell ~sigmas ~budgets
-        ~experiments ~decoys ~seed ()
+      Assess.Matrix.run ~ctx ~targets ~conditions ~progress:print_cell ~sigmas
+        ~budgets ~experiments ~decoys ~seed ()
   in
   let json = Assess.Matrix.to_json report in
   let json_path = out ^ ".json" and csv_path = out ^ ".csv" in
@@ -405,6 +408,70 @@ let check_leakage_bench err j =
        realigned store, deterministic)"
       (num "realign_recovery")
 
+(* falcon-down/bench-target/v1 (BENCH_target.json): the target-agnostic
+   attack framework.  The HQC instance must recover its full secret from
+   a sharded store with success rate >= 0.9 and a witness bit-identical
+   across jobs/backends/prefetch; routing the FALCON low-mantissa rank
+   through Target.parts must stay bit-identical to the hand-built part
+   set and keep at least 95% of its throughput. *)
+let check_target_bench err j =
+  List.iter
+    (fun k ->
+      match Option.bind (Assess.Json.member k j) Assess.Json.to_int_opt with
+      | Some v when v > 0 -> ()
+      | Some v -> err (Printf.sprintf "field %S is %d, want a positive int" k v)
+      | None -> err (Printf.sprintf "missing int field %S" k))
+    [ "hqc_experiments"; "jobs" ];
+  List.iter
+    (fun k ->
+      match Option.bind (Assess.Json.member k j) Assess.Json.to_number_opt with
+      | Some v when Float.is_finite v && v >= 0. -> ()
+      | Some v ->
+          err (Printf.sprintf "field %S is %g, want a finite non-negative number" k v)
+      | None -> err (Printf.sprintf "missing number field %S" k))
+    [ "hqc_sr"; "falcon_rank_base_s"; "falcon_rank_target_s"; "falcon_rank_ratio" ];
+  List.iter
+    (fun (k, why) ->
+      match Option.bind (Assess.Json.member k j) Assess.Json.to_bool_opt with
+      | Some true -> ()
+      | Some false -> err (Printf.sprintf "%s is false — %s" k why)
+      | None -> err (Printf.sprintf "missing bool field %S" k))
+    [
+      ( "hqc_deterministic",
+        "the HQC witness diverged across jobs/backends/prefetch" );
+      ( "falcon_identical",
+        "the FALCON rank through Target.parts diverged from the hand-built \
+         part set" );
+    ];
+  (match Option.bind (Assess.Json.member "hqc_sr" j) Assess.Json.to_number_opt with
+  | Some v when Float.is_finite v && v < 0.9 ->
+      err
+        (Printf.sprintf
+           "hqc_sr %.2f is below 0.90 — the HQC target failed to recover its \
+            secret often enough"
+           v)
+  | _ -> ());
+  (match
+     Option.bind (Assess.Json.member "falcon_rank_ratio" j) Assess.Json.to_number_opt
+   with
+  | Some v when Float.is_finite v && v < 0.95 ->
+      err
+        (Printf.sprintf
+           "falcon_rank_ratio %.3f is below 0.95 — routing the FALCON rank \
+            through Target.parts cost more than 5%% throughput"
+           v)
+  | _ -> ());
+  fun () ->
+    let num k =
+      match Option.bind (Assess.Json.member k j) Assess.Json.to_number_opt with
+      | Some v -> v
+      | None -> assert false
+    in
+    Printf.sprintf
+      "valid falcon-down/bench-target/v1 report (hqc SR %.2f, falcon ratio %.2f, \
+       deterministic)"
+      (num "hqc_sr") (num "falcon_rank_ratio")
+
 let cmd_check_bench json_path =
   with_errors @@ fun () ->
   let j = Assess.Json.of_string (read_file json_path) in
@@ -415,12 +482,14 @@ let cmd_check_bench json_path =
     | Some "falcon-down/bench-pearson/v1" -> check_pearson_bench err j
     | Some "falcon-down/bench-sequential/v1" -> check_sequential_bench err j
     | Some "falcon-down/bench-leakage/v1" -> check_leakage_bench err j
+    | Some "falcon-down/bench-target/v1" -> check_target_bench err j
     | Some s ->
         err
           (Printf.sprintf
              "schema is %S, want \"falcon-down/bench-pearson/v1\", \
-              \"falcon-down/bench-sequential/v1\" or \
-              \"falcon-down/bench-leakage/v1\""
+              \"falcon-down/bench-sequential/v1\", \
+              \"falcon-down/bench-leakage/v1\" or \
+              \"falcon-down/bench-target/v1\""
              s);
         fun () -> ""
     | None ->
@@ -528,6 +597,19 @@ let conditions_arg =
            $(b,hw,hd,hd+jitter,hd+jitter+realign).  The default $(b,hw) \
            reproduces the pre-axis matrix bit for bit.")
 
+let targets_arg =
+  Arg.(
+    value
+    & opt (list string) [ "falcon" ]
+    & info [ "targets" ] ~docv:"T1,T2,..."
+        ~doc:
+          "Target grid axis: comma-separated Attack.Target names \
+           ($(b,falcon), $(b,hqc)).  FALCON cells sweep the full defense x \
+           sigma x budget x condition product; other targets contribute a \
+           sigma x budget sub-grid (no defense, baseline condition).  The \
+           default $(b,falcon) reproduces the pre-target-axis matrix cell \
+           for cell.")
+
 let tiny_arg =
   Arg.(
     value
@@ -545,12 +627,12 @@ let matrix_cmd =
   Cmd.v
     (Cmd.info "matrix"
        ~doc:
-         "Evaluate the {none, masking, shuffle} x sigma x budget x condition grid \
-          and emit the JSON/CSV report (validated against the schema after \
-          writing)")
+         "Evaluate the target x {none, masking, shuffle} x sigma x budget x \
+          condition grid and emit the JSON/CSV report (validated against the \
+          schema after writing)")
     Term.(
-      const cmd_matrix $ tiny_arg $ sigmas_arg $ budgets_arg $ conditions_arg
-      $ experiments_arg $ decoys_arg $ seed_arg $ out_arg $ flags)
+      const cmd_matrix $ tiny_arg $ targets_arg $ sigmas_arg $ budgets_arg
+      $ conditions_arg $ experiments_arg $ decoys_arg $ seed_arg $ out_arg $ flags)
 
 let json_arg =
   Arg.(
@@ -592,7 +674,10 @@ let check_bench_cmd =
           BENCH_pearson.json needs bit-identical rankings and rank_speedup >= \
           1.0; BENCH_sequential.json needs identical keys, bit-identical stop \
           points across jobs/backends and mean traces-to-decision at most half \
-          the fixed budget; exit 1 otherwise")
+          the fixed budget; BENCH_target.json needs HQC full-recovery SR >= 0.9 \
+          with a deterministic witness and the FALCON rank through Target.parts \
+          bit-identical within 5%% of its hand-built throughput; exit 1 \
+          otherwise")
     Term.(const cmd_check_bench $ bench_json_arg)
 
 let () =

@@ -122,13 +122,62 @@ let print_stop_summary (s : Sequential.Campaign.summary) =
     used.((n - 1) / 2)
     s.Sequential.Campaign.total_traces s.Sequential.Campaign.traces_saved
 
-let cmd_crack input store leakage until_confident alpha max_traces flags =
+(* Non-FALCON victims go through the target registry: same store
+   streaming, same sequential stopping, scheme-specific enumerator and
+   key reassembly behind Attack.Target.S. *)
+let crack_target (module T : Attack.Target.S) dir leakage until_confident alpha
+    max_traces flags ctx =
+  if until_confident && not (T.supports_stop leakage) then begin
+    prerr_endline
+      "--until-confident is not available for this target under --leakage hd";
+    1
+  end
+  else begin
+    let reader = Cli_common.open_store flags dir in
+    Printf.printf "streaming %d traces (%d shards) of a %s victim from %s\n%!"
+      (Tracestore.Reader.total_traces reader)
+      (Tracestore.Reader.shard_count reader)
+      T.name dir;
+    let stop =
+      if until_confident then begin
+        Printf.printf
+          "adaptive trace budget: stop per unit at confidence (alpha %g)\n%!" alpha;
+        Some (Sequential.Decision.spec ~alpha ())
+      end
+      else None
+    in
+    let o =
+      T.recover_store ~ctx ~leakage ?stop ?max_traces
+        ~on_corrupt:flags.Cli_common.Common_flags.on_corrupt
+        ~prefetch:flags.Cli_common.Common_flags.prefetch ~dir reader
+    in
+    (match o.Attack.Target.stop with
+    | Some s -> print_stop_summary s
+    | None -> ());
+    Printf.printf "recovered %d/%d key units from %d of %d traces\n" o.units o.units
+      o.traces
+      (Tracestore.Reader.total_traces reader);
+    Printf.printf "witness: %s\n" (String.trim o.witness);
+    Printf.printf "secret recovered exactly: %b\n" o.success;
+    if o.success then 0 else 1
+  end
+
+let cmd_crack target input store leakage until_confident alpha max_traces flags =
   Cli_common.run flags @@ fun ctx ->
   (if leakage = `Hd then
      Printf.printf
        "matching bus Hamming-distance hypothesis models (campaign recorded \
         with --model hd)\n%!");
   match store with
+  | Some dir when target <> "falcon" -> (
+      match Attack.Target.find target with
+      | Some t -> crack_target t dir leakage until_confident alpha max_traces flags ctx
+      | None ->
+          prerr_endline ("unknown --target " ^ target);
+          1)
+  | None when target <> "falcon" ->
+      prerr_endline ("--target " ^ target ^ " needs a sharded campaign: pass --store");
+      1
   | Some dir -> (
       (* out-of-core path: stream shards from the store, never holding
          the whole campaign in memory *)
@@ -233,9 +282,11 @@ let leakage_arg =
         ~doc:
           "Hypothesis models to match: $(b,hw) (Hamming weight, the default) \
            or $(b,hd) (bus Hamming-distance transitions — for campaigns \
-           recorded with trace_cli $(b,--model hd)).  $(b,hd) cannot combine \
-           with $(b,--until-confident): the streaming decision sweep has no \
-           d-free Hamming-distance part set.")
+           recorded with trace_cli $(b,--model hd)).  For the FALCON target \
+           $(b,hd) cannot combine with $(b,--until-confident): its streaming \
+           decision sweep has no d-free Hamming-distance part set (the HQC \
+           transition hypothesis is prefix-free, so $(b,--target hqc) stops \
+           under both).")
 
 let until_confident_arg =
   Arg.(
@@ -274,8 +325,8 @@ let crack_cmd =
     (Cmd.info "crack"
        ~doc:"Recover the key and forge from a stored trace file or trace store")
     Term.(
-      const cmd_crack $ in_arg $ store_arg $ leakage_arg $ until_confident_arg
-      $ alpha_arg $ max_traces_arg $ flags)
+      const cmd_crack $ Cli_common.target_arg $ in_arg $ store_arg $ leakage_arg
+      $ until_confident_arg $ alpha_arg $ max_traces_arg $ flags)
 
 let () =
   let doc = "Falcon Down side-channel attack driver" in

@@ -198,6 +198,22 @@ let traces_arg ?(default = 2500) ?(doc = "Trace count.") () =
 
 let store_opt_arg ~doc = Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
 
+(* --target dispatches on the Attack.Target registry; the conv rejects
+   unknown names with the registry's own list, so the CLIs never drift
+   from the library. *)
+let target_arg =
+  Arg.(
+    value
+    & opt (enum (List.map (fun n -> (n, n)) Attack.Target.names)) "falcon"
+    & info [ "target" ] ~docv:"SCHEME"
+        ~doc:
+          (Printf.sprintf
+             "Victim scheme to attack: %s.  $(b,falcon) (the default) is the \
+              paper's FALCON FFT multiplier; $(b,hqc) is the HQC sparse \
+              polynomial rotate-and-accumulate victim."
+             (String.concat " or "
+                (List.map (Printf.sprintf "$(b,%s)") Attack.Target.names))))
+
 let store_default_arg ~doc =
   Arg.(value & opt string "campaign" & info [ "i"; "store" ] ~docv:"DIR" ~doc)
 

@@ -50,8 +50,44 @@ let emitter_label kind jitter drift =
   if jitter = 0 && drift = 0. then k
   else Printf.sprintf "%s, jitter max %d samples, drift %.3f" k jitter drift
 
-let cmd_record n traces noise model_kind jitter drift seed shard out flags =
+(* Non-FALCON victims record through the target registry: the instance
+   owns its victim generation, emitter and ground-truth sidecars.  The
+   device-model composition knobs (--model pipeline, --jitter, --drift)
+   are FALCON-specific and rejected here. *)
+let record_target (module T : Attack.Target.S) n traces noise model_kind jitter
+    drift seed shard out =
+  if jitter <> 0 || drift <> 0. then begin
+    Printf.eprintf "--jitter/--drift are not supported for --target %s\n" T.name;
+    1
+  end
+  else
+    match (model_kind : [ `Hw | `Hd | `Pipeline ]) with
+    | `Pipeline ->
+        Printf.eprintf "--model pipeline is not supported for --target %s\n" T.name;
+        1
+    | (`Hw | `Hd) as leakage ->
+        Printf.printf
+          "recording %d traces of a fresh %s victim into %s (noise sigma %.2f, \
+           device model %s, shards of %d)\n%!"
+          traces T.name out noise
+          (match leakage with `Hw -> "hw" | `Hd -> "hd")
+          shard;
+        T.record_store ~leakage ~dir:out ~n ~traces ~noise ~seed ~shard_traces:shard
+          ();
+        Printf.printf "wrote %d traces in %d shards + manifest and key sidecars\n"
+          traces
+          ((traces + shard - 1) / shard);
+        0
+
+let cmd_record target n traces noise model_kind jitter drift seed shard out flags =
   Cli_common.run flags @@ fun ctx ->
+  if target <> "falcon" then
+    match Attack.Target.find target with
+    | Some t -> record_target t n traces noise model_kind jitter drift seed shard out
+    | None ->
+        prerr_endline ("unknown --target " ^ target);
+        1
+  else
   let model = { Leakage.default_model with noise_sigma = noise } in
   let emitter = emitter_of model_kind jitter drift in
   let sk, pk = Falcon.Scheme.keygen ~n ~seed:(Printf.sprintf "victim-%d" seed) in
@@ -292,8 +328,8 @@ let record_cmd =
     (Cmd.info "record"
        ~doc:"Record a fresh victim's signing campaign into a sharded trace store")
     Term.(
-      const cmd_record $ n_arg $ traces_arg $ noise_arg $ model_arg $ jitter_arg
-      $ drift_arg $ seed_arg $ shard_arg $ out_arg $ flags)
+      const cmd_record $ Cli_common.target_arg $ n_arg $ traces_arg $ noise_arg
+      $ model_arg $ jitter_arg $ drift_arg $ seed_arg $ shard_arg $ out_arg $ flags)
 
 let append_cmd =
   Cmd.v

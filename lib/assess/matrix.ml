@@ -1,4 +1,5 @@
 type cell = {
+  target : string;
   defense : Campaign.defense;
   sigma : float;
   budget : int;
@@ -17,6 +18,7 @@ type report = {
   seed : int;
   experiments : int;
   decoys : int;
+  targets : string list;
   defenses : Campaign.defense list;
   sigmas : float list;
   budgets : int list;
@@ -24,7 +26,19 @@ type report = {
   cells : cell list;
 }
 
-let schema = "falcon-down/assess-matrix/v3"
+let schema = "falcon-down/assess-matrix/v4"
+
+(* Per-target grid shape: the defense and condition axes are FALCON
+   acquisition knobs (countermeasure windows, device-model sweeps of
+   the FFT multiplier); other targets evaluate sigma x budget with no
+   defense and the baseline condition.  The validator uses the same
+   function, so emitted reports and the checker cannot drift. *)
+let grid_size ~target ~defenses ~sigmas ~budgets ~conditions =
+  match target with
+  | "falcon" ->
+      List.length defenses * List.length sigmas * List.length budgets
+      * List.length conditions
+  | _ -> List.length sigmas * List.length budgets
 
 let maybe_realign ~ctx (condition : Campaign.condition) defense entries =
   fst (Campaign.realign_entries ~ctx condition defense entries)
@@ -54,11 +68,65 @@ let assess_cell ~ctx ~condition defense ~sigma ~budget ~seed =
   let _, rvr_max_t1 = Tvla.max_abs ~lo ~hi rvr.Tvla.t1 in
   (max_t1, max_t1_sample, max_t2, rvr_max_t1)
 
-let run ?ctx ?jobs ?(defenses = Campaign.all)
+(* TVLA columns of an HQC cell: fixed-vs-random over the victim's
+   rotate-and-accumulate samples (fixed class = one fixed dense input
+   u0 under the cell's secret, random class = fresh u per trace), plus
+   the random-vs-random null split by acquisition parity. *)
+let assess_hqc_cell ~ctx ~sigma ~budget ~seed =
+  let model = { Leakage.default_model with noise_sigma = sigma } in
+  let rng = Stats.Rng.create ~seed in
+  let secret = Hqc.keygen ~seed:(seed lxor 0x7e57) in
+  let word_span = 1 lsl Hqc.Params.word_bits in
+  let draw_u () =
+    let u = ref 0 in
+    for w = 0 to Hqc.Params.words - 1 do
+      u := !u lor (Stats.Rng.int_below rng word_span lsl (w * Hqc.Params.word_bits))
+    done;
+    !u
+  in
+  let fixed_u = draw_u () in
+  let entries =
+    Array.init (2 * budget) (fun i ->
+        let fixed = i land 1 = 0 in
+        let u = if fixed then fixed_u else draw_u () in
+        let values = Hqc.intermediates `Hw secret ~u in
+        (fixed, Array.map (Leakage.render model rng) values))
+  in
+  let classify_fvr _ (fixed, _) = Some (if fixed then Tvla.A else Tvla.B) in
+  let classify_rvr i (fixed, _) =
+    if fixed then None else Some (if (i lsr 1) land 1 = 0 then Tvla.A else Tvla.B)
+  in
+  let r =
+    Tvla.assess ~ctx ~width:Hqc.Params.width ~classify:classify_fvr ~samples:snd
+      (Array.to_seq entries)
+  in
+  let max_t1_sample, max_t1 = Tvla.max_abs r.Tvla.t1 in
+  let _, max_t2 = Tvla.max_abs r.Tvla.t2 in
+  let rvr =
+    Tvla.assess ~ctx ~width:Hqc.Params.width ~classify:classify_rvr ~samples:snd
+      (Array.to_seq entries)
+  in
+  let _, rvr_max_t1 = Tvla.max_abs rvr.Tvla.t1 in
+  (max_t1, max_t1_sample, max_t2, rvr_max_t1)
+
+let known_target t =
+  List.exists
+    (fun m ->
+      let module T = (val m : Attack.Target.S) in
+      T.name = t)
+    Attack.Target.all
+
+let run ?ctx ?jobs ?(targets = [ "falcon" ]) ?(defenses = Campaign.all)
     ?(conditions = [ Campaign.baseline_condition ]) ?(progress = fun _ -> ())
     ~sigmas ~budgets ~experiments ~decoys ~seed () =
   let c = Attack.Ctx.resolve ?ctx ?jobs () in
   let obs = c.Attack.Ctx.obs in
+  if targets = [] then invalid_arg "Assess.Matrix: empty target axis";
+  List.iter
+    (fun t ->
+      if not (known_target t) then
+        invalid_arg (Printf.sprintf "Assess.Matrix: unknown target %S" t))
+    targets;
   if defenses = [] then invalid_arg "Assess.Matrix: empty defense list";
   if sigmas = [] then invalid_arg "Assess.Matrix: empty sigma grid";
   if budgets = [] then invalid_arg "Assess.Matrix: empty budget grid";
@@ -70,7 +138,7 @@ let run ?ctx ?jobs ?(defenses = Campaign.all)
     (fun b -> if b < 8 then invalid_arg "Assess.Matrix: budget must be at least 8")
     budgets;
   let idx = ref 0 in
-  let cells =
+  let falcon_cells () =
     List.concat_map
       (fun defense ->
         List.concat_map
@@ -84,6 +152,7 @@ let run ?ctx ?jobs ?(defenses = Campaign.all)
                     Obs.span obs "matrix.cell"
                       ~fields:
                         [
+                          ("target", Obs.Str "falcon");
                           ("defense", Obs.Str (Campaign.name defense));
                           ("sigma", Obs.Float sigma);
                           ("budget", Obs.Int budget);
@@ -102,6 +171,7 @@ let run ?ctx ?jobs ?(defenses = Campaign.all)
                     in
                     let cell =
                       {
+                        target = "falcon";
                         defense;
                         sigma;
                         budget;
@@ -123,10 +193,61 @@ let run ?ctx ?jobs ?(defenses = Campaign.all)
           sigmas)
       defenses
   in
-  { seed; experiments; decoys; defenses; sigmas; budgets; conditions; cells }
+  let hqc_cells () =
+    List.concat_map
+      (fun sigma ->
+        List.map
+          (fun budget ->
+            let cell_seed = seed + (1009 * !idx) in
+            incr idx;
+            Obs.span obs "matrix.cell"
+              ~fields:
+                [
+                  ("target", Obs.Str "hqc");
+                  ("sigma", Obs.Float sigma);
+                  ("budget", Obs.Int budget);
+                ]
+            @@ fun () ->
+            let outcome =
+              Metrics.run_hqc ~ctx:c
+                { Metrics.noise = sigma; budget; experiments; seed = cell_seed }
+            in
+            let max_t1, max_t1_sample, max_t2, rvr_max_t1 =
+              assess_hqc_cell ~ctx:c ~sigma ~budget ~seed:(cell_seed + 17)
+            in
+            let cell =
+              {
+                target = "hqc";
+                defense = `None;
+                sigma;
+                budget;
+                condition = Campaign.baseline_condition;
+                outcome;
+                max_t1;
+                max_t1_sample;
+                max_t2;
+                rvr_max_t1;
+                first_order_leak = max_t1 > Tvla.threshold;
+                overhead = 1.;
+                dilution = 1;
+              }
+            in
+            progress cell;
+            cell)
+          budgets)
+      sigmas
+  in
+  let cells =
+    List.concat_map
+      (fun target ->
+        match target with "falcon" -> falcon_cells () | _ -> hqc_cells ())
+      targets
+  in
+  { seed; experiments; decoys; targets; defenses; sigmas; budgets; conditions;
+    cells }
 
-let tiny ?ctx ?jobs ?conditions ?progress ~seed () =
-  run ?ctx ?jobs ?conditions ?progress ~sigmas:[ 0.5 ] ~budgets:[ 200 ]
+let tiny ?ctx ?jobs ?targets ?conditions ?progress ~seed () =
+  run ?ctx ?jobs ?targets ?conditions ?progress ~sigmas:[ 0.5 ] ~budgets:[ 200 ]
     ~experiments:2 ~decoys:24 ~seed ()
 
 (* {2 Serialisation} *)
@@ -134,6 +255,7 @@ let tiny ?ctx ?jobs ?conditions ?progress ~seed () =
 let json_of_cell c =
   Json.Obj
     [
+      ("target", Json.String c.target);
       ("defense", Json.String (Campaign.name c.defense));
       ("sigma", Json.Float c.sigma);
       ("budget", Json.Int c.budget);
@@ -166,6 +288,7 @@ let to_json r =
       ("seed", Json.Int r.seed);
       ("experiments", Json.Int r.experiments);
       ("decoys", Json.Int r.decoys);
+      ("targets", Json.List (List.map (fun t -> Json.String t) r.targets));
       ("defenses", Json.List (List.map (fun d -> Json.String (Campaign.name d)) r.defenses));
       ("sigmas", Json.List (List.map (fun s -> Json.Float s) r.sigmas));
       ("budgets", Json.List (List.map (fun b -> Json.Int b) r.budgets));
@@ -178,9 +301,9 @@ let to_json r =
     ]
 
 let csv_header =
-  "defense,sigma,budget,condition,experiments,success_rate,guessing_entropy,\
-   ge_bits,mtd,mtd_found,mtd_conf,mtd_conf_found,max_t1,max_t1_sample,max_t2,\
-   rvr_max_t1,first_order_leak,overhead,dilution"
+  "target,defense,sigma,budget,condition,experiments,success_rate,\
+   guessing_entropy,ge_bits,mtd,mtd_found,mtd_conf,mtd_conf_found,max_t1,\
+   max_t1_sample,max_t2,rvr_max_t1,first_order_leak,overhead,dilution"
 
 let to_csv r =
   let buf = Buffer.create 1024 in
@@ -189,8 +312,8 @@ let to_csv r =
   List.iter
     (fun c ->
       Printf.bprintf buf
-        "%s,%g,%d,%s,%d,%g,%g,%g,%s,%d,%s,%d,%g,%d,%g,%g,%b,%g,%d\n"
-        (Campaign.name c.defense) c.sigma c.budget
+        "%s,%s,%g,%d,%s,%d,%g,%g,%g,%s,%d,%s,%d,%g,%d,%g,%g,%b,%g,%d\n"
+        c.target (Campaign.name c.defense) c.sigma c.budget
         (Campaign.condition_name c.condition) c.outcome.Metrics.experiments
         c.outcome.Metrics.success_rate c.outcome.Metrics.guessing_entropy
         c.outcome.Metrics.ge_bits
@@ -223,6 +346,10 @@ let finite_number j = Option.bind (Json.to_number_opt j) (fun f ->
 
 let validate_cell i j =
   let what = Printf.sprintf "cell %d" i in
+  let* t = field what Json.to_string_opt j "target" in
+  let* () =
+    check (known_target t) (Printf.sprintf "%s: unknown target %S" what t)
+  in
   let* d = field what Json.to_string_opt j "defense" in
   let* () =
     check
@@ -292,6 +419,19 @@ let validate j =
   let* _ = field "report" Json.to_int_opt j "seed" in
   let* _ = field "report" Json.to_int_opt j "experiments" in
   let* _ = field "report" Json.to_int_opt j "decoys" in
+  let* targets = field "report" Json.to_list_opt j "targets" in
+  let* () = check (targets <> []) "report: empty target axis" in
+  let* target_names =
+    List.fold_left
+      (fun acc tj ->
+        let* names = acc in
+        match Json.to_string_opt tj with
+        | None -> Error "report: target axis entry is not a string"
+        | Some t ->
+            if known_target t then Ok (t :: names)
+            else Error (Printf.sprintf "report: unknown target %S" t))
+      (Ok []) targets
+  in
   let* defenses = field "report" Json.to_list_opt j "defenses" in
   let* () = check (defenses <> []) "report: empty defense axis" in
   let* sigmas = field "report" Json.to_list_opt j "sigmas" in
@@ -315,8 +455,10 @@ let validate j =
   in
   let* cells = field "report" Json.to_list_opt j "cells" in
   let expected =
-    List.length defenses * List.length sigmas * List.length budgets
-    * List.length conditions
+    List.fold_left
+      (fun acc target ->
+        acc + grid_size ~target ~defenses ~sigmas ~budgets ~conditions)
+      0 target_names
   in
   let* () =
     check

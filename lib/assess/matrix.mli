@@ -14,6 +14,7 @@
     end. *)
 
 type cell = {
+  target : string;  (** which {!Attack.Target} instance the cell evaluates *)
   defense : Campaign.defense;
   sigma : float;
   budget : int;
@@ -34,20 +35,36 @@ type report = {
   seed : int;
   experiments : int;
   decoys : int;
+  targets : string list;
   defenses : Campaign.defense list;
   sigmas : float list;
   budgets : int list;
   conditions : Campaign.condition list;
   cells : cell list;
-      (** row-major: defense, then sigma, then budget, then condition *)
+      (** row-major: target, then (for FALCON) defense, sigma, budget,
+          condition; non-FALCON targets contribute a sigma x budget
+          sub-grid with no defense and the baseline condition *)
 }
 
 val schema : string
-(** ["falcon-down/assess-matrix/v3"]. *)
+(** ["falcon-down/assess-matrix/v4"]. *)
+
+val grid_size :
+  target:string ->
+  defenses:'a list ->
+  sigmas:'b list ->
+  budgets:'c list ->
+  conditions:'d list ->
+  int
+(** Cell count one target contributes to a report with those axes:
+    the full defense x sigma x budget x condition product for
+    ["falcon"], sigma x budget for any other target.  {!run} and
+    {!validate} share this definition. *)
 
 val run :
   ?ctx:Attack.Ctx.t ->
   ?jobs:int ->
+  ?targets:string list ->
   ?defenses:Campaign.defense list ->
   ?conditions:Campaign.condition list ->
   ?progress:(cell -> unit) ->
@@ -58,7 +75,10 @@ val run :
   seed:int ->
   unit ->
   report
-(** Evaluate the full grid (defenses default to {!Campaign.all},
+(** Evaluate the full grid (targets default to [["falcon"]] — with
+    that default, and baseline conditions, every figure is
+    bit-identical to the pre-target-axis matrix at the same seed;
+    defenses default to {!Campaign.all},
     conditions to [[{!Campaign.baseline_condition}]] — with that
     default every figure is bit-identical to the pre-condition-axis
     matrix at the same seed).  Each cell derives its own deterministic
@@ -73,6 +93,7 @@ val run :
 val tiny :
   ?ctx:Attack.Ctx.t ->
   ?jobs:int ->
+  ?targets:string list ->
   ?conditions:Campaign.condition list ->
   ?progress:(cell -> unit) ->
   seed:int ->
@@ -86,6 +107,7 @@ val to_csv : report -> string
 
 val validate : Json.t -> (unit, string) result
 (** Structural schema check of a parsed report: schema tag, non-empty
-    axes, parseable condition names, cell count = grid size, per-cell
-    field presence, types and ranges (SR in [0,1], GE >= 1, mtd null or
-    in [1, budget], finite t statistics, overhead/dilution >= 1). *)
+    axes, known target names, parseable condition names, cell count =
+    the sum of per-target {!grid_size}s, per-cell field presence, types
+    and ranges (known target, SR in [0,1], GE >= 1, mtd null or in
+    [1, budget], finite t statistics, overhead/dilution >= 1). *)

@@ -187,6 +187,98 @@ let run ?ctx ?jobs ?stop_alpha ?condition config =
     ~truth:secret ~experiments:config.experiments ~decoys:config.decoys
     ~seed:(derived_seed config.seed) entries
 
+(* {2 HQC target metrics}
+
+   The same SR/GE/MTD vocabulary over the HQC rotate-and-accumulate
+   victim (Attack.Target.Hqc).  Per experiment: a fresh sparse secret,
+   a budget of simulated traces, then the chained per-unit ranking
+   conditioned on the true prefix — the full-key rank is 1 iff every
+   support position tops its own ranking, otherwise the first failing
+   unit's truth position (the partial guessing-entropy sample).
+   Disclosure (mtd) and the sequential stop (mtd_conf) watch the first
+   unit, the entry point of the chain. *)
+
+type hqc_config = { noise : float; budget : int; experiments : int; seed : int }
+
+let run_hqc ?ctx ?jobs ?(stop_alpha = default_stop_alpha) config =
+  let { noise; budget; experiments; seed } = config in
+  let c = Attack.Ctx.resolve ?ctx ?jobs () in
+  let obs = c.Attack.Ctx.obs in
+  Obs.span obs "metrics.hqc"
+    ~fields:[ ("experiments", Obs.Int experiments); ("budget", Obs.Int budget) ]
+  @@ fun () ->
+  if experiments < 1 then invalid_arg "Assess.Metrics: experiments must be positive";
+  if budget < 8 then invalid_arg "Assess.Metrics: budget must be at least 8";
+  let n = Hqc.Params.n_bits in
+  let model = { Leakage.default_model with noise_sigma = noise } in
+  let step = max 1 (budget / 16) in
+  let stop_spec = Sequential.Decision.spec ~alpha:stop_alpha () in
+  let run_one i =
+    let eseed = seed + (7919 * i) in
+    let secret = Hqc.keygen ~seed:(eseed lxor 0x5eed) in
+    let next = Hqc.capture_stream model ~seed:eseed secret in
+    let records = Array.init budget (fun _ -> next ()) in
+    let traces =
+      Array.map (fun (r : Tracestore.record) -> r.Tracestore.samples) records
+    in
+    let known = Array.map Hqc.u_of_record records in
+    let child = Obs.buffered obs in
+    let ectx = Attack.Ctx.with_obs child (Attack.Ctx.sequential c) in
+    let rank = ref 1 in
+    (try
+       for j = 0 to Hqc.Params.weight - 1 do
+         let prev = Array.sub secret 0 j in
+         let count = Attack.Target.Hqc.guess_count ~n ~unit_index:j ~prev in
+         if count > 1 then begin
+           let ranking =
+             Attack.Dema.rank ~ctx:ectx ~traces
+               ~parts:(Attack.Target.Hqc.parts ~leakage:`Hw ~n ~unit_index:j ~prev)
+               ~known ~top:count
+               (Attack.Target.Hqc.guess_space ~n ~unit_index:j ~prev)
+           in
+           let pos =
+             let rec find k = function
+               | [] -> count + 1
+               | (s : Attack.Dema.scored) :: tl ->
+                   if s.Attack.Dema.guess = secret.(j) then k else find (k + 1) tl
+             in
+             find 1 ranking
+           in
+           if pos <> 1 then begin
+             rank := pos;
+             raise Exit
+           end
+         end
+       done
+     with Exit -> ());
+    let parts0 = Attack.Target.Hqc.parts ~leakage:`Hw ~n ~unit_index:0 ~prev:[||] in
+    let sample0, model0 = List.hd parts0 in
+    let series =
+      Attack.Dema.evolution ~traces ~sample:sample0
+        ~model:(Attack.Hypothesis.Model.apply model0)
+        ~known ~guess:secret.(0) ~step
+    in
+    let until =
+      Attack.Dema.rank_until ~ctx:ectx ~spec:stop_spec ~batch:step ~traces
+        ~parts:parts0 ~known ~top:1
+        (Attack.Target.Hqc.guess_space ~n ~unit_index:0 ~prev:[||])
+    in
+    let mtd_conf =
+      match until.Attack.Dema.stop with
+      | Some s -> Some s.Sequential.Decision.n_traces
+      | None -> None
+    in
+    (!rank, Stats.Signif.traces_to_significance series, mtd_conf, child)
+  in
+  let results =
+    Parallel.map_array ~jobs:c.Attack.Ctx.jobs run_one (Array.init experiments Fun.id)
+  in
+  Array.iter (fun (_, _, _, child) -> Obs.drain ~into:obs child) results;
+  aggregate
+    (Array.map (fun (r, _, _, _) -> r) results)
+    (Array.map (fun (_, m, _, _) -> m) results)
+    (Array.map (fun (_, _, mc, _) -> mc) results)
+
 let of_store ?ctx ?jobs ?stop_alpha ?seed ~experiments ~decoys dir =
   let defense, secret, campaign_seed, reader = Campaign.open_store dir in
   let entries = Array.of_seq (Campaign.seq_of_store reader) in

@@ -112,6 +112,21 @@ val run :
     (secret drawn from the config seed) under [?condition] and evaluate
     it under the same condition. *)
 
+type hqc_config = { noise : float; budget : int; experiments : int; seed : int }
+
+val run_hqc :
+  ?ctx:Attack.Ctx.t -> ?jobs:int -> ?stop_alpha:float -> hqc_config -> outcome
+(** The same SR/GE/MTD vocabulary over the HQC rotate-and-accumulate
+    victim ({!Attack.Target.Hqc}).  Each experiment draws a fresh sparse
+    secret and [budget] simulated traces, then runs the chained per-unit
+    ranking conditioned on the true prefix: the full-key rank is 1 iff
+    every support position tops its own ranking (so SR is the full
+    secret-recovery rate), otherwise the first failing unit's truth
+    position.  MTD and MTD-at-confidence watch the first unit of the
+    chain.  Candidate sets are the complete per-unit position ranges —
+    no decoy sampling, hence no [decoys] knob.  Deterministic in [seed]
+    at every [jobs] and backend. *)
+
 val of_store :
   ?ctx:Attack.Ctx.t ->
   ?jobs:int ->

@@ -618,20 +618,38 @@ let rank_until ?ctx ?jobs ?backend ~spec ?(batch = 64) ~traces ~parts ~known
    [jobs] and equal to a prefix rescan up to floating-point
    reassociation. *)
 module Stream = struct
-  let check_meta reader =
+  type codec = {
+    check : Tracestore.meta -> unit;
+    decode : Tracestore.meta -> Tracestore.record -> Leakage.trace;
+  }
+
+  (* The historical decode path: a store of full FALCON signing traces,
+     FFT(c) recomputed from the stored salt+message.  Every entry point
+     defaults to it, so pre-target callers are bitwise unchanged. *)
+  let falcon_codec =
+    {
+      check =
+        (fun m ->
+          if m.Tracestore.width <> m.Tracestore.n * Leakage.events_per_coeff then
+            failwith
+              (Printf.sprintf
+                 "Dema.Stream: store width %d does not match n = %d signing \
+                  traces (want %d)"
+                 m.Tracestore.width m.Tracestore.n
+                 (m.Tracestore.n * Leakage.events_per_coeff)));
+      decode = (fun m r -> Leakage.of_record ~n:m.Tracestore.n r);
+    }
+
+  let check_meta codec reader =
     let m = Tracestore.Reader.meta reader in
-    if m.Tracestore.width <> m.Tracestore.n * Leakage.events_per_coeff then
-      failwith
-        (Printf.sprintf
-           "Dema.Stream: store width %d does not match n = %d signing traces (want %d)"
-           m.Tracestore.width m.Tracestore.n
-           (m.Tracestore.n * Leakage.events_per_coeff));
+    codec.check m;
     m
 
-  let map_shards ?ctx ?jobs ?(on_corrupt = `Fail) ?(prefetch = true) reader f =
+  let map_shards ?ctx ?jobs ?(on_corrupt = `Fail) ?(prefetch = true)
+      ?(codec = falcon_codec) reader f =
     let c = Ctx.resolve ?ctx ?jobs () in
     let obs = c.Ctx.obs in
-    let m = check_meta reader in
+    let m = check_meta codec reader in
     let shards = Tracestore.Reader.shard_count reader in
     (* [done_] and [skipped] are private worker-side Atomics; [done_]
        feeds only the lossy progress channel and the deterministic
@@ -641,7 +659,7 @@ module Stream = struct
     let skipped = Atomic.make 0 in
     let fetch i =
       match Tracestore.Reader.read_shard reader i with
-      | Some records -> Some (Array.map (Leakage.of_record ~n:m.Tracestore.n) records)
+      | Some records -> Some (Array.map (codec.decode m) records)
       | None -> (
           (* the reader's [`Skip] policy swallowed a corrupt shard; a
              silently shrunken campaign skews every downstream statistic,
@@ -718,11 +736,11 @@ module Stream = struct
     end;
     results
 
-  let extract ?ctx ?jobs ?on_corrupt ?prefetch reader ~samples ~known =
+  let extract ?ctx ?jobs ?on_corrupt ?prefetch ?codec reader ~samples ~known =
     let c = Ctx.resolve ?ctx ?jobs () in
     let samples = Array.of_list samples in
     let pieces =
-      map_shards ~ctx:c ?on_corrupt ?prefetch reader (fun _ traces ->
+      map_shards ~ctx:c ?on_corrupt ?prefetch ?codec reader (fun _ traces ->
           ( Array.map
               (fun (t : Leakage.trace) -> Array.map (fun s -> t.samples.(s)) samples)
               traces,
@@ -741,8 +759,8 @@ module Stream = struct
      Every addition lands in the same accumulator in the same global
      trace order as the in-memory sweep, so results are bit-identical to
      [Dema.rank] on the extracted campaign at every [jobs] and backend. *)
-  let rank ?ctx ?jobs ?backend ?on_corrupt ?prefetch reader ~parts ~known ~top
-      candidates =
+  let rank ?ctx ?jobs ?backend ?on_corrupt ?prefetch ?codec reader ~parts ~known
+      ~top candidates =
     let c = Ctx.resolve ?ctx ?jobs ?backend () in
     let obs = c.Ctx.obs in
     let run () =
@@ -751,7 +769,8 @@ module Stream = struct
       let pieces =
         Obs.span ~level:Obs.Debug obs "dema.stream.extract" (fun () ->
             Array.of_list
-              (map_shards ~ctx:c ?on_corrupt ?prefetch reader (fun _ traces ->
+              (map_shards ~ctx:c ?on_corrupt ?prefetch ?codec reader
+                 (fun _ traces ->
                    let pd = Array.length traces in
                    ( Array.init nsamp (fun j ->
                          let s = samples.(j) in
@@ -885,8 +904,9 @@ module Stream = struct
     skipped : unit -> int;
   }
 
-  let shard_feed ?(on_corrupt = `Fail) ?(prefetch = true) ?max_traces reader =
-    let m = check_meta reader in
+  let shard_feed ?(on_corrupt = `Fail) ?(prefetch = true) ?(codec = falcon_codec)
+      ?max_traces reader =
+    let m = check_meta codec reader in
     let shards = Tracestore.Reader.shard_count reader in
     let cap =
       let avail = Tracestore.Reader.total_traces reader in
@@ -900,8 +920,7 @@ module Stream = struct
     let skipped = ref 0 in
     let fetch i =
       match Tracestore.Reader.read_shard reader i with
-      | Some records ->
-          Some (Array.map (Leakage.of_record ~n:m.Tracestore.n) records)
+      | Some records -> Some (Array.map (codec.decode m) records)
       | None -> (
           match on_corrupt with
           | `Fail ->
@@ -960,11 +979,11 @@ module Stream = struct
      and fed to an incremental sweep; the tester looks after each shard
      per the spec's schedule and the pull stops at the stopping point.
      Fed to exhaustion it returns [rank]'s exact ranking. *)
-  let rank_until ?ctx ?jobs ?backend ?on_corrupt ?prefetch ~spec ?max_traces
-      reader ~parts ~known ~top candidates =
+  let rank_until ?ctx ?jobs ?backend ?on_corrupt ?prefetch ?codec ~spec
+      ?max_traces reader ~parts ~known ~top candidates =
     let c = Ctx.resolve ?ctx ?jobs ?backend () in
     let obs = c.Ctx.obs in
-    let fd = shard_feed ?on_corrupt ?prefetch ?max_traces reader in
+    let fd = shard_feed ?on_corrupt ?prefetch ?codec ?max_traces reader in
     let samples = Array.of_list (List.map fst parts) in
     let models = List.map snd parts in
     let feed () =
@@ -998,7 +1017,8 @@ module Stream = struct
               Obs.count obs "dema.shards_skipped" sk;
             r))
 
-  let evolution ?ctx ?jobs ?on_corrupt ?prefetch reader ~sample ~model ~known ~guess =
+  let evolution ?ctx ?jobs ?on_corrupt ?prefetch ?codec reader ~sample ~model
+      ~known ~guess =
     let c = Ctx.resolve ?ctx ?jobs () in
     if Tracestore.Reader.total_traces reader = 0 then
       failwith "Dema.Stream.evolution: store holds no traces (empty campaign)";
@@ -1011,7 +1031,7 @@ module Stream = struct
         ~fields:[ ("traces", Obs.Int tot) ]
         c.Ctx.obs "dema.degenerate_evolution" 1;
     let per_shard =
-      map_shards ~ctx:c ?on_corrupt ?prefetch reader (fun _ traces ->
+      map_shards ~ctx:c ?on_corrupt ?prefetch ?codec reader (fun _ traces ->
           let acc = Stats.Welford.Cov.create () in
           Array.iter
             (fun (t : Leakage.trace) ->

@@ -219,11 +219,28 @@ val rank_until :
     still consumed strictly in shard order.  With [jobs > 1] the domain
     pool already overlaps shards and the flag is ignored. *)
 module Stream : sig
+  (** How the stream turns a store's records back into traces.  The
+      [check] half validates the store's meta (ring size vs sample
+      width) before any shard is read; the [decode] half rebuilds one
+      trace.  Both run on worker domains and must be pure.  Every entry
+      point defaults to {!falcon_codec}, so existing callers are
+      bitwise unchanged; non-FALCON {!Target}s supply their own. *)
+  type codec = {
+    check : Tracestore.meta -> unit;
+    decode : Tracestore.meta -> Tracestore.record -> Leakage.trace;
+  }
+
+  val falcon_codec : codec
+  (** The historical path: width must equal
+      [n * Leakage.events_per_coeff], records decode through
+      {!Leakage.of_record} (FFT(c) recomputed from salt+message). *)
+
   val map_shards :
     ?ctx:Ctx.t ->
     ?jobs:int ->
     ?on_corrupt:[ `Fail | `Skip ] ->
     ?prefetch:bool ->
+    ?codec:codec ->
     Tracestore.Reader.t ->
     (int -> Leakage.trace array -> 'a) ->
     'a list
@@ -236,6 +253,7 @@ module Stream : sig
     ?jobs:int ->
     ?on_corrupt:[ `Fail | `Skip ] ->
     ?prefetch:bool ->
+    ?codec:codec ->
     Tracestore.Reader.t ->
     samples:int list ->
     known:(Leakage.trace -> 'k) ->
@@ -249,6 +267,7 @@ module Stream : sig
     ?backend:Stats.Pearson.Batch.backend ->
     ?on_corrupt:[ `Fail | `Skip ] ->
     ?prefetch:bool ->
+    ?codec:codec ->
     Tracestore.Reader.t ->
     parts:(int * 'k Hypothesis.Model.t) list ->
     known:(Leakage.trace -> 'k) ->
@@ -278,6 +297,7 @@ module Stream : sig
   val shard_feed :
     ?on_corrupt:[ `Fail | `Skip ] ->
     ?prefetch:bool ->
+    ?codec:codec ->
     ?max_traces:int ->
     Tracestore.Reader.t ->
     feed
@@ -294,6 +314,7 @@ module Stream : sig
     ?backend:Stats.Pearson.Batch.backend ->
     ?on_corrupt:[ `Fail | `Skip ] ->
     ?prefetch:bool ->
+    ?codec:codec ->
     spec:Sequential.Decision.spec ->
     ?max_traces:int ->
     Tracestore.Reader.t ->
@@ -318,6 +339,7 @@ module Stream : sig
     ?jobs:int ->
     ?on_corrupt:[ `Fail | `Skip ] ->
     ?prefetch:bool ->
+    ?codec:codec ->
     Tracestore.Reader.t ->
     sample:int ->
     model:(int -> 'k -> int) ->

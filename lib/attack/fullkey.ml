@@ -4,6 +4,12 @@ type result = {
   keypair : Ntru.Ntrugen.keypair option;
 }
 
+(* Which multiplications a secret component leaks through, and the known
+   operand of each — shared by the fixed driver, the adaptive driver and
+   the Target enumerator. *)
+let component_muls = function `Re -> [ 0; 3 ] | `Im -> [ 1; 2 ]
+let mul_known (re, im) = function 0 | 2 -> re | _ -> im
+
 (* Fan the 2n independent (coefficient, component) attacks across the
    pool; leftover parallelism goes to the candidate sweeps inside.  Each
    task runs under a [Obs.buffered] child context (single-owner, one per
@@ -75,7 +81,7 @@ let recover_key ?ctx ?jobs ?leakage ~traces ~h strategy =
    peak memory is one decoded shard per domain plus the extracted
    windows, never the whole campaign. *)
 let store_views ?on_corrupt ?prefetch ~ctx ~reader ~coeff ~component () =
-  let muls = match component with `Re -> [ 0; 3 ] | `Im -> [ 1; 2 ] in
+  let muls = component_muls component in
   let samples =
     List.concat_map
       (fun m ->
@@ -125,8 +131,6 @@ let store_views ?on_corrupt ?prefetch ~ctx ~reader ~coeff ~component () =
    unit order — stop points, winners and the recovered key are
    bit-identical at every [jobs] and backend. *)
 
-let mul_known (re, im) = function 0 | 2 -> re | _ -> im
-
 let decision_candidates strategy ~coeff ~mul =
   match (strategy ~coeff ~mul : Recover.strategy) with
   | Recover.Exhaustive ->
@@ -150,7 +154,7 @@ type unit_state = {
 }
 
 let make_unit ~backend strategy ~coeff ~component =
-  let muls = match component with `Re -> [ 0; 3 ] | `Im -> [ 1; 2 ] in
+  let muls = component_muls component in
   let samples =
     Array.of_list
       (List.concat_map

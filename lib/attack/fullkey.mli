@@ -110,6 +110,16 @@ val recover_key_store :
     any shard is corrupt — pass [~on_corrupt:`Skip] to drop bad shards
     from the campaign instead. *)
 
+val component_muls : [ `Re | `Im ] -> int list
+(** The two multiplications a secret component leaks through: f_re in
+    (c_re x f_re) and (c_im x f_re) — muls 0 and 3; f_im in muls 1 and
+    2.  The view order of {!Recover.views_for} and of the streaming
+    extraction. *)
+
+val mul_known : Fpr.t * Fpr.t -> int -> Fpr.t
+(** [mul_known (c_re, c_im) mul] — the known operand of a
+    multiplication, given the coefficient's FFT(c) component pair. *)
+
 val count_correct : Fft.t -> truth:Fft.t -> int
 (** Number of bit-exact coefficient matches (out of 2n values). *)
 

@@ -114,3 +114,8 @@ let exhaustive ~width ?(lo = 0) () =
   Seq.unfold (fun v -> if v >= hi then None else Some (v, v + 1)) lo
 
 let count ~width ?(lo = 0) () = (1 lsl width) - lo
+
+let range ~lo ~hi =
+  Seq.unfold (fun v -> if v >= hi then None else Some (v, v + 1)) lo
+
+let range_count ~lo ~hi = max 0 (hi - lo)

@@ -87,3 +87,11 @@ val exhaustive : width:int -> ?lo:int -> unit -> int Seq.t
 (** All values of [\[lo, 2^width)], lazily. *)
 
 val count : width:int -> ?lo:int -> unit -> int
+
+val range : lo:int -> hi:int -> int Seq.t
+(** All values of [\[lo, hi)], lazily; empty when [hi <= lo].  The
+    arbitrary-bounds enumerator for guess spaces that are not power-of-two
+    sized (e.g. {!Target} position candidates). *)
+
+val range_count : lo:int -> hi:int -> int
+(** [Seq.length (range ~lo ~hi)] without forcing the sequence. *)

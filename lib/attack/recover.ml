@@ -415,6 +415,11 @@ let extend_prune_multi ?ctx ?jobs ?backend ~top ~candidates ~extend_stage ~prune
    out; the w10 and z1a transitions are d-only and carry the stage. *)
 let low_extend_stage = [ (Fpr.Mant_w00, p_w00); (Fpr.Mant_w10, p_w10) ]
 
+type stage = (Fpr.label * Fpr.t Hypothesis.Model.t) list
+
+let mantissa_low_width = 25
+let mantissa_high_width = 28
+
 let low_stages = function
   | `Hw -> (low_extend_stage, [ (Fpr.Mant_z1a, p_z1a) ])
   | `Hd -> ([ (Fpr.Mant_w10, p_hd_w10) ], [ (Fpr.Mant_z1a, p_hd_z1a) ])

@@ -114,6 +114,31 @@ val p_hd_zhigh : d:int -> Fpr.t Hypothesis.Model.t
 (** Split forms of the bus-HD models, same prep digests as the HW
     splits. *)
 
+(** {2 Stage part sets}
+
+    The (event label, split model) lists each mantissa phase correlates
+    against, per leakage family — the single source both the fixed and
+    the adaptive full-key drivers, and the {!Target} enumerator, build
+    their part lists from.  First component: the extend stage; second:
+    the prune stage. *)
+
+type stage = (Fpr.label * Fpr.t Hypothesis.Model.t) list
+
+val low_stages : leakage -> stage * stage
+(** Low 25-bit phase.  [`Hw]: extend on w00+w10, prune on z1a; [`Hd]:
+    the w00 transition needs the secret high word and drops out, so
+    extend on the w10 transition, prune on the z1a transition. *)
+
+val high_stages : d:int -> leakage -> stage * stage
+(** High 28-bit phase given the recovered low half [d]: extend on
+    w01+w11, prune on z1+zhigh (transitions thereof under [`Hd]). *)
+
+val mantissa_low_width : int
+(** 25 — the guess width of the low phase ({!low_stages} candidates). *)
+
+val mantissa_high_width : int
+(** 28 — the guess width of the high phase (top bit fixed to 1). *)
+
 (** {1 Component attacks} *)
 
 val attack_sign : view -> int * float

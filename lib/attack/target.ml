@@ -1,0 +1,453 @@
+(* First-class attack targets — see target.mli.  The FALCON instance is
+   a re-expression of the existing Recover/Fullkey attack (same entry
+   points, same strategy seeds), locked bit-exact by the differential
+   parity suite; the HQC instance is the chained per-unit driver over
+   lib/hqc's victim. *)
+
+type leakage = Recover.leakage
+
+type outcome = {
+  target : string;
+  success : bool;
+  witness : string;
+  units : int;
+  traces : int;
+  stop : Sequential.Campaign.summary option;
+}
+
+module type S = sig
+  val name : string
+  val default_n : int
+  val width : n:int -> int
+  val codec : Dema.Stream.codec
+  val supports_stop : leakage -> bool
+
+  val record_store :
+    ?leakage:leakage ->
+    dir:string ->
+    n:int ->
+    traces:int ->
+    noise:float ->
+    seed:int ->
+    shard_traces:int ->
+    unit ->
+    unit
+
+  type known
+
+  val known_of_trace : Leakage.trace -> known
+  val units : n:int -> int
+  val unit_label : n:int -> int -> string
+  val chained : bool
+  val guess_count : n:int -> unit_index:int -> prev:int array -> int
+  val guess_space : n:int -> unit_index:int -> prev:int array -> int Seq.t
+
+  val parts :
+    leakage:leakage ->
+    n:int ->
+    unit_index:int ->
+    prev:int array ->
+    (int * known Hypothesis.Model.t) list
+
+  val truth : n:int -> dir:string -> int array
+  val key_of_winners : n:int -> int array -> string
+  val winners_of_key : n:int -> string -> int array option
+
+  val recover_store :
+    ?ctx:Ctx.t ->
+    ?leakage:leakage ->
+    ?stop:Sequential.Decision.spec ->
+    ?max_traces:int ->
+    ?on_corrupt:[ `Fail | `Skip ] ->
+    ?prefetch:bool ->
+    dir:string ->
+    Tracestore.Reader.t ->
+    outcome
+end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let store_model (m : Leakage.model) =
+  { Tracestore.alpha = m.alpha; noise_sigma = m.noise_sigma; baseline = m.baseline }
+
+(* ---------------- FALCON ---------------- *)
+
+module Falcon = struct
+  let name = "falcon"
+  let default_n = 32
+  let width ~n = n * Leakage.events_per_coeff
+  let codec = Dema.Stream.falcon_codec
+
+  (* every usable high-half bus transition takes the recovered d, so
+     there is no d-free Hamming-distance decision sweep — the same
+     restriction Fullkey.recover_*_store enforces *)
+  let supports_stop = function `Hw -> true | `Hd -> false
+
+  let emitter_of = function
+    | `Hw -> Leakage.default_emitter
+    | `Hd -> Leakage.hd_emitter
+
+  let record_store ?(leakage = `Hw) ~dir ~n ~traces ~noise ~seed ~shard_traces () =
+    let model = { Leakage.default_model with noise_sigma = noise } in
+    let sk, pk = Falcon.Scheme.keygen ~n ~seed:(Printf.sprintf "victim-%d" seed) in
+    let writer =
+      Tracestore.Writer.create ~dir ~n ~width:(width ~n) ~shard_traces
+        ~model:(store_model model)
+    in
+    let next =
+      Leakage.capture_stream ~emitter:(emitter_of leakage) model ~seed sk
+    in
+    for _ = 1 to traces do
+      Tracestore.Writer.append writer (Leakage.to_record (next ()))
+    done;
+    Tracestore.Writer.close writer;
+    write_file (Filename.concat dir "public.key") (Falcon.Keycodec.encode_public pk);
+    write_file (Filename.concat dir "secret.key") (Falcon.Keycodec.encode_secret sk.kp)
+
+  type known = Leakage.trace
+
+  let known_of_trace = Fun.id
+  let units ~n = 2 * n
+
+  let unit_label ~n:_ i =
+    Printf.sprintf "c%d.%s" (i lsr 1) (if i land 1 = 0 then "re" else "im")
+
+  let chained = false
+
+  (* The flat enumerator covers the paper's width-25 low-mantissa
+     phase — the space the extend-and-prune ranking actually sweeps;
+     the high half, sign and exponent are later phases of the same
+     unit, driven by [recover_store]. *)
+  let guess_count ~n:_ ~unit_index:_ ~prev:_ =
+    Hypothesis.count ~width:Recover.mantissa_low_width ()
+
+  let guess_space ~n:_ ~unit_index:_ ~prev:_ =
+    Hypothesis.exhaustive ~width:Recover.mantissa_low_width ()
+
+  let component_of i = if i land 1 = 0 then `Re else `Im
+
+  let parts ~leakage ~n:_ ~unit_index ~prev:_ =
+    let coeff = unit_index lsr 1 in
+    let extend, prune = Recover.low_stages leakage in
+    List.concat_map
+      (fun mul ->
+        List.map
+          (fun (label, model) ->
+            ( Leakage.sample_of ~coeff ~mul label,
+              Hypothesis.Model.contramap
+                (fun (t : Leakage.trace) ->
+                  Fullkey.mul_known
+                    (t.c_fft.Fft.re.(coeff), t.c_fft.Fft.im.(coeff))
+                    mul)
+                model ))
+          (extend @ prune))
+      (Fullkey.component_muls (component_of unit_index))
+
+  let read_keys dir =
+    match
+      ( Falcon.Keycodec.decode_public (read_file (Filename.concat dir "public.key")),
+        Falcon.Keycodec.decode_secret (read_file (Filename.concat dir "secret.key"))
+      )
+    with
+    | Some pk, Some kp -> (pk, kp)
+    | _ ->
+        failwith
+          (Printf.sprintf "Target.falcon: could not read %s/{public,secret}.key"
+             dir)
+    | exception Sys_error e -> failwith ("Target.falcon: " ^ e)
+
+  let d_mask = (1 lsl Recover.mantissa_low_width) - 1
+
+  let truth ~n ~dir =
+    let _, kp = read_keys dir in
+    let sk = Falcon.Scheme.secret_of_keypair kp in
+    Array.init (units ~n) (fun i ->
+        let coeff = i lsr 1 in
+        let x =
+          if i land 1 = 0 then sk.f_fft.Fft.re.(coeff) else sk.f_fft.Fft.im.(coeff)
+        in
+        Fpr.mantissa x land d_mask)
+
+  let key_magic = "FALCOND1"
+
+  let key_of_winners ~n winners =
+    if Array.length winners <> units ~n then
+      invalid_arg "Target.falcon: winner vector length is not 2n";
+    key_magic ^ " "
+    ^ String.concat ","
+        (Array.to_list (Array.map (Printf.sprintf "%07x") winners))
+
+  let winners_of_key ~n s =
+    let prefix = key_magic ^ " " in
+    let plen = String.length prefix in
+    if String.length s <= plen || String.sub s 0 plen <> prefix then None
+    else
+      let parts =
+        String.split_on_char ',' (String.sub s plen (String.length s - plen))
+        |> List.map (fun h -> int_of_string_opt ("0x" ^ h))
+      in
+      if List.exists Option.is_none parts then None
+      else
+        let w = Array.of_list (List.map Option.get parts) in
+        if Array.length w <> units ~n || Array.exists (fun d -> d < 0 || d > d_mask) w
+        then None
+        else Some w
+
+  (* the canonical witness of a full recovery: the 2n recovered 64-bit
+     FFT(f) patterns, hex, re/im interleaved in unit order *)
+  let witness_of_fft (f : Fft.t) =
+    let n = Array.length f.Fft.re in
+    String.concat ","
+      (List.init (2 * n) (fun i ->
+           Printf.sprintf "%016Lx"
+             (if i land 1 = 0 then f.Fft.re.(i lsr 1) else f.Fft.im.(i lsr 1))))
+
+  (* the sampled-hypothesis strategy of [attack_cli crack] — pure per
+     (coeff, mul), same seeds, so target-routed recovery is
+     bit-identical to the pre-target CLI path *)
+  let crack_strategy (truth_sk : Falcon.Scheme.secret_key) ~coeff ~mul =
+    let truth =
+      if mul = 0 then truth_sk.f_fft.Fft.re.(coeff) else truth_sk.f_fft.Fft.im.(coeff)
+    in
+    Recover.Eval_sampled
+      { rng = Stats.Rng.create ~seed:((coeff * 7) + mul); decoys = 512; truth }
+
+  let recover_store ?ctx ?(leakage = `Hw) ?stop ?max_traces ?on_corrupt ?prefetch
+      ~dir reader =
+    (match stop with
+    | Some _ when not (supports_stop leakage) ->
+        invalid_arg
+          "Target.falcon: ?stop is not available under `Hd leakage (no d-free \
+           Hamming-distance decision sweep)"
+    | _ -> ());
+    let pk, truth_kp = read_keys dir in
+    let truth_sk = Falcon.Scheme.secret_of_keypair truth_kp in
+    let summary = ref None in
+    let res =
+      Fullkey.recover_key_store ?ctx ?on_corrupt ?prefetch ~leakage ?stop
+        ?max_traces
+        ~stop_report:(fun s -> summary := Some s)
+        ~reader ~h:pk.h (crack_strategy truth_sk)
+    in
+    let total = Tracestore.Reader.total_traces reader in
+    let budget =
+      match max_traces with None -> total | Some k -> min k total
+    in
+    let traces =
+      match !summary with
+      | Some s -> Array.fold_left max 0 s.Sequential.Campaign.traces_used
+      | None -> budget
+    in
+    {
+      target = name;
+      success = res.Fullkey.keypair <> None && res.Fullkey.f = truth_kp.Ntru.Ntrugen.f;
+      witness = witness_of_fft res.Fullkey.f_fft;
+      units = units ~n:pk.params.n;
+      traces;
+      stop = !summary;
+    }
+end
+
+(* ---------------- HQC ---------------- *)
+
+module Hqc_target = struct
+  let name = "hqc"
+  let default_n = Hqc.Params.n_bits
+  let width ~n:_ = Hqc.Params.width
+
+  let codec =
+    {
+      Dema.Stream.check =
+        (fun m ->
+          if
+            m.Tracestore.n <> Hqc.Params.n_bits
+            || m.Tracestore.width <> Hqc.Params.width
+          then
+            failwith
+              (Printf.sprintf
+                 "Target.hqc: store (n %d, width %d) is not an HQC campaign \
+                  (want n %d, width %d)"
+                 m.Tracestore.n m.Tracestore.width Hqc.Params.n_bits
+                 Hqc.Params.width));
+      decode = (fun _ r -> Leakage.raw_of_record r);
+    }
+
+  (* the HD hypothesis (the accumulator transition rot(u, p_j)) is
+     prefix-free, so the decision sweep exists under both families *)
+  let supports_stop _ = true
+
+  let check_n n =
+    if n <> Hqc.Params.n_bits then
+      invalid_arg
+        (Printf.sprintf "Target.hqc: ring size is fixed at %d (got %d)"
+           Hqc.Params.n_bits n)
+
+  let record_store ?(leakage = `Hw) ~dir ~n ~traces ~noise ~seed ~shard_traces () =
+    check_n n;
+    let model = { Leakage.default_model with noise_sigma = noise } in
+    let y = Hqc.keygen ~seed in
+    let writer =
+      Tracestore.Writer.create ~dir ~n ~width:Hqc.Params.width ~shard_traces
+        ~model:(store_model model)
+    in
+    let next = Hqc.capture_stream ~emitter:leakage model ~seed y in
+    for _ = 1 to traces do
+      Tracestore.Writer.append writer (next ())
+    done;
+    Tracestore.Writer.close writer;
+    write_file (Filename.concat dir Hqc.key_file) (Hqc.encode_secret y)
+
+  type known = int
+
+  let known_of_trace = Hqc.u_of_trace
+  let units ~n:_ = Hqc.Params.weight
+  let unit_label ~n:_ j = Printf.sprintf "p%d" j
+  let chained = true
+
+  (* positions are recovered in ascending order: unit j's candidates
+     start above the previous winner and leave room for the remaining
+     weight - 1 - j strictly larger positions *)
+  let bounds ~unit_index ~prev =
+    let lo = if Array.length prev = 0 then 0 else prev.(Array.length prev - 1) + 1 in
+    let hi = Hqc.Params.n_bits - (Hqc.Params.weight - 1 - unit_index) in
+    (lo, hi)
+
+  let guess_count ~n:_ ~unit_index ~prev =
+    let lo, hi = bounds ~unit_index ~prev in
+    Hypothesis.range_count ~lo ~hi
+
+  let guess_space ~n:_ ~unit_index ~prev =
+    let lo, hi = bounds ~unit_index ~prev in
+    Hypothesis.range ~lo ~hi
+
+  let parts ~leakage ~n:_ ~unit_index ~prev =
+    List.init Hqc.Params.words (fun w ->
+        let sample = (unit_index * Hqc.Params.words) + w in
+        let model =
+          match leakage with
+          | `Hw ->
+              Hypothesis.Model.split
+                ~prep:(Hqc.prep_acc ~prefix:prev ~word:w)
+                ~eval:(Hqc.eval_acc ~word:w)
+          | `Hd ->
+              Hypothesis.Model.split
+                ~prep:(fun u -> u)
+                ~eval:(fun g u -> Hqc.m_rot ~word:w g u)
+        in
+        (sample, model))
+
+  let read_secret dir =
+    let path = Filename.concat dir Hqc.key_file in
+    match Hqc.decode_secret (read_file path) with
+    | Some y -> y
+    | None -> failwith (Printf.sprintf "Target.hqc: malformed key sidecar %s" path)
+    | exception Sys_error e -> failwith ("Target.hqc: " ^ e)
+
+  let truth ~n ~dir =
+    check_n n;
+    read_secret dir
+
+  let key_of_winners ~n winners =
+    check_n n;
+    Hqc.encode_secret winners
+
+  let winners_of_key ~n s =
+    check_n n;
+    Hqc.decode_secret s
+
+  let recover_store ?ctx ?(leakage = `Hw) ?stop ?max_traces ?on_corrupt ?prefetch
+      ~dir reader =
+    let n = Hqc.Params.n_bits in
+    let total = Tracestore.Reader.total_traces reader in
+    let budget = match max_traces with None -> total | Some k -> min k total in
+    let w = units ~n in
+    let winners = Array.make w 0 in
+    let used = Array.make w 0 in
+    let unit_stopped = Array.make w false in
+    let looks = ref 0 in
+    let any_stop = stop <> None in
+    for j = 0 to w - 1 do
+      let prev = Array.sub winners 0 j in
+      let cands = Array.of_seq (guess_space ~n ~unit_index:j ~prev) in
+      let parts = parts ~leakage ~n ~unit_index:j ~prev in
+      if Array.length cands = 0 then
+        failwith "Target.hqc: empty candidate set (corrupt recovered prefix)"
+      else if Array.length cands = 1 then
+        (* forced position: nothing to rank (a decision sweep needs a
+           runner-up), no traces consumed *)
+        winners.(j) <- cands.(0)
+      else
+        match stop with
+        | None ->
+            let ranking =
+              Dema.Stream.rank ?ctx ?on_corrupt ?prefetch ~codec reader ~parts
+                ~known:known_of_trace ~top:1 (Array.to_seq cands)
+            in
+            (match ranking with
+            | best :: _ -> winners.(j) <- best.Dema.guess
+            | [] -> failwith "Target.hqc: empty ranking");
+            used.(j) <- budget
+        | Some spec ->
+            let r =
+              Dema.Stream.rank_until ?ctx ?on_corrupt ?prefetch ~codec ~spec
+                ?max_traces reader ~parts ~known:known_of_trace ~top:1
+                (Array.to_seq cands)
+            in
+            (match r.Dema.ranking with
+            | best :: _ -> winners.(j) <- best.Dema.guess
+            | [] -> failwith "Target.hqc: empty ranking");
+            used.(j) <- r.Dema.n_traces;
+            looks := !looks + r.Dema.looks;
+            if r.Dema.stop <> None then unit_stopped.(j) <- true
+    done;
+    let truth = read_secret dir in
+    let summary =
+      if not any_stop then None
+      else
+        let saved = ref 0 in
+        Array.iteri (fun j s -> if s then saved := !saved + (budget - used.(j))) unit_stopped;
+        Some
+          {
+            Sequential.Campaign.units = w;
+            stopped = Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 unit_stopped;
+            looks = !looks;
+            total_traces = budget;
+            traces_used = used;
+            traces_saved = !saved;
+          }
+    in
+    {
+      target = name;
+      success = winners = truth;
+      witness = key_of_winners ~n winners;
+      units = w;
+      traces = Array.fold_left max 0 used;
+      stop = summary;
+    }
+end
+
+module Hqc = Hqc_target
+
+let all : (module S) list = [ (module Falcon); (module Hqc) ]
+
+let names =
+  List.map
+    (fun m ->
+      let module T = (val m : S) in
+      T.name)
+    all
+
+let find name =
+  List.find_opt
+    (fun m ->
+      let module T = (val m : S) in
+      T.name = name)
+    all

@@ -1,0 +1,166 @@
+(** First-class attack targets: one distinguisher stack, N schemes.
+
+    The pipeline below the hypothesis layer — trace store, streaming
+    Pearson rank, sequential early stopping, SR/GE/MTD metrics — is
+    scheme-agnostic.  A {!S} packages everything that is {e not}:
+
+    - an {b intermediate-value enumerator}: the per-unit guess space
+      ({!S.guess_space}) and the matching {!Hypothesis.Model} part set
+      ({!S.parts}) tying guessed key units to trace samples;
+    - a {b leakage emitter} for victim capture ({!S.record_store}
+      writes a sharded campaign plus ground-truth sidecars) with the
+      store {!Dema.Stream.codec} that decodes it back;
+    - a {b key-reassembly} step mapping per-unit winners back to secret
+      key material ({!S.key_of_winners} / {!S.winners_of_key}), and an
+      end-to-end driver ({!S.recover_store}) producing a canonical
+      {!outcome} whose [witness] string is bit-exact comparable across
+      configurations.
+
+    Two instances ship: {!Falcon} re-expresses the existing FALCON
+    mantissa/coefficient attack (delegating its multi-phase
+    extend-and-prune driver to {!Recover}/{!Fullkey} unchanged, so
+    rankings, stops and recovered keys are bit-identical to the
+    pre-target entry points), and {!Hqc} attacks the HQC sparse
+    polynomial multiplication victim of arXiv 2601.07634 (see {!Hqc_}
+    [lib/hqc]): a secret-dependent rotate-and-accumulate schedule whose
+    per-unit winners are the secret support positions, recovered in
+    chained order with the already-won prefix folded into the
+    hypothesis models. *)
+
+type leakage = Recover.leakage
+
+type outcome = {
+  target : string;  (** {!S.name} of the instance that produced it *)
+  success : bool;
+      (** recovered key material matches the store's ground-truth
+          sidecar *)
+  witness : string;
+      (** canonical encoding of the recovered key material — bit-exact
+          comparable across [jobs] x backend x prefetch x leakage *)
+  units : int;  (** attacked units (2n for FALCON, weight for HQC) *)
+  traces : int;  (** campaign traces consumed (max over units) *)
+  stop : Sequential.Campaign.summary option;
+      (** per-unit early-stopping summary, when [?stop] was given *)
+}
+
+module type S = sig
+  val name : string
+
+  (** {2 Victim / capture side} *)
+
+  val default_n : int
+  (** the store ring-size parameter a fresh campaign records with *)
+
+  val width : n:int -> int
+  (** samples per trace at ring size [n] *)
+
+  val codec : Dema.Stream.codec
+  (** decode for {!Dema.Stream} entry points over this target's
+      stores *)
+
+  val supports_stop : leakage -> bool
+  (** whether {!recover_store} accepts [?stop] under that leakage
+      family (FALCON has no d-free Hamming-distance decision sweep;
+      HQC's HD hypothesis is prefix-free, so both families stop) *)
+
+  val record_store :
+    ?leakage:leakage ->
+    dir:string ->
+    n:int ->
+    traces:int ->
+    noise:float ->
+    seed:int ->
+    shard_traces:int ->
+    unit ->
+    unit
+  (** Generate a fresh victim, record a sharded campaign into [dir] and
+      write the target's ground-truth sidecar files next to the
+      manifest.  [?leakage] selects the matching device emitter
+      (default [`Hw]). *)
+
+  (** {2 Intermediate-value enumerator} *)
+
+  type known
+  (** per-trace known operand fed to the part models *)
+
+  val known_of_trace : Leakage.trace -> known
+
+  val units : n:int -> int
+  val unit_label : n:int -> int -> string
+
+  val chained : bool
+  (** whether unit [j]'s guess space and models depend on the winners
+      of units [0..j-1] (the [prev] arguments below) *)
+
+  val guess_count : n:int -> unit_index:int -> prev:int array -> int
+  val guess_space : n:int -> unit_index:int -> prev:int array -> int Seq.t
+  (** The declared per-unit guess space; [guess_count] equals the
+      length of [guess_space] (enumerator totality, property-tested).
+      For FALCON this is the paper's exhaustive width-25 low-mantissa
+      phase space; the later phases are driven by {!recover_store}. *)
+
+  val parts :
+    leakage:leakage ->
+    n:int ->
+    unit_index:int ->
+    prev:int array ->
+    (int * known Hypothesis.Model.t) list
+  (** The (absolute sample index, model) part set ranking unit
+      [unit_index]'s guess space, in canonical order. *)
+
+  val truth : n:int -> dir:string -> int array
+  (** Per-unit ground-truth secrets read from the sidecars of a
+      recorded store — what a perfect ranking's winners would be. *)
+
+  (** {2 Key reassembly} *)
+
+  val key_of_winners : n:int -> int array -> string
+  (** Reassemble per-unit winners into the canonical key-material
+      encoding (the {!outcome} [witness] format). *)
+
+  val winners_of_key : n:int -> string -> int array option
+  (** Inverse of {!key_of_winners}: [winners_of_key ~n
+      (key_of_winners ~n w) = Some w] for any in-range winner vector
+      (round-trip, property-tested). *)
+
+  (** {2 End-to-end driver} *)
+
+  val recover_store :
+    ?ctx:Ctx.t ->
+    ?leakage:leakage ->
+    ?stop:Sequential.Decision.spec ->
+    ?max_traces:int ->
+    ?on_corrupt:[ `Fail | `Skip ] ->
+    ?prefetch:bool ->
+    dir:string ->
+    Tracestore.Reader.t ->
+    outcome
+  (** Recover the secret from a recorded campaign ([dir] locates the
+      sidecars; the reader streams the traces).  Deterministic: the
+      [witness] (and stop points, with [?stop]) are bit-identical
+      across [jobs], backends and prefetch.  Raises [Invalid_argument]
+      when [?stop] is passed but [supports_stop leakage] is false, and
+      [Failure] on missing/corrupt sidecars. *)
+end
+
+module Falcon : S with type known = Leakage.trace
+(** The FALCON mantissa/coefficient attack behind the target
+    interface.  [recover_store] delegates to
+    {!Fullkey.recover_key_store} with the sampled-hypothesis strategy
+    of [attack_cli crack] (per-unit seed [coeff*7 + mul], 512 decoys),
+    so its recovered transform is bit-identical to the pre-target CLI
+    path; the [witness] is the hex dump of the recovered FFT(f) bit
+    patterns.  The flat enumerator exposes the width-25 low-mantissa
+    phase (per-unit winners/truth are the 25-bit [d] values). *)
+
+module Hqc : S with type known = int
+(** The HQC rotate-and-accumulate victim ([lib/hqc]).  Units are the
+    {!Hqc_.Params.weight} secret support positions, recovered in
+    chained ascending order; [known] is the per-trace dense input word
+    [u].  [witness] is {!Hqc_.encode_secret} of the recovered
+    support. *)
+
+val all : (module S) list
+val names : string list
+val find : string -> (module S) option
+(** Registry for CLI dispatch ([--target falcon|hqc]). *)

@@ -355,6 +355,16 @@ let to_record t =
     samples = t.samples;
   }
 
+let raw_of_record (r : Tracestore.record) =
+  (* non-FALCON targets keep their known operand in [msg]; there is no
+     FFT(c) to recompute, so the field stays empty rather than lying *)
+  {
+    samples = r.samples;
+    c_fft = { Fft.re = [||]; im = [||] };
+    msg = r.msg;
+    signature = { Falcon.Scheme.salt = r.salt; body = r.body };
+  }
+
 let of_record ~n (r : Tracestore.record) =
   (* the known input FFT(c) is recomputed from the stored public salt
      and message — exactly the information a real adversary keeps *)

@@ -162,6 +162,13 @@ val misalign : offset:int -> drift:float -> float array -> float array
     positions see zero signal.  [misalign ~offset:0 ~drift:0.] returns
     the input unchanged (physically equal). *)
 
+val render : model -> Stats.Rng.t -> int -> float
+(** One probe sample of one intermediate:
+    [baseline + alpha * HW(value) + N(0, noise_sigma^2)].  The single
+    primitive every capture path (FALCON signing, NTT, and non-FALCON
+    {!Attack.Target} victims) renders through, so all targets share one
+    physical model. *)
+
 (** {1 Single-multiply traces (per-coefficient experiments, Fig. 3/4)} *)
 
 val mul_values : known:Fpr.t -> secret:Fpr.t -> int array
@@ -224,6 +231,12 @@ val to_record : trace -> Tracestore.record
 val of_record : n:int -> Tracestore.record -> trace
 (** Rebuild a full trace from a stored record, recomputing FFT(c) from
     the salt and message. *)
+
+val raw_of_record : Tracestore.record -> trace
+(** Rebuild a trace {e without} the FALCON-specific FFT(c) recompute:
+    samples and strings are carried verbatim and [c_fft] is left empty
+    (length 0).  The decode path of non-FALCON {!Attack.Target} codecs,
+    whose known operands live in the record's [msg] field. *)
 
 val save : string -> trace array -> unit
 (** Raises [Sys_error] on I/O failure, [Invalid_argument] on an empty

@@ -28,4 +28,5 @@ let () =
       ("sequential", Test_sequential.suite);
       ("scheme_more", Test_scheme_more.suite);
       ("align", Test_align.suite);
+      ("target", Test_target.suite);
     ]

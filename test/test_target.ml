@@ -1,0 +1,490 @@
+(* Target framework: the differential parity suite (the FALCON attack
+   routed through the scheme-agnostic Attack.Target interface must be
+   bit-identical to the direct Fullkey/Dema path at every jobs x
+   backend x prefetch x leakage combination), property tests of the
+   Target contract (enumerator totality, key-reassembly round-trip,
+   split-model / plain-model equivalence), and the HQC end-to-end
+   determinism, early-stopping and Hd acceptance/rejection pins. *)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* the full determinism grid: jobs x backend x prefetch *)
+let grid =
+  List.concat_map
+    (fun jobs ->
+      List.concat_map
+        (fun backend -> [ (jobs, backend, false); (jobs, backend, true) ])
+        [ Stats.Pearson.Batch.Scalar; Stats.Pearson.Batch.Batched ])
+    [ 1; 2; 4 ]
+
+let cfg_label (jobs, backend, prefetch) =
+  Printf.sprintf "jobs %d %s prefetch %b" jobs
+    (match backend with
+    | Stats.Pearson.Batch.Scalar -> "scalar"
+    | Stats.Pearson.Batch.Batched -> "batched")
+    prefetch
+
+let ctx_of (jobs, backend, _) = Attack.Ctx.make ~jobs ~backend ()
+
+(* {2 FALCON differential parity} *)
+
+let falcon_n = 8
+let falcon_traces = 150
+
+let with_falcon_store ?(leakage = `Hw) ?(traces = falcon_traces) f =
+  let dir = Filename.temp_dir "fd_target_falcon" "" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      Attack.Target.Falcon.record_store ~leakage ~dir ~n:falcon_n ~traces
+        ~noise:0.3 ~seed:7 ~shard_traces:64 ();
+      f dir)
+
+(* the pre-target golden path: the exact [attack_cli crack] recovery —
+   Fullkey.recover_key_store with the sampled-hypothesis strategy at
+   seed [coeff*7 + mul], 512 decoys *)
+let golden dir ~leakage =
+  let pk =
+    Option.get
+      (Falcon.Keycodec.decode_public (read_file (Filename.concat dir "public.key")))
+  in
+  let kp =
+    Option.get
+      (Falcon.Keycodec.decode_secret (read_file (Filename.concat dir "secret.key")))
+  in
+  let sk = Falcon.Scheme.secret_of_keypair kp in
+  let strategy ~coeff ~mul =
+    let truth =
+      if mul = 0 then sk.f_fft.Fft.re.(coeff) else sk.f_fft.Fft.im.(coeff)
+    in
+    Attack.Recover.Eval_sampled
+      { rng = Stats.Rng.create ~seed:((coeff * 7) + mul); decoys = 512; truth }
+  in
+  let reader = Tracestore.Reader.open_store dir in
+  (Attack.Fullkey.recover_key_store ~leakage ~reader ~h:pk.h strategy, kp)
+
+(* the golden witness encoding — 2n recovered FFT(f) bit patterns, hex,
+   re/im interleaved in unit order, same layout the Target outcome
+   carries *)
+let witness_of_fft (f : Fft.t) =
+  String.concat ","
+    (List.init
+       (2 * Array.length f.Fft.re)
+       (fun i ->
+         Printf.sprintf "%016Lx"
+           (if i land 1 = 0 then f.Fft.re.(i lsr 1) else f.Fft.im.(i lsr 1))))
+
+let check_falcon_parity leakage () =
+  with_falcon_store ~leakage (fun dir ->
+      let g, kp = golden dir ~leakage in
+      Alcotest.(check bool)
+        "golden path recovers the exact key" true
+        (g.Attack.Fullkey.keypair <> None && g.Attack.Fullkey.f = kp.Ntru.Ntrugen.f);
+      let golden_witness = witness_of_fft g.Attack.Fullkey.f_fft in
+      List.iter
+        (fun ((_, _, prefetch) as cfg) ->
+          let reader = Tracestore.Reader.open_store dir in
+          let o =
+            Attack.Target.Falcon.recover_store ~ctx:(ctx_of cfg) ~leakage
+              ~prefetch ~dir reader
+          in
+          Alcotest.(check string)
+            (cfg_label cfg ^ ": witness = golden")
+            golden_witness o.Attack.Target.witness;
+          Alcotest.(check bool)
+            (cfg_label cfg ^ ": success")
+            true o.Attack.Target.success;
+          Alcotest.(check int)
+            (cfg_label cfg ^ ": all units attacked")
+            (2 * falcon_n) o.Attack.Target.units)
+        grid)
+
+(* the hand-built pre-target part set of one unit's low-mantissa phase:
+   extend + prune stages at both component multiplications, models
+   contramapped over the known FFT(c) operand *)
+let hand_parts ~leakage unit_index =
+  let coeff = unit_index lsr 1 in
+  let comp = if unit_index land 1 = 0 then `Re else `Im in
+  let extend, prune = Attack.Recover.low_stages leakage in
+  List.concat_map
+    (fun mul ->
+      List.map
+        (fun (label, m) ->
+          ( Leakage.sample_of ~coeff ~mul label,
+            Attack.Hypothesis.Model.contramap
+              (fun (t : Leakage.trace) ->
+                Attack.Fullkey.mul_known
+                  (t.Leakage.c_fft.Fft.re.(coeff), t.Leakage.c_fft.Fft.im.(coeff))
+                  mul)
+              m ))
+        (extend @ prune))
+    (Attack.Fullkey.component_muls comp)
+
+let test_falcon_ranking_parity () =
+  with_falcon_store (fun dir ->
+      let truth = Attack.Target.Falcon.truth ~n:falcon_n ~dir in
+      (* one `Re unit and one `Im unit, so both component mappings are
+         exercised *)
+      List.iter
+        (fun unit_index ->
+          let candidates =
+            Attack.Hypothesis.sampled
+              (Stats.Rng.create ~seed:(100 + unit_index))
+              ~width:Attack.Recover.mantissa_low_width ~truth:truth.(unit_index)
+              ~decoys:256 ()
+          in
+          let rank cfg parts =
+            let _, _, prefetch = cfg in
+            Attack.Dema.Stream.rank ~ctx:(ctx_of cfg) ~prefetch
+              (Tracestore.Reader.open_store dir)
+              ~parts
+              ~known:(fun (t : Leakage.trace) -> t)
+              ~top:16 (Array.to_seq candidates)
+          in
+          let reference =
+            rank (1, Stats.Pearson.Batch.Scalar, false) (hand_parts ~leakage:`Hw unit_index)
+          in
+          (match reference with
+          | best :: _ ->
+              Alcotest.(check int)
+                (Printf.sprintf "unit %d: hand-built ranking finds the truth"
+                   unit_index)
+                truth.(unit_index) best.Attack.Dema.guess
+          | [] -> Alcotest.fail "empty ranking");
+          List.iter
+            (fun cfg ->
+              let target_ranked =
+                rank cfg
+                  (Attack.Target.Falcon.parts ~leakage:`Hw ~n:falcon_n
+                     ~unit_index ~prev:[||])
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "unit %d, %s: Target.parts ranking = golden"
+                   unit_index (cfg_label cfg))
+                true
+                (target_ranked = reference))
+            grid)
+        [ 0; 5 ])
+
+let test_falcon_hd_stop_rejected () =
+  with_falcon_store ~leakage:`Hd ~traces:16 (fun dir ->
+      Alcotest.(check bool)
+        "supports_stop hw" true
+        (Attack.Target.Falcon.supports_stop `Hw);
+      Alcotest.(check bool)
+        "supports_stop hd" false
+        (Attack.Target.Falcon.supports_stop `Hd);
+      let reader = Tracestore.Reader.open_store dir in
+      match
+        Attack.Target.Falcon.recover_store ~leakage:`Hd
+          ~stop:(Sequential.Decision.spec ~alpha:1e-3 ())
+          ~dir reader
+      with
+      | _ -> Alcotest.fail "?stop under `Hd was accepted"
+      | exception Invalid_argument _ -> ())
+
+(* {2 Target contract properties} *)
+
+let seq_length s = Seq.fold_left (fun n _ -> n + 1) 0 s
+
+let test_falcon_totality () =
+  let count = Attack.Target.Falcon.guess_count ~n:falcon_n ~unit_index:3 ~prev:[||] in
+  Alcotest.(check int)
+    "declared low-phase space is 2^25"
+    (1 lsl Attack.Recover.mantissa_low_width)
+    count;
+  Alcotest.(check int)
+    "guess_space enumerates exactly guess_count values" count
+    (seq_length (Attack.Target.Falcon.guess_space ~n:falcon_n ~unit_index:3 ~prev:[||]))
+
+let prop_hqc_totality =
+  QCheck.Test.make ~count:200 ~name:"hqc enumerator totality + truth coverage"
+    QCheck.(pair (int_range 0 (Hqc.Params.weight - 1)) small_int)
+    (fun (j, s) ->
+      let secret = Hqc.keygen ~seed:s in
+      let prev = Array.sub secret 0 j in
+      let n = Hqc.Params.n_bits in
+      let space =
+        List.of_seq (Attack.Target.Hqc.guess_space ~n ~unit_index:j ~prev)
+      in
+      List.length space = Attack.Target.Hqc.guess_count ~n ~unit_index:j ~prev
+      && List.mem secret.(j) space
+      && List.for_all
+           (fun g ->
+             g >= 0 && g < n && (j = 0 || g > prev.(j - 1)))
+           space)
+
+let prop_falcon_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"falcon winners_of_key o key_of_winners = id"
+    QCheck.(
+      list_of_size
+        (Gen.return (2 * falcon_n))
+        (int_bound ((1 lsl Attack.Recover.mantissa_low_width) - 1)))
+    (fun l ->
+      let w = Array.of_list l in
+      Attack.Target.Falcon.winners_of_key ~n:falcon_n
+        (Attack.Target.Falcon.key_of_winners ~n:falcon_n w)
+      = Some w)
+
+let prop_hqc_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"hqc winners_of_key o key_of_winners = id"
+    QCheck.small_int (fun s ->
+      let w = Hqc.keygen ~seed:s in
+      Attack.Target.Hqc.winners_of_key ~n:Hqc.Params.n_bits
+        (Attack.Target.Hqc.key_of_winners ~n:Hqc.Params.n_bits w)
+      = Some w)
+
+let test_winners_of_key_rejects () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "falcon rejects %S" s)
+        true
+        (Attack.Target.Falcon.winners_of_key ~n:falcon_n s = None))
+    [ ""; "FALCOND1 "; "NOTAKEY1 0000001"; "FALCOND1 xyz"; "FALCOND1 0000001" ];
+  Alcotest.(check bool)
+    "hqc rejects garbage" true
+    (Attack.Target.Hqc.winners_of_key ~n:Hqc.Params.n_bits "garbage" = None)
+
+(* split prep/eval factorisation: Model.apply of every HQC part equals
+   the direct plain-model intermediate, which in turn equals the
+   documented accumulator law *)
+let prop_hqc_split_equivalence =
+  QCheck.Test.make ~count:300 ~name:"hqc split model = plain model = accumulator"
+    QCheck.(triple (int_range 0 (Hqc.Params.weight - 1)) small_int small_int)
+    (fun (j, s, us) ->
+      let secret = Hqc.keygen ~seed:s in
+      let prev = Array.sub secret 0 j in
+      let rng = Stats.Rng.create ~seed:us in
+      let u =
+        Stats.Rng.int_below rng (1 lsl Hqc.Params.word_bits)
+        lor (Stats.Rng.int_below rng (1 lsl Hqc.Params.word_bits)
+            lsl Hqc.Params.word_bits)
+      in
+      let g = secret.(j) in
+      List.for_all
+        (fun leakage ->
+          let parts =
+            Attack.Target.Hqc.parts ~leakage ~n:Hqc.Params.n_bits ~unit_index:j
+              ~prev
+          in
+          List.length parts = Hqc.Params.words
+          && List.for_all2
+               (fun w (sample, m) ->
+                 let direct =
+                   match leakage with
+                   | `Hw -> Hqc.m_acc ~prefix:prev ~word:w g u
+                   | `Hd -> Hqc.m_rot ~word:w g u
+                 in
+                 let law =
+                   match leakage with
+                   | `Hw ->
+                       Hqc.word w
+                         (Hqc.accumulator
+                            (Array.append prev [| g |])
+                            ~prefix_len:(j + 1) u)
+                   | `Hd -> Hqc.word w (Hqc.rotate u g)
+                 in
+                 sample = (j * Hqc.Params.words) + w
+                 && Attack.Hypothesis.Model.apply m g u = direct
+                 && direct = law
+                 &&
+                 match m with
+                 | Attack.Hypothesis.Model.Split (prep, eval) ->
+                     eval g (prep u) = direct
+                 | Attack.Hypothesis.Model.Fn _ -> false)
+               (List.init Hqc.Params.words Fun.id)
+               parts)
+        [ `Hw; `Hd ])
+
+(* the FALCON parts keep Recover's split models split through the
+   contramap, and apply identically to the hand-built set on real
+   captured traces *)
+let test_falcon_model_equivalence () =
+  let sk, _ = Falcon.Scheme.keygen ~n:falcon_n ~seed:"target model test" in
+  let model = { Leakage.default_model with noise_sigma = 0.3 } in
+  let traces = Leakage.capture model ~seed:3 sk ~count:4 in
+  let rng = Stats.Rng.create ~seed:4 in
+  List.iter
+    (fun leakage ->
+      List.iter
+        (fun unit_index ->
+          let target_parts =
+            Attack.Target.Falcon.parts ~leakage ~n:falcon_n ~unit_index ~prev:[||]
+          in
+          let hand = hand_parts ~leakage unit_index in
+          Alcotest.(check int)
+            "same part count"
+            (List.length hand) (List.length target_parts);
+          List.iter2
+            (fun (s1, m1) (s2, m2) ->
+              Alcotest.(check int) "same sample index" s1 s2;
+              (match (m1, m2) with
+              | Attack.Hypothesis.Model.Split _, Attack.Hypothesis.Model.Split _
+              | Attack.Hypothesis.Model.Fn _, Attack.Hypothesis.Model.Fn _ ->
+                  ()
+              | _ -> Alcotest.fail "contramap changed the model shape");
+              for _ = 1 to 16 do
+                let g = Stats.Rng.bits rng Attack.Recover.mantissa_low_width in
+                Array.iter
+                  (fun t ->
+                    if
+                      Attack.Hypothesis.Model.apply m1 g t
+                      <> Attack.Hypothesis.Model.apply m2 g t
+                    then Alcotest.fail "model values diverge")
+                  traces
+              done)
+            hand target_parts)
+        [ 0; 5 ])
+    [ `Hw; `Hd ]
+
+(* {2 HQC end-to-end} *)
+
+let with_hqc_store ?(leakage = `Hw) f =
+  let dir = Filename.temp_dir "fd_target_hqc" "" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      Attack.Target.Hqc.record_store ~leakage ~dir ~n:Hqc.Params.n_bits
+        ~traces:220 ~noise:0.6 ~seed:11 ~shard_traces:64 ();
+      f dir)
+
+let hqc_recover ?stop ?leakage dir cfg =
+  let _, _, prefetch = cfg in
+  Attack.Target.Hqc.recover_store ~ctx:(ctx_of cfg) ?stop ?leakage ~prefetch ~dir
+    (Tracestore.Reader.open_store dir)
+
+let test_hqc_e2e_determinism () =
+  with_hqc_store (fun dir ->
+      let truth = Attack.Target.Hqc.truth ~n:Hqc.Params.n_bits ~dir in
+      let reference = hqc_recover dir (1, Stats.Pearson.Batch.Scalar, false) in
+      Alcotest.(check bool) "recovers the secret" true
+        reference.Attack.Target.success;
+      Alcotest.(check string) "witness = encoded sidecar truth"
+        (Attack.Target.Hqc.key_of_winners ~n:Hqc.Params.n_bits truth)
+        reference.Attack.Target.witness;
+      Alcotest.(check int) "all units attacked" Hqc.Params.weight
+        reference.Attack.Target.units;
+      List.iter
+        (fun cfg ->
+          Alcotest.(check bool)
+            (cfg_label cfg ^ ": outcome bit-identical")
+            true
+            (hqc_recover dir cfg = reference))
+        grid)
+
+let test_hqc_stop_parity () =
+  with_hqc_store (fun dir ->
+      let stop = Sequential.Decision.spec ~alpha:1e-3 () in
+      let reference =
+        hqc_recover ~stop dir (1, Stats.Pearson.Batch.Scalar, false)
+      in
+      Alcotest.(check bool) "adaptive run recovers the secret" true
+        reference.Attack.Target.success;
+      (match reference.Attack.Target.stop with
+      | None -> Alcotest.fail "no stopping summary from the adaptive run"
+      | Some s ->
+          Alcotest.(check int) "one decision per unit" Hqc.Params.weight
+            (Array.length s.Sequential.Campaign.traces_used));
+      List.iter
+        (fun cfg ->
+          Alcotest.(check bool)
+            (cfg_label cfg ^ ": stops and winners bit-identical")
+            true
+            (hqc_recover ~stop dir cfg = reference))
+        grid)
+
+let test_hqc_hd_acceptance () =
+  (* hqc stops under both leakage families (the HD hypothesis is
+     prefix-free), and an hd-recorded store is recovered under the hd
+     model — including adaptively *)
+  Alcotest.(check bool) "supports_stop hw" true
+    (Attack.Target.Hqc.supports_stop `Hw);
+  Alcotest.(check bool) "supports_stop hd" true
+    (Attack.Target.Hqc.supports_stop `Hd);
+  with_hqc_store ~leakage:`Hd (fun dir ->
+      let o =
+        hqc_recover ~leakage:`Hd dir (2, Stats.Pearson.Batch.Batched, true)
+      in
+      Alcotest.(check bool) "hd store + hd model recovers" true
+        o.Attack.Target.success;
+      let o_stop =
+        hqc_recover
+          ~stop:(Sequential.Decision.spec ~alpha:1e-3 ())
+          ~leakage:`Hd dir
+          (1, Stats.Pearson.Batch.Scalar, false)
+      in
+      Alcotest.(check bool) "hd adaptive run recovers" true
+        o_stop.Attack.Target.success;
+      Alcotest.(check string) "hd adaptive witness agrees"
+        o.Attack.Target.witness o_stop.Attack.Target.witness)
+
+let test_hqc_hd_rejection () =
+  (* the mismatched model must not reconstruct the secret from an
+     hw-recorded campaign *)
+  with_hqc_store ~leakage:`Hw (fun dir ->
+      let o = hqc_recover ~leakage:`Hd dir (1, Stats.Pearson.Batch.Scalar, false) in
+      Alcotest.(check bool) "hw store + hd model fails" false
+        o.Attack.Target.success)
+
+let test_hqc_rejects_falcon_store () =
+  with_falcon_store ~traces:16 (fun dir ->
+      match hqc_recover dir (1, Stats.Pearson.Batch.Scalar, false) with
+      | _ -> Alcotest.fail "hqc recover accepted a FALCON store"
+      | exception Failure _ -> ())
+
+(* {2 Registry} *)
+
+let test_registry () =
+  Alcotest.(check (list string)) "names" [ "falcon"; "hqc" ] Attack.Target.names;
+  List.iter
+    (fun n ->
+      match Attack.Target.find n with
+      | Some (module T : Attack.Target.S) ->
+          Alcotest.(check string) "find returns the named target" n T.name
+      | None -> Alcotest.failf "target %s not found" n)
+    Attack.Target.names;
+  Alcotest.(check bool) "unknown target absent" true
+    (Attack.Target.find "kyber" = None)
+
+let suite =
+  [
+    Alcotest.test_case "falcon parity vs golden path (hw)" `Slow
+      (check_falcon_parity `Hw);
+    Alcotest.test_case "falcon parity vs golden path (hd)" `Slow
+      (check_falcon_parity `Hd);
+    Alcotest.test_case "falcon ranking parity: Target.parts vs hand-built" `Slow
+      test_falcon_ranking_parity;
+    Alcotest.test_case "falcon rejects ?stop under hd" `Quick
+      test_falcon_hd_stop_rejected;
+    Alcotest.test_case "falcon enumerator totality" `Quick test_falcon_totality;
+    QCheck_alcotest.to_alcotest prop_hqc_totality;
+    QCheck_alcotest.to_alcotest prop_falcon_roundtrip;
+    QCheck_alcotest.to_alcotest prop_hqc_roundtrip;
+    Alcotest.test_case "winners_of_key rejects malformed keys" `Quick
+      test_winners_of_key_rejects;
+    QCheck_alcotest.to_alcotest prop_hqc_split_equivalence;
+    Alcotest.test_case "falcon model equivalence + split preservation" `Quick
+      test_falcon_model_equivalence;
+    Alcotest.test_case "hqc end-to-end determinism" `Quick
+      test_hqc_e2e_determinism;
+    Alcotest.test_case "hqc early-stop parity across configurations" `Quick
+      test_hqc_stop_parity;
+    Alcotest.test_case "hqc hd acceptance (store + adaptive)" `Quick
+      test_hqc_hd_acceptance;
+    Alcotest.test_case "hqc hd rejection on an hw store" `Quick
+      test_hqc_hd_rejection;
+    Alcotest.test_case "hqc rejects a falcon store" `Quick
+      test_hqc_rejects_falcon_store;
+    Alcotest.test_case "registry" `Quick test_registry;
+  ]
