@@ -1483,53 +1483,114 @@ let countermeasures () =
   Printf.printf "masking overhead: %.2fx events per multiply\n"
     Defense.Masking.overhead_factor
 
+(* Section V-A + GALACTICS — the profiled template distinguisher.
+   Trains a template store on a cloned-device campaign (Target.profile
+   streaming over shards, reporting throughput), cracks the victim
+   store end to end under [Profiled] with a jobs x prefetch determinism
+   probe, and compares profiled vs unprofiled MTD on a matched-sigma
+   unprotected victim (Assess.Metrics over the same campaign under both
+   backends).  Emits one JSON row (BENCH_profiled.json) which
+   check-bench gates on (profiled MTD <= unprofiled MTD, bit-identical
+   recoveries across the probe). *)
 let profiled () =
-  section "Section V-A — profiled (template) attack vs non-profiled DEMA";
-  (* harder conditions than the default so the gap is visible *)
-  let hard = { model with Leakage.noise_sigma = 3. *. noise } in
-  let prof_secret = Fpr.make ~sign:0 ~exp:1028 ~mant:0x9B72E4D1C35A7 in
-  let prof_view =
-    let rng = Stats.Rng.create ~seed:(seed + 41) in
-    let ys =
-      Attack.Workload.known_inputs ~n:64 ~coeff:5 ~component:`Re ~count:4000
-        ~seed:(Printf.sprintf "profiling %d" seed)
-    in
-    Attack.Workload.mul_views hard rng ~x:prof_secret ~known:ys
+  section "Section V-A / GALACTICS — profiled template distinguisher";
+  let tmp = Filename.get_temp_dir_name () in
+  let module F = Attack.Target.Falcon in
+  let n = full_n in
+  let count = max 64 (min trace_budget 2000) in
+  let shard = max 1 ((count + 3) / 4) in
+  let clone = Filename.concat tmp "fd_bench_profiled_clone" in
+  let victim = Filename.concat tmp "fd_bench_profiled_victim" in
+  rm_store clone;
+  rm_store victim;
+  (* clone device: same acquisition knobs, a different key *)
+  F.record_store ~dir:clone ~n ~traces:count ~noise ~seed:(seed + 4099)
+    ~shard_traces:shard ();
+  F.record_store ~dir:victim ~n ~traces:count ~noise ~seed ~shard_traces:shard ();
+  let t0 = Unix.gettimeofday () in
+  let store =
+    Attack.Target.profile
+      ~ctx:(Attack.Ctx.make ~jobs ())
+      (module F) ~dir:clone
+      (Tracestore.Reader.open_store clone)
   in
-  let tpl = Attack.Template.profile prof_view ~secret:prof_secret in
-  Printf.printf "noise sigma %.1f (3x default); profiled on 4000 traces of a different key\n"
-    hard.Leakage.noise_sigma;
-  Printf.printf "traces | non-profiled success | template success (3 trials each)\n";
-  Printf.printf "-------+----------------------+----------------------------------\n";
-  List.iter
-    (fun count ->
-      let trial t =
-        let v1, v2 =
-          let rng = Stats.Rng.create ~seed:(seed + 42 + (100 * t)) in
-          let pairs =
-            Attack.Workload.known_input_pairs ~n:64 ~coeff:5 ~count
-              ~seed:(Printf.sprintf "tmpl attack %d %d" seed t)
-          in
-          Attack.Workload.mul_view_pair hard rng ~x:paper_coeff ~known_pairs:pairs
-        in
-        let strat k =
-          Attack.Recover.Eval_sampled
-            { rng = Stats.Rng.create ~seed:(seed + k + t); decoys = 512;
-              truth = paper_coeff }
-        in
-        ( (if Attack.Recover.coefficient ~strategy:(strat 43) [ v1; v2 ] = paper_coeff
-           then 1
-           else 0),
-          if Attack.Template.coefficient tpl ~strategy:(strat 44) [ v1; v2 ]
-             = paper_coeff
-          then 1
-          else 0 )
-      in
-      let results = List.map trial [ 0; 1; 2 ] in
-      let p = List.fold_left (fun a (x, _) -> a + x) 0 results in
-      let tm = List.fold_left (fun a (_, x) -> a + x) 0 results in
-      Printf.printf "%6d | %d / 3                | %d / 3\n%!" count p tm)
-    [ 100; 200; 400; 800; 1600; 3200 ]
+  let train_s = Unix.gettimeofday () -. t0 in
+  let train_tps = float_of_int count /. train_s in
+  Printf.printf "train: %s\n       %d traces in %.2fs (%.0f traces/s)\n%!"
+    (Attack.Profile.describe store) count train_s train_tps;
+  let crack (j, pf) =
+    let reader = Tracestore.Reader.open_store victim in
+    F.recover_store
+      ~ctx:
+        (Attack.Ctx.make ~jobs:j
+           ~distinguisher:(Attack.Distinguisher.Profiled store)
+           ~prefetch:pf ())
+      ~dir:victim reader
+  in
+  let o0 = crack (1, false) in
+  let deterministic =
+    List.for_all (fun cfg -> crack cfg = o0) [ (2, false); (2, true) ]
+  in
+  Printf.printf
+    "profiled full-key recovery: success %b (%d traces); bit-identical across \
+     jobs x prefetch: %b\n%!"
+    o0.Attack.Target.success o0.Attack.Target.traces deterministic;
+  rm_store clone;
+  rm_store victim;
+  (* matched-sigma MTD: the same unprotected victim campaign evaluated
+     under the unprofiled and profiled backends; the profiled templates
+     come from a cloned campaign with a different secret and seed *)
+  let budget = max 200 (min trace_budget 500) in
+  let experiments = 2 in
+  let mseed = seed + 7 in
+  let secret =
+    Assess.Campaign.secret_operand (Stats.Rng.create ~seed:(mseed lxor 0x5eed))
+  in
+  let entries =
+    Assess.Campaign.generate ~p_fixed:1.0 `None ~noise ~secret
+      ~count:(budget * experiments) ~seed:mseed
+  in
+  let cseed = mseed + 4099 in
+  let csecret =
+    Assess.Campaign.secret_operand (Stats.Rng.create ~seed:(cseed lxor 0x5eed))
+  in
+  let centries =
+    Assess.Campaign.generate ~p_fixed:1.0 `None ~noise ~secret:csecret
+      ~count:(budget * experiments) ~seed:cseed
+  in
+  let base = Attack.Ctx.make ~jobs () in
+  let mstore =
+    Assess.Metrics.profile_entries ~ctx:base ~defense:`None ~truth:csecret
+      centries
+  in
+  let eval ctx =
+    Assess.Metrics.of_entries ~ctx ~defense:`None ~truth:secret ~experiments
+      ~decoys:128 ~seed:(Assess.Metrics.derived_seed mseed) entries
+  in
+  let unprofiled = eval base in
+  let prof =
+    eval (Attack.Ctx.with_backend (Attack.Distinguisher.Profiled mstore) base)
+  in
+  let mtd_of (o : Assess.Metrics.outcome) =
+    match o.Assess.Metrics.mtd with Some d -> d | None -> 0
+  in
+  let unprofiled_mtd = mtd_of unprofiled and profiled_mtd = mtd_of prof in
+  let show = function 0 -> "not disclosed" | d -> string_of_int d in
+  Printf.printf
+    "matched sigma %.2f, %d traces x %d experiments: unprofiled MTD %s, \
+     profiled MTD %s\n%!"
+    noise budget experiments (show unprofiled_mtd) (show profiled_mtd);
+  let oc = open_out "BENCH_profiled.json" in
+  Printf.fprintf oc
+    "{\"schema\":\"falcon-down/bench-profiled/v1\",\"section\":\"profiled\",\
+     \"n\":%d,\"jobs\":%d,\"sigma\":%.3f,\"traces\":%d,\"train_traces\":%d,\
+     \"train_s\":%.4f,\"train_tps\":%.1f,\"recover_success\":%b,\
+     \"deterministic\":%b,\"experiments\":%d,\"profiled_mtd\":%d,\
+     \"unprofiled_mtd\":%d}\n"
+    n jobs noise budget count train_s train_tps o0.Attack.Target.success
+    deterministic experiments profiled_mtd unprofiled_mtd;
+  close_out oc;
+  Printf.printf "wrote BENCH_profiled.json\n"
 
 let () =
   Printf.printf

@@ -154,12 +154,13 @@ let cmd_metrics store defense noise budget experiments decoys seed stop_alpha fl
 (* {2 matrix} *)
 
 let print_cell (c : Assess.Matrix.cell) =
-  Printf.printf "%-6s %-8s sigma %-5g budget %-6d %-17s sr %.2f ge %6.2f mtd %-6s \
-                 max|t1| %8.2f max|t2| %8.2f %s\n%!"
+  Printf.printf "%-6s %-8s sigma %-5g budget %-6d %-17s %-8s sr %.2f ge %6.2f \
+                 mtd %-6s max|t1| %8.2f max|t2| %8.2f %s\n%!"
     c.Assess.Matrix.target
     (Assess.Campaign.name c.Assess.Matrix.defense)
     c.Assess.Matrix.sigma c.Assess.Matrix.budget
     (Assess.Campaign.condition_name c.Assess.Matrix.condition)
+    c.Assess.Matrix.distinguisher
     c.Assess.Matrix.outcome.Assess.Metrics.success_rate
     c.Assess.Matrix.outcome.Assess.Metrics.guessing_entropy
     (match c.Assess.Matrix.outcome.Assess.Metrics.mtd with
@@ -168,16 +169,17 @@ let print_cell (c : Assess.Matrix.cell) =
     c.Assess.Matrix.max_t1 c.Assess.Matrix.max_t2
     (if c.Assess.Matrix.first_order_leak then "LEAK" else "quiet")
 
-let cmd_matrix tiny targets sigmas budgets conditions experiments decoys seed out
-    flags =
+let cmd_matrix tiny targets sigmas budgets conditions distinguishers experiments
+    decoys seed out flags =
   Cli_common.run flags @@ fun ctx ->
   let conditions = List.map Assess.Campaign.condition_of_name conditions in
   let report =
     if tiny then
-      Assess.Matrix.tiny ~ctx ~targets ~conditions ~progress:print_cell ~seed ()
+      Assess.Matrix.tiny ~ctx ~targets ~conditions ~distinguishers
+        ~progress:print_cell ~seed ()
     else
-      Assess.Matrix.run ~ctx ~targets ~conditions ~progress:print_cell ~sigmas
-        ~budgets ~experiments ~decoys ~seed ()
+      Assess.Matrix.run ~ctx ~targets ~conditions ~distinguishers
+        ~progress:print_cell ~sigmas ~budgets ~experiments ~decoys ~seed ()
   in
   let json = Assess.Matrix.to_json report in
   let json_path = out ^ ".json" and csv_path = out ^ ".csv" in
@@ -472,6 +474,56 @@ let check_target_bench err j =
        deterministic)"
       (num "hqc_sr") (num "falcon_rank_ratio")
 
+(* falcon-down/bench-profiled/v1 (BENCH_profiled.json): the profiled
+   template distinguisher.  On the matched-sigma unprotected victim the
+   profiled MTD must be at or below the unprofiled (Pearson) MTD, the
+   profiled rankings must be bit-identical across the jobs x prefetch
+   probe, and the template trainer must report its throughput. *)
+let check_profiled_bench err j =
+  List.iter
+    (fun k ->
+      match Option.bind (Assess.Json.member k j) Assess.Json.to_int_opt with
+      | Some v when v > 0 -> ()
+      | Some v -> err (Printf.sprintf "field %S is %d, want a positive int" k v)
+      | None -> err (Printf.sprintf "missing int field %S" k))
+    [ "n"; "traces"; "jobs"; "train_traces"; "profiled_mtd"; "unprofiled_mtd" ];
+  List.iter
+    (fun k ->
+      match Option.bind (Assess.Json.member k j) Assess.Json.to_number_opt with
+      | Some v when Float.is_finite v && v >= 0. -> ()
+      | Some v ->
+          err (Printf.sprintf "field %S is %g, want a finite non-negative number" k v)
+      | None -> err (Printf.sprintf "missing number field %S" k))
+    [ "sigma"; "train_s"; "train_tps" ];
+  (match Option.bind (Assess.Json.member "deterministic" j) Assess.Json.to_bool_opt with
+  | Some true -> ()
+  | Some false ->
+      err
+        "deterministic is false — profiled rankings diverged across the jobs x \
+         prefetch probe"
+  | None -> err "missing bool field \"deterministic\"");
+  (match
+     ( Option.bind (Assess.Json.member "profiled_mtd" j) Assess.Json.to_int_opt,
+       Option.bind (Assess.Json.member "unprofiled_mtd" j) Assess.Json.to_int_opt )
+   with
+  | Some p, Some u when p > 0 && u > 0 && p > u ->
+      err
+        (Printf.sprintf
+           "profiled_mtd %d exceeds unprofiled_mtd %d — the template attack \
+            needs more traces than unprofiled CPA on the unprotected victim"
+           p u)
+  | _ -> ());
+  fun () ->
+    let num k =
+      match Option.bind (Assess.Json.member k j) Assess.Json.to_number_opt with
+      | Some v -> v
+      | None -> assert false
+    in
+    Printf.sprintf
+      "valid falcon-down/bench-profiled/v1 report (profiled MTD %g <= unprofiled \
+       %g, train %.0f traces/s, deterministic)"
+      (num "profiled_mtd") (num "unprofiled_mtd") (num "train_tps")
+
 let cmd_check_bench json_path =
   with_errors @@ fun () ->
   let j = Assess.Json.of_string (read_file json_path) in
@@ -483,13 +535,15 @@ let cmd_check_bench json_path =
     | Some "falcon-down/bench-sequential/v1" -> check_sequential_bench err j
     | Some "falcon-down/bench-leakage/v1" -> check_leakage_bench err j
     | Some "falcon-down/bench-target/v1" -> check_target_bench err j
+    | Some "falcon-down/bench-profiled/v1" -> check_profiled_bench err j
     | Some s ->
         err
           (Printf.sprintf
              "schema is %S, want \"falcon-down/bench-pearson/v1\", \
               \"falcon-down/bench-sequential/v1\", \
-              \"falcon-down/bench-leakage/v1\" or \
-              \"falcon-down/bench-target/v1\""
+              \"falcon-down/bench-leakage/v1\", \
+              \"falcon-down/bench-target/v1\" or \
+              \"falcon-down/bench-profiled/v1\""
              s);
         fun () -> ""
     | None ->
@@ -610,6 +664,20 @@ let targets_arg =
            default $(b,falcon) reproduces the pre-target-axis matrix cell \
            for cell.")
 
+let distinguishers_arg =
+  Arg.(
+    value
+    & opt (list string) [ "pearson" ]
+    & info [ "distinguishers" ] ~docv:"D1,D2,..."
+        ~doc:
+          "Distinguisher grid axis: comma-separated names from $(b,pearson) \
+           (unprofiled CPA) and $(b,profiled) (template attack trained on a \
+           cloned-device campaign — see attack_cli profile).  Both cells of a \
+           grid point attack the same victim campaign, so \
+           $(b,pearson,profiled) reports profiled MTD next to the unprofiled \
+           curve per countermeasure.  The default $(b,pearson) reproduces the \
+           pre-axis matrix cell for cell.")
+
 let tiny_arg =
   Arg.(
     value
@@ -632,7 +700,8 @@ let matrix_cmd =
           schema after writing)")
     Term.(
       const cmd_matrix $ tiny_arg $ targets_arg $ sigmas_arg $ budgets_arg
-      $ conditions_arg $ experiments_arg $ decoys_arg $ seed_arg $ out_arg $ flags)
+      $ conditions_arg $ distinguishers_arg $ experiments_arg $ decoys_arg
+      $ seed_arg $ out_arg $ flags)
 
 let json_arg =
   Arg.(
@@ -676,8 +745,10 @@ let check_bench_cmd =
           points across jobs/backends and mean traces-to-decision at most half \
           the fixed budget; BENCH_target.json needs HQC full-recovery SR >= 0.9 \
           with a deterministic witness and the FALCON rank through Target.parts \
-          bit-identical within 5%% of its hand-built throughput; exit 1 \
-          otherwise")
+          bit-identical within 5%% of its hand-built throughput; \
+          BENCH_profiled.json needs profiled MTD at or below the unprofiled MTD \
+          on the matched-sigma unprotected victim and rankings bit-identical \
+          across the jobs x prefetch probe; exit 1 otherwise")
     Term.(const cmd_check_bench $ bench_json_arg)
 
 let () =

@@ -162,6 +162,30 @@ let crack_target (module T : Attack.Target.S) dir leakage until_confident alpha
     if o.success then 0 else 1
   end
 
+(* Profiling phase of the GALACTICS-style template attack: train
+   per-intermediate Gaussian templates on a cloned-device campaign whose
+   ground-truth sidecars the store carries, and persist them for
+   `crack --backend profiled --templates PATH`. *)
+let cmd_profile target dir out leakage npoi ndim max_traces flags =
+  Cli_common.run flags @@ fun ctx ->
+  match Attack.Target.find target with
+  | None ->
+      prerr_endline ("unknown --target " ^ target);
+      1
+  | Some t ->
+      let reader = Cli_common.open_store flags dir in
+      let module T = (val t : Attack.Target.S) in
+      Printf.printf "profiling %d traces (%d shards) of a %s campaign from %s\n%!"
+        (Tracestore.Reader.total_traces reader)
+        (Tracestore.Reader.shard_count reader)
+        T.name dir;
+      let store =
+        Attack.Target.profile ~ctx ~leakage ?npoi ?ndim ?max_traces t ~dir reader
+      in
+      Attack.Profile.save out store;
+      Printf.printf "wrote %s: %s\n" out (Attack.Profile.describe store);
+      0
+
 let cmd_crack target input store leakage until_confident alpha max_traces flags =
   Cli_common.run flags @@ fun ctx ->
   (if leakage = `Hd then
@@ -328,8 +352,47 @@ let crack_cmd =
       const cmd_crack $ Cli_common.target_arg $ in_arg $ store_arg $ leakage_arg
       $ until_confident_arg $ alpha_arg $ max_traces_arg $ flags)
 
+let profile_store_arg =
+  Cli_common.store_default_arg
+    ~doc:
+      "Sharded profiling campaign recorded on the cloned device (with its \
+       ground-truth key sidecars, as trace_cli record writes them)."
+
+let profile_out_arg =
+  Arg.(
+    value
+    & opt string "templates.bin"
+    & info [ "o"; "out" ] ~docv:"PATH"
+        ~doc:"Template store to write (the $(b,--templates) input of crack).")
+
+let npoi_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "npoi" ] ~docv:"K"
+        ~doc:"Points of interest per template (default 8).")
+
+let ndim_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "ndim" ] ~docv:"R"
+        ~doc:"LDA output dimensions per template (default 3).")
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Train profiled Gaussian templates on a cloned-device campaign with \
+          known key")
+    Term.(
+      const cmd_profile $ Cli_common.target_arg $ profile_store_arg
+      $ profile_out_arg $ leakage_arg $ npoi_arg $ ndim_arg $ max_traces_arg
+      $ flags)
+
 let () =
   let doc = "Falcon Down side-channel attack driver" in
   exit
     (Cmd.eval'
-       (Cmd.group (Cmd.info "attack_cli" ~doc) [ run_cmd; coeff_cmd; capture_cmd; crack_cmd ]))
+       (Cmd.group (Cmd.info "attack_cli" ~doc)
+          [ run_cmd; coeff_cmd; capture_cmd; crack_cmd; profile_cmd ]))

@@ -13,9 +13,11 @@
    a backtrace.
 
    This module also hoists the flag parsing the four CLIs share: one
-   [Common_flags] record carries the worker-domain count, the Pearson
-   kernel backend and the observability sink selection, and [run] turns
-   it into an [Attack.Ctx.t] handed to the subcommand body. *)
+   [Common_flags] record carries the worker-domain count, the
+   distinguisher backend (including the profiled template backend and
+   its --templates store path) and the observability sink selection,
+   and [run] turns it into an [Attack.Ctx.t] handed to the subcommand
+   body. *)
 
 let ok = 0
 let data_error = 1
@@ -30,10 +32,16 @@ open Cmdliner
 
 type log = Off | Pretty | Jsonl of string
 
+(* The --backend enum covers every registered distinguisher: the two
+   Pearson kernels plus the profiled template backend, which needs a
+   --templates store to instantiate. *)
+type backend_flag = Auto | Scalar | Batched | Profiled
+
 module Common_flags = struct
   type t = {
     jobs : int;
-    backend : Stats.Pearson.Batch.backend option;  (* None = auto *)
+    backend : backend_flag;
+    templates : string option;  (* --templates PATH, required by Profiled *)
     log : log;
     log_level : Obs.level;
     mmap : [ `Auto | `Mmap | `Read ];
@@ -54,20 +62,31 @@ let jobs_arg =
 let backend_conv =
   Arg.enum
     [
-      ("auto", None);
-      ("scalar", Some Stats.Pearson.Batch.Scalar);
-      ("batched", Some Stats.Pearson.Batch.Batched);
+      ("auto", Auto);
+      ("scalar", Scalar);
+      ("batched", Batched);
+      ("profiled", Profiled);
     ]
 
 let backend_arg =
   Arg.(
     value
-    & opt backend_conv None
+    & opt backend_conv Auto
     & info [ "backend" ] ~docv:"KERNEL"
         ~doc:
-          "Pearson distinguisher kernel: $(b,auto) (the process default, \
-           honouring FD_PEARSON), $(b,scalar) or $(b,batched).  All three \
-           produce bit-identical rankings.")
+          "Distinguisher backend: $(b,auto) (the process default, honouring \
+           FD_PEARSON), $(b,scalar) or $(b,batched) (Pearson correlation — \
+           all three produce bit-identical rankings), or $(b,profiled) \
+           (Gaussian template log-likelihood; requires $(b,--templates)).")
+
+let templates_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "templates" ] ~docv:"PATH"
+        ~doc:
+          "Template store for $(b,--backend profiled), as written by \
+           $(b,attack_cli profile).")
 
 let log_conv =
   let parse s =
@@ -159,18 +178,19 @@ let on_corrupt_arg =
 
 let flags_term =
   Term.(
-    const (fun jobs backend log log_level mmap no_prefetch on_corrupt ->
+    const (fun jobs backend templates log log_level mmap no_prefetch on_corrupt ->
         {
           Common_flags.jobs;
           backend;
+          templates;
           log;
           log_level;
           mmap;
           prefetch = not no_prefetch;
           on_corrupt;
         })
-    $ jobs_arg $ backend_arg $ log_arg $ log_level_arg $ mmap_arg $ no_prefetch_arg
-    $ on_corrupt_arg)
+    $ jobs_arg $ backend_arg $ templates_arg $ log_arg $ log_level_arg $ mmap_arg
+    $ no_prefetch_arg $ on_corrupt_arg)
 
 (* Open a trace store honouring the shared --mmap / --on-corrupt flags.
    The [policy] on the reader handle matches --on-corrupt so policy-honouring
@@ -217,6 +237,24 @@ let target_arg =
 let store_default_arg ~doc =
   Arg.(value & opt string "campaign" & info [ "i"; "store" ] ~docv:"DIR" ~doc)
 
+(* Resolve the --backend / --templates pair into a distinguisher
+   selection.  --backend profiled without --templates is a
+   configuration error (exit 1 with a message naming both flags);
+   --templates with a Pearson backend is ignored deliberately so
+   scripts can hold the flag constant while sweeping backends. *)
+let distinguisher_of_flags (flags : Common_flags.t) =
+  match flags.Common_flags.backend with
+  | Auto -> Attack.Distinguisher.default ()
+  | Scalar -> Attack.Distinguisher.Pearson_scalar
+  | Batched -> Attack.Distinguisher.Pearson_batched
+  | Profiled -> (
+      match flags.Common_flags.templates with
+      | Some path -> Attack.Distinguisher.Profiled (Attack.Profile.load path)
+      | None ->
+          failwith
+            "--backend profiled needs --templates PATH (a template store \
+             written by `attack_cli profile`)")
+
 (* [run flags f] is the standard subcommand body wrapper: map expected
    exceptions to the data-error status, honour [-j] process-wide, build
    the execution context from the flags (sink lifetime included — the
@@ -241,12 +279,10 @@ let run (flags : Common_flags.t) f =
             close_out oc )
   in
   let ctx =
-    let base = Attack.Ctx.default () in
-    let base =
-      match flags.Common_flags.backend with
-      | Some b -> Attack.Ctx.with_backend b base
-      | None -> base
-    in
-    Attack.Ctx.with_obs obs base
+    Attack.Ctx.make
+      ~distinguisher:(distinguisher_of_flags flags)
+      ~obs
+      ~on_corrupt:flags.Common_flags.on_corrupt
+      ~prefetch:flags.Common_flags.prefetch ()
   in
   Fun.protect ~finally:finish (fun () -> f ctx)

@@ -4,6 +4,7 @@ type cell = {
   sigma : float;
   budget : int;
   condition : Campaign.condition;
+  distinguisher : string;
   outcome : Metrics.outcome;
   max_t1 : float;
   max_t1_sample : int;
@@ -23,22 +24,26 @@ type report = {
   sigmas : float list;
   budgets : int list;
   conditions : Campaign.condition list;
+  distinguishers : string list;
   cells : cell list;
 }
 
-let schema = "falcon-down/assess-matrix/v4"
+let schema = "falcon-down/assess-matrix/v5"
+let known_distinguishers = [ "pearson"; "profiled" ]
 
 (* Per-target grid shape: the defense and condition axes are FALCON
    acquisition knobs (countermeasure windows, device-model sweeps of
    the FFT multiplier); other targets evaluate sigma x budget with no
-   defense and the baseline condition.  The validator uses the same
-   function, so emitted reports and the checker cannot drift. *)
-let grid_size ~target ~defenses ~sigmas ~budgets ~conditions =
+   defense and the baseline condition.  Every target carries the
+   distinguisher axis.  The validator uses the same function, so
+   emitted reports and the checker cannot drift. *)
+let grid_size ~target ~defenses ~sigmas ~budgets ~conditions ~distinguishers =
+  let d = List.length distinguishers in
   match target with
   | "falcon" ->
       List.length defenses * List.length sigmas * List.length budgets
-      * List.length conditions
-  | _ -> List.length sigmas * List.length budgets
+      * List.length conditions * d
+  | _ -> List.length sigmas * List.length budgets * d
 
 let maybe_realign ~ctx (condition : Campaign.condition) defense entries =
   fst (Campaign.realign_entries ~ctx condition defense entries)
@@ -116,8 +121,70 @@ let known_target t =
       T.name = t)
     Attack.Target.all
 
+(* Profiled cells clone the device: a second campaign under the same
+   acquisition knobs but a different secret and seed trains the
+   template store ({!Metrics.profile_entries}); the victim campaign is
+   then evaluated under [Profiled store], so the profiled and pearson
+   cells of one grid point attack the exact same victim traces. *)
+let falcon_profiled_ctx ~ctx ~condition defense ~sigma ~budget ~experiments
+    ~seed =
+  let clone_seed = seed + 4099 in
+  let secret =
+    Campaign.secret_operand (Stats.Rng.create ~seed:(clone_seed lxor 0x5eed))
+  in
+  let entries =
+    Campaign.generate ~p_fixed:1.0 ~condition defense ~noise:sigma ~secret
+      ~count:(budget * experiments) ~seed:clone_seed
+  in
+  let store =
+    Metrics.profile_entries ~ctx ~condition ~defense ~truth:secret entries
+  in
+  Attack.Ctx.with_backend (Attack.Distinguisher.Profiled store) ctx
+
+(* The HQC clone: templates keyed on the per-unit accumulator word
+   block, classed by the chained hypothesis models applied to the
+   clone's true support (same construction as
+   {!Attack.Target.profile}, over in-memory captures). *)
+let hqc_profiled_ctx ~ctx ~sigma ~budget ~seed =
+  let n = Hqc.Params.n_bits in
+  let window = Hqc.Params.words in
+  let model = { Leakage.default_model with noise_sigma = sigma } in
+  let secret = Hqc.keygen ~seed:(seed lxor 0x5eed) in
+  let next = Hqc.capture_stream model ~seed secret in
+  let records = Array.init budget (fun _ -> next ()) in
+  let plan =
+    List.concat
+      (List.init Hqc.Params.weight (fun j ->
+           let prev = Array.sub secret 0 j in
+           List.map
+             (fun (s, m) ->
+               ( j * window,
+                 s - (j * window),
+                 Attack.Hypothesis.Model.apply m secret.(j) ))
+             (Attack.Target.Hqc.parts ~leakage:`Hw ~n ~unit_index:j ~prev)))
+  in
+  let targets =
+    Array.of_list
+      (List.sort_uniq compare (List.map (fun (_, t, _) -> t) plan))
+  in
+  let spec = Attack.Profile.default_spec ~window in
+  let feed add =
+    Array.iter
+      (fun (r : Tracestore.record) ->
+        let u = Hqc.u_of_record r in
+        List.iter
+          (fun (base, target, value) ->
+            add ~base ~target ~cls:(Bitops.popcount (value u))
+              r.Tracestore.samples)
+          plan)
+      records
+  in
+  let store = Attack.Profile.train spec ~targets feed in
+  Attack.Ctx.with_backend (Attack.Distinguisher.Profiled store) ctx
+
 let run ?ctx ?jobs ?(targets = [ "falcon" ]) ?(defenses = Campaign.all)
-    ?(conditions = [ Campaign.baseline_condition ]) ?(progress = fun _ -> ())
+    ?(conditions = [ Campaign.baseline_condition ])
+    ?(distinguishers = [ "pearson" ]) ?(progress = fun _ -> ())
     ~sigmas ~budgets ~experiments ~decoys ~seed () =
   let c = Attack.Ctx.resolve ?ctx ?jobs () in
   let obs = c.Attack.Ctx.obs in
@@ -131,12 +198,24 @@ let run ?ctx ?jobs ?(targets = [ "falcon" ]) ?(defenses = Campaign.all)
   if sigmas = [] then invalid_arg "Assess.Matrix: empty sigma grid";
   if budgets = [] then invalid_arg "Assess.Matrix: empty budget grid";
   if conditions = [] then invalid_arg "Assess.Matrix: empty condition axis";
+  if distinguishers = [] then
+    invalid_arg "Assess.Matrix: empty distinguisher axis";
+  List.iter
+    (fun d ->
+      if not (List.mem d known_distinguishers) then
+        invalid_arg (Printf.sprintf "Assess.Matrix: unknown distinguisher %S" d))
+    distinguishers;
   List.iter
     (fun s -> if s <= 0. then invalid_arg "Assess.Matrix: sigma must be positive")
     sigmas;
   List.iter
     (fun b -> if b < 8 then invalid_arg "Assess.Matrix: budget must be at least 8")
     budgets;
+  (* [idx] advances once per grid point; the distinguisher axis is the
+     innermost loop and shares the grid point's cell seed, so the
+     pearson and profiled cells evaluate the same victim campaign and
+     the default ["pearson"] axis reproduces the v4 seed schedule
+     bit-for-bit. *)
   let idx = ref 0 in
   let falcon_cells () =
     List.concat_map
@@ -145,49 +224,60 @@ let run ?ctx ?jobs ?(targets = [ "falcon" ]) ?(defenses = Campaign.all)
           (fun sigma ->
             List.concat_map
               (fun budget ->
-                List.map
+                List.concat_map
                   (fun condition ->
                     let cell_seed = seed + (1009 * !idx) in
                     incr idx;
-                    Obs.span obs "matrix.cell"
-                      ~fields:
-                        [
-                          ("target", Obs.Str "falcon");
-                          ("defense", Obs.Str (Campaign.name defense));
-                          ("sigma", Obs.Float sigma);
-                          ("budget", Obs.Int budget);
-                          ( "condition",
-                            Obs.Str (Campaign.condition_name condition) );
-                        ]
-                    @@ fun () ->
-                    let outcome =
-                      Metrics.run ~ctx:c ~condition
-                        { Metrics.defense; noise = sigma; budget; experiments;
-                          decoys; seed = cell_seed }
-                    in
-                    let max_t1, max_t1_sample, max_t2, rvr_max_t1 =
-                      assess_cell ~ctx:c ~condition defense ~sigma ~budget
-                        ~seed:(cell_seed + 17)
-                    in
-                    let cell =
-                      {
-                        target = "falcon";
-                        defense;
-                        sigma;
-                        budget;
-                        condition;
-                        outcome;
-                        max_t1;
-                        max_t1_sample;
-                        max_t2;
-                        rvr_max_t1;
-                        first_order_leak = max_t1 > Tvla.threshold;
-                        overhead = Campaign.overhead_factor defense;
-                        dilution = Campaign.dilution defense;
-                      }
-                    in
-                    progress cell;
-                    cell)
+                    List.map
+                      (fun dist ->
+                        Obs.span obs "matrix.cell"
+                          ~fields:
+                            [
+                              ("target", Obs.Str "falcon");
+                              ("defense", Obs.Str (Campaign.name defense));
+                              ("sigma", Obs.Float sigma);
+                              ("budget", Obs.Int budget);
+                              ( "condition",
+                                Obs.Str (Campaign.condition_name condition) );
+                              ("distinguisher", Obs.Str dist);
+                            ]
+                        @@ fun () ->
+                        let cell_ctx =
+                          if dist = "profiled" then
+                            falcon_profiled_ctx ~ctx:c ~condition defense
+                              ~sigma ~budget ~experiments ~seed:cell_seed
+                          else c
+                        in
+                        let outcome =
+                          Metrics.run ~ctx:cell_ctx ~condition
+                            { Metrics.defense; noise = sigma; budget;
+                              experiments; decoys; seed = cell_seed }
+                        in
+                        let max_t1, max_t1_sample, max_t2, rvr_max_t1 =
+                          assess_cell ~ctx:c ~condition defense ~sigma ~budget
+                            ~seed:(cell_seed + 17)
+                        in
+                        let cell =
+                          {
+                            target = "falcon";
+                            defense;
+                            sigma;
+                            budget;
+                            condition;
+                            distinguisher = dist;
+                            outcome;
+                            max_t1;
+                            max_t1_sample;
+                            max_t2;
+                            rvr_max_t1;
+                            first_order_leak = max_t1 > Tvla.threshold;
+                            overhead = Campaign.overhead_factor defense;
+                            dilution = Campaign.dilution defense;
+                          }
+                        in
+                        progress cell;
+                        cell)
+                      distinguishers)
                   conditions)
               budgets)
           sigmas)
@@ -196,44 +286,56 @@ let run ?ctx ?jobs ?(targets = [ "falcon" ]) ?(defenses = Campaign.all)
   let hqc_cells () =
     List.concat_map
       (fun sigma ->
-        List.map
+        List.concat_map
           (fun budget ->
             let cell_seed = seed + (1009 * !idx) in
             incr idx;
-            Obs.span obs "matrix.cell"
-              ~fields:
-                [
-                  ("target", Obs.Str "hqc");
-                  ("sigma", Obs.Float sigma);
-                  ("budget", Obs.Int budget);
-                ]
-            @@ fun () ->
-            let outcome =
-              Metrics.run_hqc ~ctx:c
-                { Metrics.noise = sigma; budget; experiments; seed = cell_seed }
-            in
-            let max_t1, max_t1_sample, max_t2, rvr_max_t1 =
-              assess_hqc_cell ~ctx:c ~sigma ~budget ~seed:(cell_seed + 17)
-            in
-            let cell =
-              {
-                target = "hqc";
-                defense = `None;
-                sigma;
-                budget;
-                condition = Campaign.baseline_condition;
-                outcome;
-                max_t1;
-                max_t1_sample;
-                max_t2;
-                rvr_max_t1;
-                first_order_leak = max_t1 > Tvla.threshold;
-                overhead = 1.;
-                dilution = 1;
-              }
-            in
-            progress cell;
-            cell)
+            List.map
+              (fun dist ->
+                Obs.span obs "matrix.cell"
+                  ~fields:
+                    [
+                      ("target", Obs.Str "hqc");
+                      ("sigma", Obs.Float sigma);
+                      ("budget", Obs.Int budget);
+                      ("distinguisher", Obs.Str dist);
+                    ]
+                @@ fun () ->
+                let cell_ctx =
+                  if dist = "profiled" then
+                    hqc_profiled_ctx ~ctx:c ~sigma ~budget
+                      ~seed:(cell_seed + 4099)
+                  else c
+                in
+                let outcome =
+                  Metrics.run_hqc ~ctx:cell_ctx
+                    { Metrics.noise = sigma; budget; experiments;
+                      seed = cell_seed }
+                in
+                let max_t1, max_t1_sample, max_t2, rvr_max_t1 =
+                  assess_hqc_cell ~ctx:c ~sigma ~budget ~seed:(cell_seed + 17)
+                in
+                let cell =
+                  {
+                    target = "hqc";
+                    defense = `None;
+                    sigma;
+                    budget;
+                    condition = Campaign.baseline_condition;
+                    distinguisher = dist;
+                    outcome;
+                    max_t1;
+                    max_t1_sample;
+                    max_t2;
+                    rvr_max_t1;
+                    first_order_leak = max_t1 > Tvla.threshold;
+                    overhead = 1.;
+                    dilution = 1;
+                  }
+                in
+                progress cell;
+                cell)
+              distinguishers)
           budgets)
       sigmas
   in
@@ -244,11 +346,11 @@ let run ?ctx ?jobs ?(targets = [ "falcon" ]) ?(defenses = Campaign.all)
       targets
   in
   { seed; experiments; decoys; targets; defenses; sigmas; budgets; conditions;
-    cells }
+    distinguishers; cells }
 
-let tiny ?ctx ?jobs ?targets ?conditions ?progress ~seed () =
-  run ?ctx ?jobs ?targets ?conditions ?progress ~sigmas:[ 0.5 ] ~budgets:[ 200 ]
-    ~experiments:2 ~decoys:24 ~seed ()
+let tiny ?ctx ?jobs ?targets ?conditions ?distinguishers ?progress ~seed () =
+  run ?ctx ?jobs ?targets ?conditions ?distinguishers ?progress
+    ~sigmas:[ 0.5 ] ~budgets:[ 200 ] ~experiments:2 ~decoys:24 ~seed ()
 
 (* {2 Serialisation} *)
 
@@ -260,6 +362,7 @@ let json_of_cell c =
       ("sigma", Json.Float c.sigma);
       ("budget", Json.Int c.budget);
       ("condition", Json.String (Campaign.condition_name c.condition));
+      ("distinguisher", Json.String c.distinguisher);
       ("experiments", Json.Int c.outcome.Metrics.experiments);
       ("success_rate", Json.Float c.outcome.Metrics.success_rate);
       ("guessing_entropy", Json.Float c.outcome.Metrics.guessing_entropy);
@@ -297,13 +400,16 @@ let to_json r =
           (List.map
              (fun c -> Json.String (Campaign.condition_name c))
              r.conditions) );
+      ( "distinguishers",
+        Json.List (List.map (fun d -> Json.String d) r.distinguishers) );
       ("cells", Json.List (List.map json_of_cell r.cells));
     ]
 
 let csv_header =
-  "target,defense,sigma,budget,condition,experiments,success_rate,\
-   guessing_entropy,ge_bits,mtd,mtd_found,mtd_conf,mtd_conf_found,max_t1,\
-   max_t1_sample,max_t2,rvr_max_t1,first_order_leak,overhead,dilution"
+  "target,defense,sigma,budget,condition,distinguisher,experiments,\
+   success_rate,guessing_entropy,ge_bits,mtd,mtd_found,mtd_conf,\
+   mtd_conf_found,max_t1,max_t1_sample,max_t2,rvr_max_t1,first_order_leak,\
+   overhead,dilution"
 
 let to_csv r =
   let buf = Buffer.create 1024 in
@@ -312,9 +418,10 @@ let to_csv r =
   List.iter
     (fun c ->
       Printf.bprintf buf
-        "%s,%s,%g,%d,%s,%d,%g,%g,%g,%s,%d,%s,%d,%g,%d,%g,%g,%b,%g,%d\n"
+        "%s,%s,%g,%d,%s,%s,%d,%g,%g,%g,%s,%d,%s,%d,%g,%d,%g,%g,%b,%g,%d\n"
         c.target (Campaign.name c.defense) c.sigma c.budget
-        (Campaign.condition_name c.condition) c.outcome.Metrics.experiments
+        (Campaign.condition_name c.condition) c.distinguisher
+        c.outcome.Metrics.experiments
         c.outcome.Metrics.success_rate c.outcome.Metrics.guessing_entropy
         c.outcome.Metrics.ge_bits
         (match c.outcome.Metrics.mtd with Some d -> string_of_int d | None -> "")
@@ -367,6 +474,12 @@ let validate_cell i j =
       | _ -> true
       | exception Failure _ -> false)
       (Printf.sprintf "%s: unknown condition %S" what cond)
+  in
+  let* dist = field what Json.to_string_opt j "distinguisher" in
+  let* () =
+    check
+      (List.mem dist known_distinguishers)
+      (Printf.sprintf "%s: unknown distinguisher %S" what dist)
   in
   let* experiments = field what Json.to_int_opt j "experiments" in
   let* () = check (experiments > 0) (what ^ ": experiments must be positive") in
@@ -453,11 +566,26 @@ let validate j =
                 Error (Printf.sprintf "report: unknown condition %S" s)))
       (Ok ()) conditions
   in
+  let* distinguishers = field "report" Json.to_list_opt j "distinguishers" in
+  let* () = check (distinguishers <> []) "report: empty distinguisher axis" in
+  let* () =
+    List.fold_left
+      (fun acc dj ->
+        let* () = acc in
+        match Json.to_string_opt dj with
+        | None -> Error "report: distinguisher axis entry is not a string"
+        | Some d ->
+            if List.mem d known_distinguishers then Ok ()
+            else Error (Printf.sprintf "report: unknown distinguisher %S" d))
+      (Ok ()) distinguishers
+  in
   let* cells = field "report" Json.to_list_opt j "cells" in
   let expected =
     List.fold_left
       (fun acc target ->
-        acc + grid_size ~target ~defenses ~sigmas ~budgets ~conditions)
+        acc
+        + grid_size ~target ~defenses ~sigmas ~budgets ~conditions
+            ~distinguishers)
       0 target_names
   in
   let* () =

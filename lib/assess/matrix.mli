@@ -8,7 +8,14 @@
     ({!Campaign.condition}) sweeps the device model (Hamming weight vs
     bus Hamming distance), clock jitter, and whether the {!Align}
     realignment pass runs before analysis — the model x alignment view
-    of the same grid.  Serialises to a machine-readable JSON report
+    of the same grid.  The distinguisher axis (["pearson"] vs
+    ["profiled"]) evaluates every grid point unprofiled and under a
+    profiled template store trained on a cloned device (same
+    acquisition knobs, different secret and seed — see
+    {!Metrics.profile_entries}), so the matrix reports profiled MTD
+    per countermeasure next to the unprofiled curve; both cells of one
+    grid point attack the exact same victim campaign.  Serialises to a
+    machine-readable JSON report
     (schema {!schema}) and a flat CSV; {!validate} checks a parsed
     report against the schema so emitted files can be verified end to
     end. *)
@@ -19,6 +26,7 @@ type cell = {
   sigma : float;
   budget : int;
   condition : Campaign.condition;
+  distinguisher : string;  (** ["pearson"] or ["profiled"] *)
   outcome : Metrics.outcome;
   max_t1 : float;  (** max first-order |t| over the assessed region *)
   max_t1_sample : int;
@@ -40,14 +48,19 @@ type report = {
   sigmas : float list;
   budgets : int list;
   conditions : Campaign.condition list;
+  distinguishers : string list;
   cells : cell list;
       (** row-major: target, then (for FALCON) defense, sigma, budget,
-          condition; non-FALCON targets contribute a sigma x budget
-          sub-grid with no defense and the baseline condition *)
+          condition, distinguisher; non-FALCON targets contribute a
+          sigma x budget x distinguisher sub-grid with no defense and
+          the baseline condition *)
 }
 
 val schema : string
-(** ["falcon-down/assess-matrix/v4"]. *)
+(** ["falcon-down/assess-matrix/v5"]. *)
+
+val known_distinguishers : string list
+(** [["pearson"; "profiled"]] — the valid distinguisher axis values. *)
 
 val grid_size :
   target:string ->
@@ -55,11 +68,12 @@ val grid_size :
   sigmas:'b list ->
   budgets:'c list ->
   conditions:'d list ->
+  distinguishers:'e list ->
   int
 (** Cell count one target contributes to a report with those axes:
-    the full defense x sigma x budget x condition product for
-    ["falcon"], sigma x budget for any other target.  {!run} and
-    {!validate} share this definition. *)
+    the full defense x sigma x budget x condition x distinguisher
+    product for ["falcon"], sigma x budget x distinguisher for any
+    other target.  {!run} and {!validate} share this definition. *)
 
 val run :
   ?ctx:Attack.Ctx.t ->
@@ -67,6 +81,7 @@ val run :
   ?targets:string list ->
   ?defenses:Campaign.defense list ->
   ?conditions:Campaign.condition list ->
+  ?distinguishers:string list ->
   ?progress:(cell -> unit) ->
   sigmas:float list ->
   budgets:int list ->
@@ -79,22 +94,28 @@ val run :
     that default, and baseline conditions, every figure is
     bit-identical to the pre-target-axis matrix at the same seed;
     defenses default to {!Campaign.all},
-    conditions to [[{!Campaign.baseline_condition}]] — with that
-    default every figure is bit-identical to the pre-condition-axis
-    matrix at the same seed).  Each cell derives its own deterministic
-    seed from [seed] and its grid position; under a non-baseline
-    condition both the generated campaign and the analysis follow the
-    condition (HD hypothesis models, realignment pass — see
-    {!Metrics.of_entries}), including the TVLA sweep, which assesses
-    the realigned traces when the condition realigns.  [progress] fires
-    after each finished cell.  Raises [Invalid_argument] on an empty
-    axis, non-positive sigma or a budget below 8. *)
+    conditions to [[{!Campaign.baseline_condition}]],
+    distinguishers to [["pearson"]] — with those defaults every figure
+    is bit-identical to the pre-condition-axis and pre-distinguisher-axis
+    matrix at the same seed).  Each grid point derives its own
+    deterministic seed from [seed] and its position; the distinguisher
+    axis is the innermost loop and shares the grid point's seed, so
+    profiled and unprofiled cells attack the same victim campaign
+    (profiled cells additionally train on a cloned campaign derived
+    from that seed).  Under a non-baseline condition both the
+    generated campaign and the analysis follow the condition (HD
+    hypothesis models, realignment pass — see {!Metrics.of_entries}),
+    including the TVLA sweep, which assesses the realigned traces when
+    the condition realigns.  [progress] fires after each finished
+    cell.  Raises [Invalid_argument] on an empty axis, an unknown
+    distinguisher name, non-positive sigma or a budget below 8. *)
 
 val tiny :
   ?ctx:Attack.Ctx.t ->
   ?jobs:int ->
   ?targets:string list ->
   ?conditions:Campaign.condition list ->
+  ?distinguishers:string list ->
   ?progress:(cell -> unit) ->
   seed:int ->
   unit ->

@@ -60,6 +60,74 @@ let aggregate ranks mtds mtd_confs =
     mtd_confs;
   }
 
+(* Profiled disclosure.  The correlation-evolution t-test and the
+   sequential Fisher-z gap tester are correlation statistics with no
+   profiled analogue, so under the profiled distinguisher mtd is
+   measured as {e winner stability}: the smallest checkpoint (same step
+   grid as the evolution series) from which the profiled ranking puts
+   the truth first and keeps it first at every later checkpoint
+   including the full budget; mtd_conf is [None]. *)
+let profiled_mtd ~ctx ~parts ~known ~truth ~step ~candidates traces =
+  let d = Array.length traces in
+  let checkpoints =
+    let rec grid t acc = if t >= d then List.rev (d :: acc) else grid (t + step) (t :: acc) in
+    grid step []
+  in
+  let winner_at t =
+    match
+      Attack.Dema.rank ~ctx ~traces:(Array.sub traces 0 t) ~parts
+        ~known:(Array.sub known 0 t) ~top:1 (Array.to_seq candidates)
+    with
+    | (best : Attack.Dema.scored) :: _ -> best.Attack.Dema.guess
+    | [] -> invalid_arg "Assess.Metrics: empty candidate set"
+  in
+  List.fold_left
+    (fun acc t ->
+      if winner_at t = truth then (match acc with None -> Some t | s -> s)
+      else None)
+    None checkpoints
+
+(* Train a window-16 template store for the assess lab's profiled
+   cells: the fixed class of a cloned-device campaign (same condition,
+   different secret/seed) with known truth, classed by the low-stage
+   models applied to the true low mantissa half — exactly the
+   intermediates the profiled ranking and [profiled_mtd] score. *)
+let profile_entries ?ctx ?jobs ?(condition = Campaign.baseline_condition)
+    ~defense ~truth entries =
+  let c = Attack.Ctx.resolve ?ctx ?jobs () in
+  Obs.span c.Attack.Ctx.obs "metrics.profile" @@ fun () ->
+  let fixed =
+    Array.of_seq
+      (Seq.filter (fun e -> e.Campaign.cls = Campaign.Fixed) (Array.to_seq entries))
+  in
+  let fixed, _ = Campaign.realign_entries ~ctx:c condition defense fixed in
+  let leakage = (condition.Campaign.kind :> Attack.Recover.leakage) in
+  let d_true = Fpr.mantissa truth land m25 in
+  if d_true = 0 then
+    invalid_arg "Assess.Metrics: degenerate profiling secret";
+  let extend, prune = Attack.Recover.low_stages leakage in
+  let plan =
+    List.map
+      (fun (lbl, m) ->
+        (Attack.Recover.sample lbl, Attack.Hypothesis.Model.apply m))
+      (extend @ prune)
+  in
+  let targets = Array.of_list (List.sort_uniq compare (List.map fst plan)) in
+  let spec = Attack.Profile.default_spec ~window:Leakage.events_per_mul in
+  let feed add =
+    Array.iter
+      (fun (e : Campaign.entry) ->
+        let samples = Campaign.attack_window defense e.Campaign.samples in
+        List.iter
+          (fun (target, apply) ->
+            add ~base:0 ~target
+              ~cls:(Bitops.popcount (apply d_true e.Campaign.known))
+              samples)
+          plan)
+      fixed
+  in
+  Attack.Profile.train spec ~targets feed
+
 let of_entries ?ctx ?jobs ?(stop_alpha = default_stop_alpha)
     ?(condition = Campaign.baseline_condition) ~defense ~truth ~experiments
     ~decoys ~seed entries =
@@ -151,20 +219,32 @@ let of_entries ?ctx ?jobs ?(stop_alpha = default_stop_alpha)
       in
       find 1 res.Attack.Recover.pruned
     in
-    let series =
-      Attack.Dema.evolution ~traces ~sample:evo_sample ~model:evo_model ~known
-        ~guess:d_true ~step
+    let mtd, mtd_conf =
+      if Attack.Distinguisher.is_profiled c.Attack.Ctx.backend then
+        let extend, prune = Attack.Recover.low_stages leakage in
+        let parts =
+          List.map
+            (fun (lbl, m) -> (Attack.Recover.sample lbl, m))
+            (extend @ prune)
+        in
+        ( profiled_mtd ~ctx:ectx ~parts ~known ~truth:d_true ~step ~candidates
+            traces,
+          None )
+      else
+        let series =
+          Attack.Dema.evolution ~traces ~sample:evo_sample ~model:evo_model
+            ~known ~guess:d_true ~step
+        in
+        let until =
+          Attack.Dema.rank_until ~ctx:ectx ~spec:stop_spec ~batch:step ~traces
+            ~parts:stop_parts ~known ~top:1 (Array.to_seq candidates)
+        in
+        ( Stats.Signif.traces_to_significance series,
+          match until.Attack.Dema.stop with
+          | Some s -> Some s.Sequential.Decision.n_traces
+          | None -> None )
     in
-    let until =
-      Attack.Dema.rank_until ~ctx:ectx ~spec:stop_spec ~batch:step ~traces
-        ~parts:stop_parts ~known ~top:1 (Array.to_seq candidates)
-    in
-    let mtd_conf =
-      match until.Attack.Dema.stop with
-      | Some s -> Some s.Sequential.Decision.n_traces
-      | None -> None
-    in
-    (rank, Stats.Signif.traces_to_significance series, mtd_conf, child)
+    (rank, mtd, mtd_conf, child)
   in
   let results =
     Parallel.map_array ~jobs:c.Attack.Ctx.jobs run_one
@@ -252,23 +332,32 @@ let run_hqc ?ctx ?jobs ?(stop_alpha = default_stop_alpha) config =
        done
      with Exit -> ());
     let parts0 = Attack.Target.Hqc.parts ~leakage:`Hw ~n ~unit_index:0 ~prev:[||] in
-    let sample0, model0 = List.hd parts0 in
-    let series =
-      Attack.Dema.evolution ~traces ~sample:sample0
-        ~model:(Attack.Hypothesis.Model.apply model0)
-        ~known ~guess:secret.(0) ~step
+    let mtd, mtd_conf =
+      if Attack.Distinguisher.is_profiled c.Attack.Ctx.backend then
+        ( profiled_mtd ~ctx:ectx ~parts:parts0 ~known ~truth:secret.(0) ~step
+            ~candidates:
+              (Array.of_seq
+                 (Attack.Target.Hqc.guess_space ~n ~unit_index:0 ~prev:[||]))
+            traces,
+          None )
+      else
+        let sample0, model0 = List.hd parts0 in
+        let series =
+          Attack.Dema.evolution ~traces ~sample:sample0
+            ~model:(Attack.Hypothesis.Model.apply model0)
+            ~known ~guess:secret.(0) ~step
+        in
+        let until =
+          Attack.Dema.rank_until ~ctx:ectx ~spec:stop_spec ~batch:step ~traces
+            ~parts:parts0 ~known ~top:1
+            (Attack.Target.Hqc.guess_space ~n ~unit_index:0 ~prev:[||])
+        in
+        ( Stats.Signif.traces_to_significance series,
+          match until.Attack.Dema.stop with
+          | Some s -> Some s.Sequential.Decision.n_traces
+          | None -> None )
     in
-    let until =
-      Attack.Dema.rank_until ~ctx:ectx ~spec:stop_spec ~batch:step ~traces
-        ~parts:parts0 ~known ~top:1
-        (Attack.Target.Hqc.guess_space ~n ~unit_index:0 ~prev:[||])
-    in
-    let mtd_conf =
-      match until.Attack.Dema.stop with
-      | Some s -> Some s.Sequential.Decision.n_traces
-      | None -> None
-    in
-    (!rank, Stats.Signif.traces_to_significance series, mtd_conf, child)
+    (!rank, mtd, mtd_conf, child)
   in
   let results =
     Parallel.map_array ~jobs:c.Attack.Ctx.jobs run_one (Array.init experiments Fun.id)

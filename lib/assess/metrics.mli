@@ -72,6 +72,26 @@ val derived_seed : int -> int
 (** Candidate-set seed derived from a campaign seed — the convention
     {!run} and {!of_store} share so the two paths agree. *)
 
+val profile_entries :
+  ?ctx:Attack.Ctx.t ->
+  ?jobs:int ->
+  ?condition:Campaign.condition ->
+  defense:Campaign.defense ->
+  truth:Fpr.t ->
+  Campaign.entry array ->
+  Attack.Profile.store
+(** Train a window-16 profiled-template store on the fixed class of a
+    cloned-device campaign with known [truth] (same condition as the
+    victim campaign, different secret/seed), covering exactly the
+    low-stage intermediates {!of_entries}'s profiled ranking scores.
+    Hand the result to {!of_entries} as
+    [~ctx:(Attack.Ctx.with_backend (Profiled store) ctx)].  Under a
+    profiled context {!of_entries} reports MTD as winner stability (the
+    smallest checkpoint from which the profiled ranking keeps the truth
+    first through the full budget) and MTD-at-confidence as [None] —
+    the sequential gap testers are correlation statistics with no
+    profiled analogue. *)
+
 val of_entries :
   ?ctx:Attack.Ctx.t ->
   ?jobs:int ->

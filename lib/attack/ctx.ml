@@ -1,22 +1,35 @@
 type t = {
   jobs : int;
-  backend : Stats.Pearson.Batch.backend;
+  backend : Distinguisher.selection;
   obs : Obs.t;
+  leakage : [ `Hw | `Hd ];
+  on_corrupt : [ `Fail | `Skip ];
+  prefetch : bool;
 }
 
 let default () =
   {
     jobs = Parallel.default_jobs ();
-    backend = Stats.Pearson.Batch.default_backend ();
+    backend = Distinguisher.default ();
     obs = Obs.null;
+    leakage = `Hw;
+    on_corrupt = `Fail;
+    prefetch = true;
   }
 
-let make ?jobs ?backend ?obs () =
+let make ?jobs ?backend ?distinguisher ?obs ?leakage ?on_corrupt ?prefetch () =
   let d = default () in
   {
     jobs = Parallel.resolve jobs;
-    backend = Stats.Pearson.Batch.resolve backend;
+    backend =
+      (match (distinguisher, backend) with
+      | Some sel, _ -> sel
+      | None, Some b -> Distinguisher.of_pearson b
+      | None, None -> d.backend);
     obs = Option.value obs ~default:d.obs;
+    leakage = Option.value leakage ~default:d.leakage;
+    on_corrupt = Option.value on_corrupt ~default:d.on_corrupt;
+    prefetch = Option.value prefetch ~default:d.prefetch;
   }
 
 let of_env () =
@@ -33,8 +46,8 @@ let of_env () =
     match Sys.getenv_opt "FD_PEARSON" with
     | Some s -> (
         match String.lowercase_ascii (String.trim s) with
-        | "scalar" -> Stats.Pearson.Batch.Scalar
-        | "batched" | "blocked" -> Stats.Pearson.Batch.Batched
+        | "scalar" -> Distinguisher.Pearson_scalar
+        | "batched" | "blocked" -> Distinguisher.Pearson_batched
         | _ -> d.backend)
     | None -> d.backend
   in
@@ -45,11 +58,21 @@ let with_jobs jobs t =
   { t with jobs }
 
 let with_backend backend t = { t with backend }
+let with_pearson_backend b t = { t with backend = Distinguisher.of_pearson b }
 let with_obs obs t = { t with obs }
+let with_leakage leakage t = { t with leakage }
+let with_on_corrupt on_corrupt t = { t with on_corrupt }
+let with_prefetch prefetch t = { t with prefetch }
 let sequential t = { t with jobs = 1 }
+let kernel t = Distinguisher.kernel t.backend
 
-let resolve ?ctx ?jobs ?backend () =
+let resolve ?ctx ?jobs ?backend ?distinguisher () =
   let base = match ctx with Some c -> c | None -> default () in
   let jobs = match jobs with Some j -> Parallel.resolve (Some j) | None -> base.jobs in
-  let backend = match backend with Some b -> b | None -> base.backend in
+  let backend =
+    match (distinguisher, backend) with
+    | Some sel, _ -> sel
+    | None, Some b -> Distinguisher.of_pearson b
+    | None, None -> base.backend
+  in
   { base with jobs; backend }

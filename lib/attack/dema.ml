@@ -72,9 +72,42 @@ let rank_block_scores ?ctx ?jobs ~score_block ~top candidates =
 let hyp_vector ~model ~known guess =
   Array.map (fun y -> float_of_int (Bitops.popcount (model guess y))) known
 
-let backend_name = function
-  | Stats.Pearson.Batch.Scalar -> "scalar"
-  | Stats.Pearson.Batch.Batched -> "batched"
+let backend_name = Distinguisher.name
+
+(* The sequential gap testers are correlation statistics (Fisher-z on
+   |r|); a profiled selection has no incremental form of them. *)
+let pearson_kernel_exn ~what = function
+  | Distinguisher.Pearson_scalar -> Stats.Pearson.Batch.Scalar
+  | Distinguisher.Pearson_batched -> Stats.Pearson.Batch.Batched
+  | Distinguisher.Profiled _ ->
+      invalid_arg
+        (Printf.sprintf
+           "%s: the profiled distinguisher has no sequential gap tester; use a \
+            Pearson backend"
+           what)
+
+(* Shared profiled scoring: per (part, trace) the class-conditional
+   log-likelihood table is candidate-independent, so it is computed once
+   and every guess just sums its predicted class's entry — the template
+   analogue of hoisting column statistics out of the Pearson sweep.  The
+   mean (not sum) over traces keeps scores comparable across budgets,
+   like a correlation. *)
+let profiled_rank_scores ~ctx ~nclass ~tables ~known ~d ~top ~tick candidates =
+  let nrm = 1. /. float_of_int (max 1 d) in
+  let score guess =
+    tick 1;
+    let acc = ref 0. in
+    List.iter
+      (fun (model, tbl) ->
+        for i = 0 to d - 1 do
+          let cls = Bitops.popcount (model guess (Array.unsafe_get known i)) in
+          let cls = if cls >= nclass then nclass - 1 else cls in
+          acc := !acc +. Array.unsafe_get (Array.unsafe_get tbl i) cls
+        done)
+      tables;
+    !acc *. nrm
+  in
+  rank_scores ~ctx ~score ~top candidates
 
 (* Resolved hypothesis source over one segment of known operands: a
    split model becomes a precomputed per-trace table plus its integer
@@ -364,7 +397,7 @@ let rank ?ctx ?jobs ?backend ~traces ~parts ~known ~top candidates =
     let tick n = match scored with Some a -> ignore (Atomic.fetch_and_add a n) | None -> () in
     let result =
       match c.Ctx.backend with
-      | Stats.Pearson.Batch.Scalar ->
+      | Distinguisher.Pearson_scalar ->
           (* column statistics are a per-sweep invariant: computed once
              here, shared read-only by every guess on every domain *)
           let cols =
@@ -383,7 +416,7 @@ let rank ?ctx ?jobs ?backend ~traces ~parts ~known ~top candidates =
               0. cols
           in
           rank_scores ~ctx:c ~score ~top candidates
-      | Stats.Pearson.Batch.Batched ->
+      | Distinguisher.Pearson_batched ->
           (* Fused sweep: no hypothesis block is ever materialised.  The
              per-sweep invariants — column statistics and, for split
              models, the prep table over the known operands — are built
@@ -427,6 +460,25 @@ let rank ?ctx ?jobs ?backend ~traces ~parts ~known ~top candidates =
           in
           Obs.span ~level:Obs.Debug obs "dema.score" (fun () ->
               rank_block_scores ~ctx:c ~score_block ~top candidates)
+      | Distinguisher.Profiled store ->
+          (* profiled arm: per-(part, trace) class-score tables computed
+             once from the template store's points of interest (read
+             straight off the full trace rows), then summed per guess *)
+          let tables =
+            Obs.span ~level:Obs.Debug obs "dema.prep" (fun () ->
+                List.map
+                  (fun (s, m) ->
+                    let pt = Profile.point store ~sample:s in
+                    ( Hypothesis.Model.apply m,
+                      Array.map
+                        (fun t ->
+                          Profile.class_scores store pt ~get:(fun j -> t.(j)))
+                        traces ))
+                  parts)
+          in
+          Obs.span ~level:Obs.Debug obs "dema.score" (fun () ->
+              profiled_rank_scores ~ctx:c ~nclass:store.Profile.nclass ~tables
+                ~known ~d ~top ~tick candidates)
     in
     (match scored with
     | Some a ->
@@ -467,7 +519,10 @@ let rank_absolute ?ctx ?jobs ?backend ~traces ~parts ~known ~top ~alpha ~baselin
     let scored = if Obs.enabled obs then Some (Atomic.make 0) else None in
     let tick n = match scored with Some a -> ignore (Atomic.fetch_and_add a n) | None -> () in
     let result =
-      match c.Ctx.backend with
+      (* the absolute-level distinguisher is a calibrated least-squares
+         statistic, not a correlation and not profiled: a [Profiled]
+         selection runs it on the scalar kernel ({!Ctx.kernel}) *)
+      match Ctx.kernel c with
       | Stats.Pearson.Batch.Scalar ->
           let cols =
             List.map
@@ -561,7 +616,8 @@ type until = {
    [jobs]; the campaign driver itself runs single-unit. *)
 let run_until ~ctx ~spec ~total ~top ~parts ~feed candidates =
   let jobs = ctx.Ctx.jobs in
-  let sweep = Sweep.create ~backend:ctx.Ctx.backend ~parts candidates in
+  let backend = pearson_kernel_exn ~what:"Dema.rank_until" ctx.Ctx.backend in
+  let sweep = Sweep.create ~backend ~parts candidates in
   let unit_ =
     {
       Sequential.Campaign.fold = (fun segs -> Sweep.fold ~jobs sweep segs);
@@ -645,9 +701,11 @@ module Stream = struct
     codec.check m;
     m
 
-  let map_shards ?ctx ?jobs ?(on_corrupt = `Fail) ?(prefetch = true)
-      ?(codec = falcon_codec) reader f =
+  let map_shards ?ctx ?jobs ?on_corrupt ?prefetch ?(codec = falcon_codec) reader
+      f =
     let c = Ctx.resolve ?ctx ?jobs () in
+    let on_corrupt = Option.value on_corrupt ~default:c.Ctx.on_corrupt in
+    let prefetch = Option.value prefetch ~default:c.Ctx.prefetch in
     let obs = c.Ctx.obs in
     let m = check_meta codec reader in
     let shards = Tracestore.Reader.shard_count reader in
@@ -763,7 +821,67 @@ module Stream = struct
       ~top candidates =
     let c = Ctx.resolve ?ctx ?jobs ?backend () in
     let obs = c.Ctx.obs in
-    let run () =
+    (* profiled arm: extract each part's template POI columns (one
+       arithmetic-free streaming pass, deterministic in shard order),
+       compute the per-(part, trace) class tables, then score exactly
+       like the in-memory profiled [rank] — bit-identical to it over the
+       same traces at every [jobs] and prefetch setting. *)
+    let run_profiled store =
+      let pts =
+        List.map
+          (fun (s, m) ->
+            (Profile.point store ~sample:s, Hypothesis.Model.apply m))
+          parts
+      in
+      let samples =
+        List.concat_map (fun (pt, _) -> Array.to_list pt.Profile.abs_pois) pts
+      in
+      let cols, ks =
+        Obs.span ~level:Obs.Debug obs "dema.stream.extract" (fun () ->
+            extract ~ctx:c ?on_corrupt ?prefetch ?codec reader ~samples ~known)
+      in
+      let d = Array.length ks in
+      let scored = if Obs.enabled obs then Some (Atomic.make 0) else None in
+      let tick n =
+        match scored with Some a -> ignore (Atomic.fetch_and_add a n) | None -> ()
+      in
+      let tables =
+        Obs.span ~level:Obs.Debug obs "dema.prep" (fun () ->
+            let off = ref 0 in
+            List.map
+              (fun (pt, model) ->
+                let base = !off in
+                let npoi = Array.length pt.Profile.abs_pois in
+                off := base + npoi;
+                let pos = Hashtbl.create npoi in
+                Array.iteri
+                  (fun k a -> Hashtbl.replace pos a (base + k))
+                  pt.Profile.abs_pois;
+                ( model,
+                  Array.map
+                    (fun row ->
+                      Profile.class_scores store pt ~get:(fun j ->
+                          row.(Hashtbl.find pos j)))
+                    cols ))
+              pts)
+      in
+      let result =
+        Obs.span ~level:Obs.Debug obs "dema.score" (fun () ->
+            profiled_rank_scores ~ctx:c ~nclass:store.Profile.nclass ~tables
+              ~known:ks ~d ~top ~tick candidates)
+      in
+      (match scored with
+      | Some a ->
+          let n = Atomic.get a in
+          Obs.count obs "dema.guesses" n;
+          if d < n then
+            Obs.count ~level:Obs.Error
+              ~fields:[ ("traces", Obs.Int d); ("guesses", Obs.Int n) ]
+              obs "dema.degenerate_rank" 1
+      | None -> ());
+      result
+    in
+    let run_pearson () =
       let samples = Array.of_list (List.map fst parts) in
       let nsamp = Array.length samples in
       let pieces =
@@ -800,7 +918,8 @@ module Stream = struct
       in
       let result =
         match c.Ctx.backend with
-        | Stats.Pearson.Batch.Scalar ->
+        | Distinguisher.Profiled _ -> assert false (* handled by run_profiled *)
+        | Distinguisher.Pearson_scalar ->
             let models =
               Array.of_list (List.map (fun (_, m) -> Hypothesis.Model.apply m) parts)
             in
@@ -831,7 +950,7 @@ module Stream = struct
               !acc
             in
             rank_scores ~ctx:c ~score ~top candidates
-        | Stats.Pearson.Batch.Batched ->
+        | Distinguisher.Pearson_batched ->
             let groups =
               Obs.span ~level:Obs.Debug obs "dema.prep" (fun () ->
                   List.map
@@ -882,6 +1001,12 @@ module Stream = struct
               obs "dema.degenerate_rank" 1
       | None -> ());
       result
+    in
+    let run () =
+      match c.Ctx.backend with
+      | Distinguisher.Profiled store -> run_profiled store
+      | Distinguisher.Pearson_scalar | Distinguisher.Pearson_batched ->
+          run_pearson ()
     in
     Obs.span obs "dema.stream.rank"
       ~fields:
@@ -983,7 +1108,12 @@ module Stream = struct
       ?max_traces reader ~parts ~known ~top candidates =
     let c = Ctx.resolve ?ctx ?jobs ?backend () in
     let obs = c.Ctx.obs in
-    let fd = shard_feed ?on_corrupt ?prefetch ?codec ?max_traces reader in
+    let fd =
+      shard_feed
+        ~on_corrupt:(Option.value on_corrupt ~default:c.Ctx.on_corrupt)
+        ~prefetch:(Option.value prefetch ~default:c.Ctx.prefetch)
+        ?codec ?max_traces reader
+    in
     let samples = Array.of_list (List.map fst parts) in
     let models = List.map snd parts in
     let feed () =
@@ -1062,7 +1192,9 @@ let corr_time ?ctx ?backend ~traces ~model ~known ~guesses () =
         ("backend", Obs.Str (backend_name c.Ctx.backend));
       ]
     (fun () ->
-      match c.Ctx.backend with
+      (* a correlation-vs-time matrix is Pearson by definition; a
+         [Profiled] selection maps to the scalar kernel via {!Ctx.kernel} *)
+      match Ctx.kernel c with
       | Stats.Pearson.Batch.Scalar ->
           let hyps = Array.map (hyp_vector ~model ~known) guesses in
           Stats.Pearson.corr_matrix ~traces ~hyps
@@ -1077,3 +1209,156 @@ let corr_time ?ctx ?backend ~traces ~model ~known ~guesses () =
 let evolution ~traces ~sample ~model ~known ~guess ~step =
   let hyp = hyp_vector ~model ~known guess in
   Stats.Pearson.evolution ~traces ~hyp ~sample ~step
+
+(* ---- registered distinguisher instances ----
+
+   The {!Distinguisher.S} streaming seam, instantiated.  The two Pearson
+   instances wrap the incremental {!Sweep} (whose fed-to-exhaustion
+   parity with [rank] is test-pinned), so scoring through the interface
+   is bit-identical to the pre-interface fixed-budget paths; the
+   profiled instance accumulates template log-likelihoods per guess with
+   the same class tables the [rank] arms use. *)
+
+module Pearson_instance (K : sig
+  val kernel : Stats.Pearson.Batch.backend
+end) : Distinguisher.S = struct
+  let name = Distinguisher.name (Distinguisher.of_pearson K.kernel)
+
+  type 'k state = { sweep : 'k Sweep.t; needs : int list list }
+
+  let create ~parts ~guesses =
+    {
+      sweep = Sweep.create ~backend:K.kernel ~parts:(List.map snd parts) guesses;
+      needs = List.map (fun (s, _) -> [ s ]) parts;
+    }
+
+  let needs st = st.needs
+
+  let fold ?jobs st batch =
+    let segs =
+      Array.map
+        (fun (cols, ks) ->
+          if Array.length cols <> 1 then
+            invalid_arg
+              "Dema.distinguisher: a Pearson part folds exactly one column";
+          (cols.(0), ks))
+        batch
+    in
+    Sweep.fold ?jobs st.sweep segs
+
+  let finalize ?jobs st = Sweep.scores ?jobs st.sweep
+end
+
+module Pearson_scalar_instance = Pearson_instance (struct
+  let kernel = Stats.Pearson.Batch.Scalar
+end)
+
+module Pearson_batched_instance = Pearson_instance (struct
+  let kernel = Stats.Pearson.Batch.Batched
+end)
+
+module Profiled_instance (P : sig
+  val store : Profile.store
+end) : Distinguisher.S = struct
+  let name = "profiled"
+
+  type 'k state = {
+    guesses : int array;
+    parts : (Profile.template * (int -> 'k -> int)) array;
+    needs : int list list;
+    sll : float array array;
+        (* per part x guess: summed class log-likelihood.  Keeping one
+           accumulator per part means every accumulator sees its terms
+           in global trace order no matter how the stream is chunked,
+           so scores are bit-identical across batch splits (in-memory
+           vs per-shard streaming), not just across [jobs]. *)
+    mutable n : int;
+  }
+
+  let create ~parts ~guesses =
+    let resolved =
+      Array.of_list
+        (List.map
+           (fun (s, m) ->
+             let pt = Profile.point P.store ~sample:s in
+             (pt, Hypothesis.Model.apply m))
+           parts)
+    in
+    {
+      guesses;
+      parts = Array.map (fun (pt, m) -> (pt.Profile.tpl, m)) resolved;
+      needs =
+        Array.to_list
+          (Array.map
+             (fun (pt, _) -> Array.to_list pt.Profile.abs_pois)
+             resolved);
+      sll =
+        Array.init (List.length parts) (fun _ ->
+            Array.make (Array.length guesses) 0.);
+      n = 0;
+    }
+
+  let needs st = st.needs
+
+  (* Accumulation is per-guess into disjoint slots in a fixed loop
+     order, so [jobs] cannot change the result; the fold runs on the
+     owner domain. *)
+  let fold ?jobs st batch =
+    ignore jobs;
+    if Array.length batch <> Array.length st.parts then
+      invalid_arg "Dema.distinguisher: wrong number of part segments";
+    let nclass = P.store.Profile.nclass in
+    let g = Array.length st.guesses in
+    let len =
+      match batch with [||] -> 0 | _ -> Array.length (snd batch.(0))
+    in
+    Array.iteri
+      (fun j (cols, ks) ->
+        let tpl, model = st.parts.(j) in
+        let acc = st.sll.(j) in
+        let npoi = Array.length tpl.Profile.pois in
+        if Array.length cols <> npoi then
+          invalid_arg
+            "Dema.distinguisher: profiled part needs its template's POI columns";
+        Array.iter
+          (fun (col : float array) ->
+            if Array.length col <> len then
+              invalid_arg "Dema.distinguisher: ragged part segments")
+          cols;
+        if Array.length ks <> len then
+          invalid_arg "Dema.distinguisher: ragged part segments";
+        let x = Array.make npoi 0. in
+        for i = 0 to len - 1 do
+          for k = 0 to npoi - 1 do
+            x.(k) <- cols.(k).(i)
+          done;
+          let scores = Profile.class_scores_vec P.store tpl x in
+          let y = ks.(i) in
+          for r = 0 to g - 1 do
+            let cls = Bitops.popcount (model st.guesses.(r) y) in
+            let cls = if cls >= nclass then nclass - 1 else cls in
+            acc.(r) <- acc.(r) +. scores.(cls)
+          done
+        done)
+      batch;
+    st.n <- st.n + len
+
+  let finalize ?jobs st =
+    ignore jobs;
+    let nrm = 1. /. float_of_int (max 1 st.n) in
+    Array.init
+      (Array.length st.guesses)
+      (fun r ->
+        let s = ref 0. in
+        Array.iter (fun acc -> s := !s +. acc.(r)) st.sll;
+        !s *. nrm)
+end
+
+let distinguisher : Distinguisher.selection -> (module Distinguisher.S) =
+  function
+  | Distinguisher.Pearson_scalar -> (module Pearson_scalar_instance)
+  | Distinguisher.Pearson_batched -> (module Pearson_batched_instance)
+  | Distinguisher.Profiled store ->
+      (module Profiled_instance (struct
+        let store = store
+      end))

@@ -15,12 +15,25 @@
     statistics are computed once per sweep and shared read-only.
 
     {b Execution context.}  Every entry point also accepts [?ctx]
-    ({!Ctx.t}), which bundles [jobs], the Pearson [backend] and an
-    observability context; an explicit [?jobs]/[?backend] argument
-    overrides the corresponding [ctx] field.  Instrumentation is
-    observationally transparent: with any sink attached the returned
-    rankings are bit-identical to the uninstrumented path at every
-    [jobs]. *)
+    ({!Ctx.t}), which bundles [jobs], the {!Distinguisher.selection}
+    scoring the sweep and an observability context; an explicit
+    [?jobs]/[?backend] argument overrides the corresponding [ctx] field
+    ([?backend] is the deprecated Pearson-typed shim — see
+    {!Distinguisher}).  Instrumentation is observationally transparent:
+    with any sink attached the returned rankings are bit-identical to
+    the uninstrumented path at every [jobs].
+
+    {b Distinguisher dispatch.}  The two Pearson selections run the
+    historical scalar / fused-batched arms byte for byte (parity is
+    test-pinned).  A [Profiled] selection scores guesses by template
+    log-likelihood instead of correlation: per (part, trace) the
+    class-conditional scores are computed once from the
+    {!Profile.store}'s points of interest, and each guess sums the
+    entry of its predicted Hamming class, averaged over traces.  The
+    correlation-only stages ({!rank_absolute}, {!corr_time},
+    calibration) run on {!Ctx.kernel} under a profiled selection; the
+    sequential testers ({!rank_until} and friends) reject it with
+    [Invalid_argument]. *)
 
 type scored = { guess : int; corr : float }
 
@@ -379,3 +392,14 @@ val evolution :
 
 val hyp_vector : model:(int -> 'k -> int) -> known:'k array -> int -> float array
 (** The modelled leakage vector (Hamming weights as floats) of one guess. *)
+
+val backend_name : Distinguisher.selection -> string
+(** {!Distinguisher.name} — kept here for the CLIs' report vocabulary. *)
+
+val distinguisher : Distinguisher.selection -> (module Distinguisher.S)
+(** The registered streaming instances behind the {!Distinguisher.S}
+    seam: the Pearson selections wrap the incremental {!Sweep} (so
+    scoring through the interface is bit-identical to the fixed-budget
+    Pearson paths — parity-tested), and [Profiled] accumulates template
+    log-likelihoods from its store's POI columns.  The Pearson instances
+    require at least two guesses ({!Sweep.create}'s contract). *)

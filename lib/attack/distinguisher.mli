@@ -1,0 +1,92 @@
+(** The scoring seam: which statistic turns traces into per-guess scores.
+
+    Historically "backend" meant a Pearson kernel choice
+    ({!Stats.Pearson.Batch.backend}, [Scalar | Batched]) — a private
+    enum of one distinguisher.  A profiled template attack is not a
+    Pearson kernel, so the selection is now first-class: a {!selection}
+    names {e which} distinguisher scores a sweep, and the Pearson kernel
+    enum survives inside the two Pearson instances.  {!Ctx.t} carries a
+    [selection]; the old [?backend:Stats.Pearson.Batch.backend]
+    optionals remain accepted everywhere as deprecated shims that map
+    through {!of_pearson}.
+
+    {b The streaming contract} ({!S}): a distinguisher instance is
+    created from a part set and a fixed guess array, declares which
+    absolute trace-sample columns it needs per part ([needs]), folds
+    per-part column batches in global trace order, and finalises to one
+    score per guess.  Determinism is part of the contract: folding the
+    same batches in the same order must yield bit-identical scores at
+    every [jobs], which is what lets the streaming engine merge
+    per-shard work across domains in shard order.  Instances are
+    registered in [Dema] ([Dema.distinguisher]), next to the sweeps
+    that host them; the two Pearson instances wrap the incremental
+    sweep ([Dema.Sweep]) and are bit-identical to the fixed-budget
+    Pearson paths (parity-tested). *)
+
+type selection =
+  | Pearson_scalar  (** the historical per-guess correlation loop *)
+  | Pearson_batched  (** the fused register-tiled Pearson kernel *)
+  | Profiled of Profile.store
+      (** template log-likelihood scoring against a trained
+          {!Profile.store} (GALACTICS-style profiled attack) *)
+
+val of_pearson : Stats.Pearson.Batch.backend -> selection
+(** The deprecated-shim mapping: [Scalar]/[Batched] to the matching
+    Pearson instance. *)
+
+val kernel : selection -> Stats.Pearson.Batch.backend
+(** The Pearson kernel a selection implies for the correlation-only
+    stages that have no profiled form (calibration, correlation-vs-time
+    matrices, the absolute-level exponent sweep): the identity on the
+    Pearson instances, [Scalar] under [Profiled]. *)
+
+val name : selection -> string
+(** ["scalar"], ["batched"] or ["profiled"] — stable CLI/report
+    vocabulary. *)
+
+val names : string list
+(** The CLI vocabulary, in declaration order. *)
+
+val is_profiled : selection -> bool
+
+val default : unit -> selection
+(** The process default: {!of_pearson} of
+    [Stats.Pearson.Batch.default_backend ()] — so [FD_PEARSON] keeps
+    selecting the Pearson kernel exactly as before. *)
+
+val resolve :
+  ?backend:Stats.Pearson.Batch.backend -> ?distinguisher:selection -> unit -> selection
+(** Merge the deprecated Pearson optional with the first-class one:
+    an explicit [?distinguisher] wins, else an explicit [?backend] maps
+    through {!of_pearson}, else {!default}. *)
+
+(** The streaming distinguisher interface (prep / fold / finalize). *)
+module type S = sig
+  val name : string
+
+  type 'k state
+
+  val create :
+    parts:(int * 'k Hypothesis.Model.t) list -> guesses:int array -> 'k state
+  (** One sweep over a fixed guess array and an ordered part set; part
+      sample indices are absolute trace positions. *)
+
+  val needs : 'k state -> int list list
+  (** Per part (in [create] order), the absolute sample columns every
+      {!fold} batch must supply for that part, in order.  Pearson needs
+      exactly the part's own column; a profiled instance needs its
+      template's points of interest. *)
+
+  val fold : ?jobs:int -> 'k state -> (float array array * 'k array) array -> unit
+  (** One batch: element [j] holds part [j]'s column segments (one
+      [float array] per entry of [needs], all of one equal length) and
+      the matching known operands.  Batches must arrive in global trace
+      order; accumulation is deterministic at every [jobs].  Raises
+      [Invalid_argument] on a ragged or mis-shaped batch. *)
+
+  val finalize : ?jobs:int -> 'k state -> float array
+  (** Per-guess scores over everything folded so far (positionally
+      matching the [create] guess array).  Pure with respect to the
+      state — finalising twice, or finalising mid-stream at a look,
+      yields the same scores as the equivalent one-shot sweep. *)
+end

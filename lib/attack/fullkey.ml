@@ -247,13 +247,18 @@ let unit_views u =
 
 let recover_f_fft_store_adaptive ~ctx:c ~on_corrupt ~prefetch ~stop:spec
     ~max_traces ~stop_report ~reader strategy n =
-  let fd = Dema.Stream.shard_feed ?on_corrupt ?prefetch ?max_traces reader in
+  let fd =
+    Dema.Stream.shard_feed
+      ~on_corrupt:(Option.value on_corrupt ~default:c.Ctx.on_corrupt)
+      ~prefetch:(Option.value prefetch ~default:c.Ctx.prefetch)
+      ?max_traces reader
+  in
   let tasks = 2 * n in
   let units =
     Array.init tasks (fun t ->
         let coeff = t lsr 1 in
         let component = if t land 1 = 0 then `Re else `Im in
-        make_unit ~backend:c.Ctx.backend strategy ~coeff ~component)
+        make_unit ~backend:(Ctx.kernel c) strategy ~coeff ~component)
   in
   let campaign_units =
     Array.mapi
@@ -304,10 +309,14 @@ let recover_f_fft_store ?ctx ?jobs ?on_corrupt ?prefetch ?leakage ?stop
          transition takes the recovered d, so there is no high sweep to
          decide on.  Mirror the Exhaustive rejection rather than decide
          on a mismatched model. *)
-      if leakage = Some `Hd then
+      if leakage = Some `Hd || (leakage = None && c.Ctx.leakage = `Hd) then
         invalid_arg
           "Fullkey: ?stop is not available under `Hd leakage — the streaming \
            decision sweeps have no d-free Hamming-distance part set";
+      if Distinguisher.is_profiled c.Ctx.backend then
+        invalid_arg
+          "Fullkey: ?stop is not available under the profiled distinguisher — \
+           the sequential gap testers are correlation statistics";
       recover_f_fft_store_adaptive ~ctx:c ~on_corrupt ~prefetch ~stop:spec
         ~max_traces ~stop_report ~reader strategy n
   | None ->

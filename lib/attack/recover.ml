@@ -317,9 +317,10 @@ let hd_sign_exp_stage ~mant =
     (Fpr.Result_hi, Hypothesis.Model.fn (fun g y -> lo_word y lxor hi_word g y));
   ]
 
-let sign_exponent_multi ?ctx ?jobs ?(leakage = `Hw)
+let sign_exponent_multi ?ctx ?jobs ?leakage
     ?(exp_candidates = default_exponent_window) ~mant views =
   let c = Ctx.resolve ?ctx ?jobs () in
+  let leakage = Option.value leakage ~default:c.Ctx.leakage in
   Obs.span c.Ctx.obs "recover.sign_exponent"
     ~fields:[ ("views", Obs.Int (List.length views)) ]
   @@ fun () ->
@@ -432,9 +433,10 @@ let high_stages ~d = function
       ( [ (Fpr.Mant_w01, p_hd_w01 ~d); (Fpr.Mant_w11, p_hd_w11 ~d) ],
         [ (Fpr.Mant_z1, p_hd_z1 ~d); (Fpr.Mant_zhigh, p_hd_zhigh ~d) ] )
 
-let mantissa_low_multi ?ctx ?jobs ?backend ?(leakage = `Hw) ?(top = 16)
+let mantissa_low_multi ?ctx ?jobs ?backend ?leakage ?(top = 16)
     ~candidates views =
   let c = Ctx.resolve ?ctx ?jobs ?backend () in
+  let leakage = Option.value leakage ~default:c.Ctx.leakage in
   Obs.span c.Ctx.obs "recover.mantissa_low"
     ~fields:[ ("part", Obs.Str "low25"); ("views", Obs.Int (List.length views)) ]
     (fun () ->
@@ -450,9 +452,10 @@ let attack_mantissa_low_naive ?ctx ?jobs ?backend ?(top = 16) ~candidates v =
     ~parts:[ (sample Fpr.Mant_w00, p_w00); (sample Fpr.Mant_w10, p_w10) ]
     ~known:v.known ~top candidates
 
-let mantissa_high_multi ?ctx ?jobs ?backend ?(leakage = `Hw) ?(top = 16)
+let mantissa_high_multi ?ctx ?jobs ?backend ?leakage ?(top = 16)
     ~candidates ~d views =
   let c = Ctx.resolve ?ctx ?jobs ?backend () in
+  let leakage = Option.value leakage ~default:c.Ctx.leakage in
   Obs.span c.Ctx.obs "recover.mantissa_high"
     ~fields:[ ("part", Obs.Str "high28"); ("views", Obs.Int (List.length views)) ]
     (fun () ->
@@ -466,8 +469,9 @@ type strategy =
   | Exhaustive
   | Eval_sampled of { rng : Stats.Rng.t; decoys : int; truth : Fpr.t }
 
-let coefficient ?ctx ?jobs ?backend ?(leakage = `Hw) ~strategy views =
+let coefficient ?ctx ?jobs ?backend ?leakage ~strategy views =
   let c = Ctx.resolve ?ctx ?jobs ?backend () in
+  let leakage = Option.value leakage ~default:c.Ctx.leakage in
   Obs.span c.Ctx.obs "recover.coefficient"
     ~fields:[ ("views", Obs.Int (List.length views)) ]
   @@ fun () ->

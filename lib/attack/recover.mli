@@ -64,7 +64,10 @@ type leakage = [ `Hw | `Hd ]
 (** Which device model the hypothesis models are matched against:
     the idealized Hamming-weight probe (the default, matching
     [Leakage.default_emitter]) or bus Hamming-distance
-    ([Leakage.hd_emitter]). *)
+    ([Leakage.hd_emitter]).  Every component attack defaults this from
+    [ctx.Ctx.leakage] (itself [`Hw] by default); the [?leakage]
+    optionals below are deprecated per-call overrides kept for
+    compatibility. *)
 
 val hd_w10 : int -> Fpr.t -> int
 (** guess = D; predicted (D x B) xor (D x A) — the w10-sample bus

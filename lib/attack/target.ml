@@ -19,6 +19,14 @@ module type S = sig
   val name : string
   val default_n : int
   val width : n:int -> int
+  val profile_window : n:int -> int
+
+  val profile_parts :
+    leakage:leakage ->
+    n:int ->
+    dir:string ->
+    (int * int * (Leakage.trace -> int)) list
+
   val codec : Dema.Stream.codec
   val supports_stop : leakage -> bool
 
@@ -84,6 +92,12 @@ module Falcon = struct
   let name = "falcon"
   let default_n = 32
   let width ~n = n * Leakage.events_per_coeff
+
+  (* templates key on the 16-sample multiplication window — the shape
+     of the [Recover.view] slices every ranking phase works over — so
+     one template per multiplication event pools all coefficients and
+     muls *)
+  let profile_window ~n:_ = Leakage.events_per_mul
   let codec = Dema.Stream.falcon_codec
 
   (* every usable high-half bus transition takes the recovered d, so
@@ -176,6 +190,49 @@ module Falcon = struct
         in
         Fpr.mantissa x land d_mask)
 
+  (* Profiling plan: both mantissa phases of every (coefficient,
+     multiplication) window, classed by the stage models applied to the
+     true mantissa halves — profiling truth and attack hypotheses share
+     one model source.  The sign/exponent phase stays correlation-based
+     (calibrated absolute levels have no template form), so its samples
+     are not profiled. *)
+  let profile_parts ~leakage ~n ~dir =
+    let _, kp = read_keys dir in
+    let sk = Falcon.Scheme.secret_of_keypair kp in
+    List.concat
+      (List.init n (fun coeff ->
+           List.concat_map
+             (fun mul ->
+               let secret =
+                 if mul = 0 || mul = 3 then sk.f_fft.Fft.re.(coeff)
+                 else sk.f_fft.Fft.im.(coeff)
+               in
+               let xu = Fpr.mantissa secret lor (1 lsl 52) in
+               let d = xu land d_mask in
+               let e = xu lsr Recover.mantissa_low_width in
+               let low_extend, low_prune = Recover.low_stages leakage in
+               let high_extend, high_prune = Recover.high_stages ~d leakage in
+               let base =
+                 (coeff * Leakage.events_per_coeff)
+                 + (mul * Leakage.events_per_mul)
+               in
+               List.concat_map
+                 (fun (g, stage) ->
+                   List.map
+                     (fun (lbl, model) ->
+                       let apply = Hypothesis.Model.apply model in
+                       ( base,
+                         Recover.sample lbl,
+                         fun (tr : Leakage.trace) ->
+                           apply g
+                             (Fullkey.mul_known
+                                ( tr.c_fft.Fft.re.(coeff),
+                                  tr.c_fft.Fft.im.(coeff) )
+                                mul) ))
+                     stage)
+                 [ (d, low_extend @ low_prune); (e, high_extend @ high_prune) ])
+             [ 0; 1; 2; 3 ]))
+
   let key_magic = "FALCOND1"
 
   let key_of_winners ~n winners =
@@ -262,6 +319,10 @@ module Hqc_target = struct
   let name = "hqc"
   let default_n = Hqc.Params.n_bits
   let width ~n:_ = Hqc.Params.width
+
+  (* templates key on the per-unit accumulator word block: unit j's
+     part w sits at absolute sample j*words + w, offset w *)
+  let profile_window ~n:_ = Hqc.Params.words
 
   let codec =
     {
@@ -354,6 +415,19 @@ module Hqc_target = struct
   let truth ~n ~dir =
     check_n n;
     read_secret dir
+
+  let profile_parts ~leakage ~n ~dir =
+    check_n n;
+    let secret = read_secret dir in
+    List.concat
+      (List.init (units ~n) (fun j ->
+           let prev = Array.sub secret 0 j in
+           let base = j * Hqc.Params.words in
+           List.map
+             (fun (s, m) ->
+               let apply = Hypothesis.Model.apply m in
+               (base, s - base, fun tr -> apply secret.(j) (known_of_trace tr)))
+             (parts ~leakage ~n ~unit_index:j ~prev)))
 
   let key_of_winners ~n winners =
     check_n n;
@@ -451,3 +525,64 @@ let find name =
       let module T = (val m : S) in
       T.name = name)
     all
+
+(* ---------------- generic profiled training ----------------
+
+   One trainer for every target: stream the cloned-device campaign
+   twice through the target's profiling plan (the [Profile.train]
+   two-pass contract) classing each observation by the Hamming weight
+   of its true intermediate.  Shards are pulled strictly in order on
+   the owner domain, so the store is bit-identical across jobs and
+   prefetch. *)
+
+let profile ?ctx ?leakage ?npoi ?ndim ?max_traces (module T : S) ~dir reader =
+  let c = Ctx.resolve ?ctx () in
+  let leakage = Option.value leakage ~default:c.Ctx.leakage in
+  let meta = Tracestore.Reader.meta reader in
+  T.codec.Dema.Stream.check meta;
+  let n = meta.Tracestore.n in
+  let window = T.profile_window ~n in
+  let plan = T.profile_parts ~leakage ~n ~dir in
+  if plan = [] then failwith "Target.profile: empty profiling plan";
+  let targets =
+    Array.of_list
+      (List.sort_uniq compare (List.map (fun (_, t, _) -> t) plan))
+  in
+  let spec =
+    let d = Profile.default_spec ~window in
+    {
+      d with
+      Profile.npoi = Option.value npoi ~default:d.Profile.npoi;
+      ndim = Option.value ndim ~default:d.Profile.ndim;
+    }
+  in
+  let feed add =
+    let fd =
+      Dema.Stream.shard_feed ~on_corrupt:c.Ctx.on_corrupt
+        ~prefetch:c.Ctx.prefetch ~codec:T.codec ?max_traces reader
+    in
+    Fun.protect ~finally:(fun () -> fd.Dema.Stream.close ()) @@ fun () ->
+    let rec loop () =
+      match fd.Dema.Stream.next () with
+      | None -> ()
+      | Some traces ->
+          Array.iter
+            (fun (tr : Leakage.trace) ->
+              List.iter
+                (fun (base, target, value) ->
+                  add ~base ~target
+                    ~cls:(Bitops.popcount (value tr))
+                    tr.Leakage.samples)
+                plan)
+            traces;
+          loop ()
+    in
+    loop ()
+  in
+  Obs.span c.Ctx.obs "target.profile"
+    ~fields:
+      [
+        ("target", Obs.Str T.name);
+        ("templates", Obs.Int (Array.length targets));
+      ]
+    (fun () -> Profile.train spec ~targets feed)

@@ -54,6 +54,30 @@ module type S = sig
   val width : n:int -> int
   (** samples per trace at ring size [n] *)
 
+  val profile_window : n:int -> int
+  (** Periodic window length this target's {!Profile} template stores
+      key on: every sample the profiled distinguisher scores sits at a
+      stable window-relative offset, so one store serves every unit.
+      FALCON uses the 16-sample multiplication window (the shape of
+      the {!Recover.view} slices its phases rank over); HQC uses the
+      per-unit accumulator word block. *)
+
+  val profile_parts :
+    leakage:leakage ->
+    n:int ->
+    dir:string ->
+    (int * int * (Leakage.trace -> int)) list
+  (** The profiling plan over a recorded campaign in [dir] (ground
+      truth from the sidecars): every [(base, target, value)] triple
+      declares that each trace carries, in the window starting at
+      absolute sample [base], an intermediate at window-relative
+      offset [target] whose true value is [value trace] — the same
+      hypothesis models as {!parts}, applied to the {e true} guess, so
+      profiling truth and attack hypotheses share one source.  Covers
+      every offset the profiled recovery consults (for FALCON: both
+      mantissa phases of every coefficient and multiplication).
+      Raises [Failure] on missing/corrupt sidecars. *)
+
   val codec : Dema.Stream.codec
   (** decode for {!Dema.Stream} entry points over this target's
       stores *)
@@ -164,3 +188,24 @@ val all : (module S) list
 val names : string list
 val find : string -> (module S) option
 (** Registry for CLI dispatch ([--target falcon|hqc]). *)
+
+val profile :
+  ?ctx:Ctx.t ->
+  ?leakage:leakage ->
+  ?npoi:int ->
+  ?ndim:int ->
+  ?max_traces:int ->
+  (module S) ->
+  dir:string ->
+  Tracestore.Reader.t ->
+  Profile.store
+(** Train a profiled-template store on a cloned-device campaign with
+    known key: stream the store twice (moments + POI selection, then
+    pooled covariance — see {!Profile.train}) over the target's
+    {!S.profile_parts} plan, classing each observation by the Hamming
+    weight of its true intermediate.  Scheme-generic — the same
+    function trains FALCON and HQC stores.  [?leakage] defaults from
+    [ctx.Ctx.leakage]; [?npoi]/[?ndim] override
+    {!Profile.default_spec}.  Deterministic: shard order is the trace
+    order, so the store is bit-identical across [jobs] and
+    prefetch. *)

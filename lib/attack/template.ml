@@ -53,41 +53,118 @@ let profile (v : Recover.view) ~secret =
   done;
   { alpha; beta; sigma }
 
+(* The linear-Gaussian template as a {!Distinguisher.S} instance: one
+   part per (view, model) pair, each folding the single column at the
+   part's window sample, accumulating the per-guess log-likelihood
+   -(t - alpha*HW(pred) - beta)^2 / (2 sigma^2) and finalising to the
+   per-trace mean.  Accumulation runs parts-outer, traces-inner — the
+   exact summation order of the historical bespoke loop, so rankings
+   are bit-identical to it. *)
+module Linear_instance (T : sig
+  val tpl : t
+end) : Distinguisher.S = struct
+  let name = "template-linear"
+
+  type 'k state = {
+    guesses : int array;
+    parts : (int * (int -> 'k -> int)) array;
+    needs : int list list;
+    sll : float array;  (* per guess: summed log-likelihood *)
+    mutable n : int;
+  }
+
+  let create ~parts ~guesses =
+    {
+      guesses;
+      parts =
+        Array.of_list
+          (List.map (fun (s, m) -> (s, Hypothesis.Model.apply m)) parts);
+      needs = List.map (fun (s, _) -> [ s ]) parts;
+      sll = Array.make (Array.length guesses) 0.;
+      n = 0;
+    }
+
+  let needs st = st.needs
+
+  (* Per-guess disjoint slots in a fixed loop order: [jobs] cannot
+     change the result, so the fold runs on the owner domain. *)
+  let fold ?jobs st batch =
+    ignore jobs;
+    if Array.length batch <> Array.length st.parts then
+      invalid_arg "Template.rank: wrong number of part segments";
+    let g = Array.length st.guesses in
+    let len =
+      match batch with [||] -> 0 | _ -> Array.length (snd batch.(0))
+    in
+    Array.iteri
+      (fun j (cols, ks) ->
+        if Array.length cols <> 1 then
+          invalid_arg "Template.rank: a linear-template part folds one column";
+        let col = cols.(0) in
+        if Array.length col <> len || Array.length ks <> len then
+          invalid_arg "Template.rank: ragged part segments";
+        let s, model = st.parts.(j) in
+        let a = T.tpl.alpha.(s) and b = T.tpl.beta.(s) in
+        let two_var = 2. *. T.tpl.sigma.(s) *. T.tpl.sigma.(s) in
+        for r = 0 to g - 1 do
+          let guess = Array.unsafe_get st.guesses r in
+          let acc = ref (Array.unsafe_get st.sll r) in
+          for i = 0 to len - 1 do
+            let pred =
+              (a
+              *. float_of_int
+                   (Bitops.popcount (model guess (Array.unsafe_get ks i))))
+              +. b
+            in
+            let e = Array.unsafe_get col i -. pred in
+            acc := !acc -. (e *. e /. two_var)
+          done;
+          Array.unsafe_set st.sll r !acc
+        done)
+      batch;
+    st.n <- st.n + len
+
+  let finalize ?jobs st =
+    ignore jobs;
+    let nrm = 1. /. float_of_int (max 1 st.n) in
+    Array.map (fun x -> x *. nrm) st.sll
+end
+
 let rank ?ctx ?jobs tpl (views : Recover.view list) ~parts ~candidates ~top =
   let c = Ctx.resolve ?ctx ?jobs () in
   assert (views <> []);
-  let d = Array.length (List.hd views).Recover.traces in
-  let cols =
+  let module L = Linear_instance (struct
+    let tpl = tpl
+  end) in
+  (* part order is view-major, model-minor, both in the spread part set
+     and in the folded batch *)
+  let spread =
     List.concat_map
-      (fun (v : Recover.view) ->
+      (fun (_ : Recover.view) ->
         List.map
-          (fun (lbl, model) ->
-            let s = Recover.sample lbl in
-            ( Array.map (fun tr -> tr.(s)) v.Recover.traces,
-              v.Recover.known,
-              model,
-              tpl.alpha.(s),
-              tpl.beta.(s),
-              2. *. tpl.sigma.(s) *. tpl.sigma.(s) ))
+          (fun (lbl, m) -> (Recover.sample lbl, Hypothesis.Model.fn m))
           parts)
       views
   in
-  let score guess =
-    let ll = ref 0. in
-    List.iter
-      (fun (col, known, model, a, b, two_var) ->
-        for i = 0 to d - 1 do
-          let pred =
-            (a *. float_of_int (Bitops.popcount (model guess known.(i)))) +. b
-          in
-          let r = col.(i) -. pred in
-          ll := !ll -. (r *. r /. two_var)
-        done)
-      cols;
-    !ll /. float_of_int d
+  let batch =
+    Array.of_list
+      (List.concat_map
+         (fun (v : Recover.view) ->
+           List.map
+             (fun (lbl, _) ->
+               let s = Recover.sample lbl in
+               ( [| Array.map (fun tr -> tr.(s)) v.Recover.traces |],
+                 v.Recover.known ))
+             parts)
+         views)
+  in
+  let score_block chunk =
+    let st = L.create ~parts:spread ~guesses:chunk in
+    L.fold ~jobs:1 st batch;
+    L.finalize ~jobs:1 st
   in
   Obs.span c.Ctx.obs "template.rank" ~fields:[ ("top", Obs.Int top) ] (fun () ->
-      Dema.rank_scores ~ctx:c ~score ~top candidates)
+      Dema.rank_block_scores ~ctx:c ~score_block ~top candidates)
 
 let winner = function
   | (best : Dema.scored) :: _ -> best.guess

@@ -36,7 +36,11 @@ val rank :
 (** Maximum-likelihood ranking over one or several windows:
     score(g) = - sum over windows, parts and traces of
     (t - alpha*HW(pred) - beta)^2 / (2 sigma^2), with the per-sample
-    template parameters shared across windows (same device). *)
+    template parameters shared across windows (same device).
+    Implemented as a {!Distinguisher.S} instance (one part per
+    (window, model) pair, created/folded/finalised per candidate
+    chunk), not a bespoke scoring loop; summation order matches the
+    historical loop, so rankings are unchanged bit for bit. *)
 
 val coefficient :
   ?ctx:Ctx.t ->

@@ -29,4 +29,5 @@ let () =
       ("scheme_more", Test_scheme_more.suite);
       ("align", Test_align.suite);
       ("target", Test_target.suite);
+      ("profile", Test_profile.suite);
     ]

@@ -1,0 +1,273 @@
+(* The profiled template distinguisher and the Distinguisher.S seam:
+   Pearson instance parity with the historical rank path, profiled
+   scorer determinism across jobs / batch splits, template-store
+   round-trip with corruption rejection, and the pooled-covariance
+   symmetric-PSD property. *)
+
+let m25 = (1 lsl 25) - 1
+let budget = 300
+let noise = 0.5
+
+let victim_secret =
+  Assess.Campaign.secret_operand (Stats.Rng.create ~seed:(123 lxor 0x5eed))
+
+let d_true = Fpr.mantissa victim_secret land m25
+
+let victim =
+  lazy
+    (Assess.Campaign.generate ~p_fixed:1.0 `None ~noise ~secret:victim_secret
+       ~count:budget ~seed:123)
+
+let clone_secret =
+  Assess.Campaign.secret_operand (Stats.Rng.create ~seed:(9999 lxor 0x5eed))
+
+let store =
+  lazy
+    (let entries =
+       Assess.Campaign.generate ~p_fixed:1.0 `None ~noise ~secret:clone_secret
+         ~count:budget ~seed:9999
+     in
+     Assess.Metrics.profile_entries ~defense:`None ~truth:clone_secret entries)
+
+(* the low-mantissa part set over the victim's fixed class, in the
+   shape Dema.rank consumes *)
+let low_parts =
+  lazy
+    (let extend, prune = Attack.Recover.low_stages `Hw in
+     List.map
+       (fun (lbl, m) -> (Attack.Recover.sample lbl, m))
+       (extend @ prune))
+
+let victim_view =
+  lazy
+    (let entries = Lazy.force victim in
+     ( Array.map
+         (fun (e : Assess.Campaign.entry) ->
+           Assess.Campaign.attack_window `None e.Assess.Campaign.samples)
+         entries,
+       Array.map (fun (e : Assess.Campaign.entry) -> e.Assess.Campaign.known)
+         entries ))
+
+let candidates =
+  lazy
+    (Attack.Hypothesis.sampled
+       (Stats.Rng.create ~seed:31)
+       ~width:25 ~truth:d_true ~decoys:200 ())
+
+(* Drive a registered instance by hand through create / needs / fold /
+   finalize, splitting the trace set into [chunks] global-order
+   batches. *)
+let drive sel ~jobs ~chunks =
+  let module D = (val Attack.Dema.distinguisher sel : Attack.Distinguisher.S)
+  in
+  let traces, known = Lazy.force victim_view in
+  let guesses = Lazy.force candidates in
+  let st = D.create ~parts:(Lazy.force low_parts) ~guesses in
+  let needs = D.needs st in
+  let total = Array.length traces in
+  let per = (total + chunks - 1) / chunks in
+  let rec go lo =
+    if lo < total then begin
+      let len = min per (total - lo) in
+      let batch =
+        Array.of_list
+          (List.map
+             (fun cols ->
+               ( Array.of_list
+                   (List.map
+                      (fun c -> Array.init len (fun i -> traces.(lo + i).(c)))
+                      cols),
+                 Array.sub known lo len ))
+             needs)
+      in
+      D.fold ~jobs st batch;
+      go (lo + len)
+    end
+  in
+  go 0;
+  (guesses, D.finalize ~jobs st)
+
+let scores_of_rank sel =
+  let traces, known = Lazy.force victim_view in
+  let guesses = Lazy.force candidates in
+  let ranked =
+    Attack.Dema.rank
+      ~ctx:(Attack.Ctx.make ~distinguisher:sel ())
+      ~traces ~parts:(Lazy.force low_parts) ~known
+      ~top:(Array.length guesses) (Array.to_seq guesses)
+  in
+  List.map (fun (s : Attack.Dema.scored) -> (s.Attack.Dema.guess, s.Attack.Dema.corr)) ranked
+
+let check_scores_equal what (g1, s1) (g2, s2) =
+  Alcotest.(check bool) (what ^ ": same guess array") true (g1 = g2);
+  Array.iteri
+    (fun i v ->
+      if not (Float.equal v s2.(i)) then
+        Alcotest.failf "%s: score %d differs (%.17g vs %.17g)" what i v s2.(i))
+    s1
+
+let test_pearson_instance_parity () =
+  (* the two Pearson instances are bit-identical to each other and to
+     the historical rank path, at every jobs count and batch split *)
+  let ref_scores = drive Attack.Distinguisher.Pearson_scalar ~jobs:1 ~chunks:1 in
+  List.iter
+    (fun (sel, jobs, chunks) ->
+      check_scores_equal
+        (Printf.sprintf "%s j%d c%d" (Attack.Distinguisher.name sel) jobs chunks)
+        ref_scores
+        (drive sel ~jobs ~chunks))
+    [
+      (Attack.Distinguisher.Pearson_scalar, 2, 3);
+      (Attack.Distinguisher.Pearson_batched, 1, 1);
+      (Attack.Distinguisher.Pearson_batched, 4, 5);
+    ];
+  (* and Dema.rank through a Pearson ctx reports exactly these scores *)
+  let guesses, scores = ref_scores in
+  List.iter
+    (fun sel ->
+      List.iter
+        (fun (g, corr) ->
+          let i = ref (-1) in
+          Array.iteri (fun k v -> if v = g && !i < 0 then i := k) guesses;
+          if !i < 0 then Alcotest.failf "rank produced unknown guess %#x" g;
+          if not (Float.equal corr scores.(!i)) then
+            Alcotest.failf "rank(%s) score for %#x differs"
+              (Attack.Distinguisher.name sel)
+              g)
+        (scores_of_rank sel))
+    [ Attack.Distinguisher.Pearson_scalar; Attack.Distinguisher.Pearson_batched ]
+
+let test_profiled_determinism () =
+  let sel = Attack.Distinguisher.Profiled (Lazy.force store) in
+  let r0 = drive sel ~jobs:1 ~chunks:1 in
+  List.iter
+    (fun (jobs, chunks) ->
+      check_scores_equal
+        (Printf.sprintf "profiled j%d c%d" jobs chunks)
+        r0
+        (drive sel ~jobs ~chunks))
+    [ (1, 4); (2, 1); (4, 7) ];
+  (* finalize is pure: calling it twice yields the same scores *)
+  let module D = (val Attack.Dema.distinguisher sel : Attack.Distinguisher.S)
+  in
+  let traces, known = Lazy.force victim_view in
+  let st = D.create ~parts:(Lazy.force low_parts) ~guesses:(Lazy.force candidates) in
+  let needs = D.needs st in
+  let batch =
+    Array.of_list
+      (List.map
+         (fun cols ->
+           ( Array.of_list
+               (List.map
+                  (fun c -> Array.map (fun t -> t.(c)) traces)
+                  cols),
+             known ))
+         needs)
+  in
+  D.fold st batch;
+  Alcotest.(check bool) "finalize idempotent" true
+    (D.finalize st = D.finalize st)
+
+let test_profiled_rank_recovers () =
+  (* the template scorer puts the true low half first on the
+     unprotected victim, through the ordinary Dema.rank entry point *)
+  let sel = Attack.Distinguisher.Profiled (Lazy.force store) in
+  match scores_of_rank sel with
+  | (best, _) :: _ ->
+      Alcotest.(check int) "profiled top-1 is the truth" d_true best;
+      (* and the full ranking is jobs-invariant *)
+      let traces, known = Lazy.force victim_view in
+      let guesses = Lazy.force candidates in
+      let at jobs =
+        Attack.Dema.rank
+          ~ctx:(Attack.Ctx.make ~jobs ~distinguisher:sel ())
+          ~traces ~parts:(Lazy.force low_parts) ~known
+          ~top:(Array.length guesses) (Array.to_seq guesses)
+      in
+      Alcotest.(check bool) "ranking identical at jobs 1/4" true (at 1 = at 4)
+  | [] -> Alcotest.fail "empty profiled ranking"
+
+let test_store_roundtrip () =
+  let s = Lazy.force store in
+  let enc = Attack.Profile.encode s in
+  Alcotest.(check bool) "decode inverts encode" true (Attack.Profile.decode enc = s);
+  let path = Filename.temp_file "fd_test_templates" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Attack.Profile.save path s;
+      Alcotest.(check bool) "load inverts save" true (Attack.Profile.load path = s));
+  Alcotest.(check string) "describe is stable" (Attack.Profile.describe s)
+    (Attack.Profile.describe (Attack.Profile.decode enc))
+
+let expect_failure what f =
+  match f () with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.failf "%s: expected Failure" what
+
+let test_store_corruption_rejected () =
+  let enc = Attack.Profile.encode (Lazy.force store) in
+  let flip s i =
+    let b = Bytes.of_string s in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+    Bytes.to_string b
+  in
+  expect_failure "truncated payload" (fun () ->
+      Attack.Profile.decode (String.sub enc 0 (String.length enc - 7)));
+  expect_failure "truncated header" (fun () ->
+      Attack.Profile.decode (String.sub enc 0 4));
+  expect_failure "bad magic" (fun () -> Attack.Profile.decode (flip enc 0));
+  expect_failure "payload bit-flip" (fun () ->
+      Attack.Profile.decode (flip enc (String.length enc / 2)));
+  expect_failure "crc bit-flip" (fun () ->
+      Attack.Profile.decode (flip enc (String.length enc - 1)))
+
+let test_uncovered_sample_rejected () =
+  let s = Lazy.force store in
+  (* find a window offset the low-stage plan does not profile *)
+  let uncovered = ref (-1) in
+  for o = s.Attack.Profile.window - 1 downto 0 do
+    if not (Attack.Profile.covers s ~sample:o) then uncovered := o
+  done;
+  if !uncovered >= 0 then
+    expect_failure "point on un-profiled offset" (fun () ->
+        ignore (Attack.Profile.point s ~sample:!uncovered))
+
+let prop_pooled_covariance_psd =
+  QCheck.Test.make ~count:100 ~name:"pooled covariance is symmetric PSD"
+    QCheck.(triple (int_range 2 6) (int_range 4 40) (int_range 2 8))
+    (fun (dim, n, nclass) ->
+      let rng = Stats.Rng.create ~seed:(dim + (31 * n) + (997 * nclass)) in
+      let rows =
+        Array.init n (fun _ ->
+            Array.init dim (fun _ -> Stats.Rng.gaussian rng ~mu:0. ~sigma:1.))
+      in
+      let classes = Array.init n (fun _ -> Stats.Rng.int_below rng nclass) in
+      let cov = Attack.Profile.pooled_covariance ~nclass ~classes rows in
+      let symmetric = ref true in
+      for i = 0 to dim - 1 do
+        for j = 0 to dim - 1 do
+          if Float.abs (cov.(i).(j) -. cov.(j).(i)) > 1e-9 then
+            symmetric := false
+        done
+      done;
+      let evs = Attack.Profile.eigenvalues cov in
+      let scale =
+        Array.fold_left (fun a v -> Float.max a (Float.abs v)) 1.0 evs
+      in
+      !symmetric && Array.for_all (fun v -> v >= -1e-9 *. scale) evs)
+
+let suite =
+  [
+    Alcotest.test_case "pearson instances parity" `Quick
+      test_pearson_instance_parity;
+    Alcotest.test_case "profiled determinism" `Quick test_profiled_determinism;
+    Alcotest.test_case "profiled rank recovers truth" `Quick
+      test_profiled_rank_recovers;
+    Alcotest.test_case "template store round-trip" `Quick test_store_roundtrip;
+    Alcotest.test_case "corrupt store rejected" `Quick
+      test_store_corruption_rejected;
+    Alcotest.test_case "un-profiled sample rejected" `Quick
+      test_uncovered_sample_rejected;
+    QCheck_alcotest.to_alcotest prop_pooled_covariance_psd;
+  ]
